@@ -1,0 +1,40 @@
+//! Message-passing collectives on the threaded substrate (wall time;
+//! virtual-time behaviour is covered by the ablations binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_collectives");
+    g.sample_size(10);
+    g.bench_function("allreduce_8ranks", |b| {
+        b.iter(|| {
+            let out = msg::run(8, |comm| comm.allreduce(comm.rank() as u64, |a, x| a + x));
+            black_box(out[0])
+        })
+    });
+    g.bench_function("alltoallv_8ranks", |b| {
+        b.iter(|| {
+            let out = msg::run(8, |comm| {
+                let data: Vec<Vec<u64>> = (0..comm.size()).map(|d| vec![d as u64; 64]).collect();
+                comm.alltoallv(data).len()
+            });
+            black_box(out[0])
+        })
+    });
+    g.bench_function("sample_sort_8ranks_4k", |b| {
+        b.iter(|| {
+            let out = msg::run(8, |comm| {
+                let local: Vec<u64> = (0..512u64)
+                    .map(|i| i.wrapping_mul(2654435761).wrapping_add(comm.rank() as u64))
+                    .collect();
+                msg::sort::sample_sort(comm, local, |&k| k, 32).len()
+            });
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, collectives);
+criterion_main!(benches);

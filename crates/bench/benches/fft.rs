@@ -1,0 +1,45 @@
+//! The FFT behind NPB FT and the Zel'dovich initial conditions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::fft::{fft_inplace, Field3, C64};
+use std::hint::black_box;
+
+fn fft_1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d");
+    for n in [1024usize, 16_384] {
+        let data: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let mut x = d.clone();
+                fft_inplace(&mut x, false);
+                black_box(x[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fft_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_3d");
+    g.sample_size(10);
+    let n = 32;
+    let mut f = Field3::zeros(n, n, n);
+    for (i, v) in f.data.iter_mut().enumerate() {
+        *v = C64::new((i as f64).sin(), 0.0);
+    }
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    g.bench_function("32cubed", |b| {
+        b.iter(|| {
+            let mut x = f.clone();
+            x.fft3(false);
+            black_box(x.data[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fft_1d, fft_3d);
+criterion_main!(benches);

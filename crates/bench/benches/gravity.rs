@@ -1,0 +1,43 @@
+//! The Table 5 axis: libm sqrt vs Karp rsqrt in the force inner loop,
+//! plus the tree walk itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hot::gravity::GravityConfig;
+use hot::models::plummer;
+use hot::traverse::tree_accelerations;
+use hot::tree::Tree;
+use kernels::gravity_kernel::KernelBench;
+use std::hint::black_box;
+
+fn kernel_variants(c: &mut Criterion) {
+    let kb = KernelBench::new(32, 1024, 1);
+    let mut g = c.benchmark_group("gravity_kernel");
+    g.throughput(Throughput::Elements(kb.interactions()));
+    g.bench_function("libm_sqrt", |b| b.iter(|| black_box(kb.run_libm())));
+    g.bench_function("karp_rsqrt", |b| b.iter(|| black_box(kb.run_karp())));
+    g.bench_function("karp_batched4", |b| {
+        b.iter(|| black_box(kb.run_karp_batched()))
+    });
+    g.finish();
+}
+
+fn tree_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_walk");
+    g.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let tree = Tree::build(plummer(n, 5), 8);
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            ..Default::default()
+        };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+            b.iter(|| black_box(tree_accelerations(t, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, kernel_variants, tree_walk);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Blocked LU with partial pivoting (the Linpack core of Figure 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::hpl::{hpl_flops, lu_factor, Mat};
+use std::hint::black_box;
+
+fn lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpl_lu");
+    g.sample_size(10);
+    for n in [128usize, 256] {
+        let a = Mat::random(n, n as u64);
+        g.throughput(Throughput::Elements(hpl_flops(n) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked_nb32", n), &a, |b, m| {
+            b.iter(|| black_box(lu_factor(m.clone(), 32)))
+        });
+        g.bench_with_input(BenchmarkId::new("unblocked", n), &a, |b, m| {
+            b.iter(|| black_box(lu_factor(m.clone(), 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lu);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! The NPB kernel hearts: CG, MG V-cycle, IS sort, EP pairs, BT/SP line
+//! solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kernels::blocksolve::{block_tridiag_solve, pentadiag_solve};
+use kernels::cg::{cg_solve, Csr};
+use kernels::ep::ep_kernel;
+use kernels::is::{counting_sort, generate_keys};
+use kernels::mg::{v_cycle, Grid};
+use std::hint::black_box;
+
+fn cg_bench(c: &mut Criterion) {
+    let a = Csr::random_spd(5000, 10, 20.0, 1);
+    let bvec = vec![1.0; 5000];
+    let mut g = c.benchmark_group("npb_cg");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(a.nnz() as u64 * 25));
+    g.bench_function("25_iterations", |b| {
+        b.iter(|| black_box(cg_solve(&a, &bvec, 25, 0.0)))
+    });
+    g.finish();
+}
+
+fn mg_bench(c: &mut Criterion) {
+    let n = 32;
+    let mut f = Grid::zeros(n);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                f.set(x, y, z, ((x + y + z) as f64).sin());
+            }
+        }
+    }
+    f.remove_mean();
+    let mut g = c.benchmark_group("npb_mg");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    g.bench_function("v_cycle_32cubed", |b| {
+        b.iter(|| {
+            let mut u = Grid::zeros(n);
+            v_cycle(&mut u, &f, 2, 2);
+            black_box(u.at(1, 1, 1))
+        })
+    });
+    g.finish();
+}
+
+fn is_bench(c: &mut Criterion) {
+    let keys = generate_keys(1 << 18, 1 << 15, 3);
+    let mut g = c.benchmark_group("npb_is");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("counting_sort_256k", |b| {
+        b.iter(|| black_box(counting_sort(&keys, 1 << 15)))
+    });
+    g.finish();
+}
+
+fn ep_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_ep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("pairs_100k", |b| {
+        b.iter(|| black_box(ep_kernel(100_000, 271_828_183)))
+    });
+    g.finish();
+}
+
+fn line_solvers(c: &mut Criterion) {
+    let n: usize = 64;
+    let mk = |seed: usize| -> [f64; 25] {
+        let mut m = [0.1; 25];
+        for i in 0..5 {
+            m[i * 5 + i] = 8.0 + seed as f64 * 0.01;
+        }
+        m
+    };
+    let a: Vec<[f64; 25]> = (0..n).map(&mk).collect();
+    let bb: Vec<[f64; 25]> = (0..n).map(|i| mk(i + 7)).collect();
+    let cc: Vec<[f64; 25]> = (0..n).map(|i| mk(i + 13)).collect();
+    let r = vec![[1.0; 5]; n];
+    let mut g = c.benchmark_group("line_solvers");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("bt_block_tridiag_64", |b| {
+        b.iter(|| black_box(block_tridiag_solve(&a, &bb, &cc, &r)))
+    });
+    let e = vec![0.1; n];
+    let cband = vec![-1.0; n];
+    let d = vec![6.0; n];
+    let aband = vec![-1.0; n];
+    let fband = vec![0.1; n];
+    let rhs = vec![1.0; n];
+    g.bench_function("sp_pentadiag_64", |b| {
+        b.iter(|| black_box(pentadiag_solve(&e, &cband, &d, &aband, &fband, &rhs)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cg_bench,
+    mg_bench,
+    is_bench,
+    ep_bench,
+    line_solvers
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! One SPH timestep (density + forces + gravity) — the supernova code's
+//! unit of work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sph::collapse::{rotating_core, CollapseSetup};
+use sph::SphSimulation;
+use std::hint::black_box;
+
+fn sph_step(c: &mut Criterion) {
+    let setup = CollapseSetup {
+        n_particles: 500,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("sph");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("collapse_step_500", |b| {
+        b.iter_batched(
+            || {
+                let (parts, cfg) = rotating_core(&setup);
+                SphSimulation::new(parts, cfg)
+            },
+            |mut sim| {
+                sim.step();
+                black_box(sim.max_density())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sph_step);
+criterion_main!(benches);

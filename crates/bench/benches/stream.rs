@@ -1,0 +1,45 @@
+//! STREAM on the host (the real counterpart of Table 2's model rows).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kernels::stream;
+use std::hint::black_box;
+
+fn stream_kernels(c: &mut Criterion) {
+    let n = 2_000_000; // 16 MB/array: past L2
+    let a = vec![1.0f64; n];
+    let mut bbuf = vec![2.0f64; n];
+    let mut cbuf = vec![0.0f64; n];
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(16 * n as u64));
+    g.bench_function("copy", |b| {
+        b.iter(|| {
+            stream::copy(&mut cbuf, &a);
+            black_box(cbuf[n / 2])
+        })
+    });
+    g.bench_function("scale", |b| {
+        b.iter(|| {
+            stream::scale(&mut bbuf, &cbuf, 3.0);
+            black_box(bbuf[n / 2])
+        })
+    });
+    g.throughput(Throughput::Bytes(24 * n as u64));
+    g.bench_function("add", |b| {
+        b.iter(|| {
+            stream::add(&mut cbuf, &a, &bbuf);
+            black_box(cbuf[n / 2])
+        })
+    });
+    let mut abuf = vec![1.0f64; n];
+    g.bench_function("triad", |b| {
+        b.iter(|| {
+            stream::triad(&mut abuf, &bbuf, &cbuf, 3.0);
+            black_box(abuf[n / 2])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, stream_kernels);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Tree construction and the hashed cell lookup (the "H" of HOT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hot::hash::KeyMap;
+use hot::models::plummer;
+use hot::tree::Tree;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    g.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let bodies = plummer(n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &bodies, |b, bd| {
+            b.iter(|| black_box(Tree::build(bd.clone(), 8)))
+        });
+    }
+    g.finish();
+}
+
+fn hash_lookup(c: &mut Criterion) {
+    let tree = Tree::build(plummer(20_000, 9), 8);
+    let keys: Vec<hot::Key> = tree.cells.iter().map(|c| c.key).collect();
+    let std_map: HashMap<u64, u32> = tree.map.iter().map(|(k, v)| (k.0, v)).collect();
+    let custom: KeyMap = {
+        let mut m = KeyMap::with_capacity(keys.len());
+        for (k, v) in tree.map.iter() {
+            m.insert(k, v);
+        }
+        m
+    };
+    let mut g = c.benchmark_group("key_lookup");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("hot_keymap", |b| {
+        b.iter(|| {
+            let mut s = 0u64;
+            for k in &keys {
+                s = s.wrapping_add(custom.get(*k).unwrap() as u64);
+            }
+            black_box(s)
+        })
+    });
+    g.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut s = 0u64;
+            for k in &keys {
+                s = s.wrapping_add(*std_map.get(&k.0).unwrap() as u64);
+            }
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tree_build, hash_lookup);
+criterion_main!(benches);

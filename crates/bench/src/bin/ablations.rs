@@ -1,0 +1,192 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! 1. Karp rsqrt vs libm sqrt in the force kernel (Table 5's axis);
+//! 2. hashed cell addressing vs std::HashMap;
+//! 3. deferred-walk latency hiding on vs off (virtual time);
+//! 4. ABM batching vs eager single-request messages (virtual time);
+//! 5. Barnes-Hut vs bmax MAC at matched accuracy;
+//! 6. per-body walks vs group (interaction-list) walks;
+//! 7. in-core vs out-of-core traversal (I/O accounting).
+
+use hot::gravity::{GravityConfig, MacKind};
+use hot::models::plummer;
+use hot::parallel::{parallel_accelerations, ParallelConfig};
+use hot::traverse::tree_accelerations;
+use hot::tree::{Body, Tree};
+use kernels::gravity_kernel::KernelBench;
+use std::time::Instant;
+
+fn split(bodies: &[Body], nranks: usize, rank: usize) -> Vec<Body> {
+    bodies
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % nranks == rank)
+        .map(|(_, b)| *b)
+        .collect()
+}
+
+fn vtime_of(all: &[Body], ranks: usize, cfg: &ParallelConfig) -> f64 {
+    let times = msg::run_with(
+        msg::Machine::space_simulator(netsim::LibraryProfile::lam_homogeneous()),
+        ranks,
+        |c| {
+            let mine = split(all, c.size(), c.rank());
+            parallel_accelerations(c, mine, cfg).vtime
+        },
+    );
+    times.into_iter().fold(0.0, f64::max)
+}
+
+fn main() {
+    // 1. Karp vs libm (wall time on this host).
+    let kb = KernelBench::new(64, 2048, 1);
+    let (libm, karp) = kb.measure(8);
+    println!("[1] gravity kernel on this host: libm {libm:.0} Mflop/s, Karp {karp:.0} Mflop/s");
+
+    // 2. Hash table vs std HashMap for key -> cell lookups.
+    let bodies = plummer(20_000, 3);
+    let tree = Tree::build(bodies, 8);
+    let keys: Vec<hot::Key> = tree.cells.iter().map(|c| c.key).collect();
+    let t = Instant::now();
+    let mut sum = 0u64;
+    for _ in 0..50 {
+        for k in &keys {
+            sum = sum.wrapping_add(tree.map.get(*k).unwrap() as u64);
+        }
+    }
+    let custom = t.elapsed().as_secs_f64();
+    let std_map: std::collections::HashMap<u64, u32> =
+        tree.map.iter().map(|(k, v)| (k.0, v)).collect();
+    let t = Instant::now();
+    for _ in 0..50 {
+        for k in &keys {
+            sum = sum.wrapping_add(*std_map.get(&k.0).unwrap() as u64);
+        }
+    }
+    let std_t = t.elapsed().as_secs_f64();
+    println!(
+        "[2] {} lookups x50: KeyMap {:.1} ms vs std HashMap {:.1} ms (x{:.2}) [checksum {sum}]",
+        keys.len(),
+        custom * 1e3,
+        std_t * 1e3,
+        std_t / custom
+    );
+
+    // 3. Latency hiding on/off (virtual time on the simulated cluster).
+    let all = plummer(3000, 11);
+    let hide = vtime_of(
+        &all,
+        4,
+        &ParallelConfig {
+            latency_hiding: true,
+            ..Default::default()
+        },
+    );
+    let block = vtime_of(
+        &all,
+        4,
+        &ParallelConfig {
+            latency_hiding: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "[3] deferred walks: virtual step {hide:.4} s hidden vs {block:.4} s blocking (x{:.2})",
+        block / hide
+    );
+
+    // 4. ABM batch size sweep.
+    print!("[4] ABM batch-size sweep (virtual seconds): ");
+    for batch in [1usize, 8, 64, 512] {
+        let t = vtime_of(
+            &all,
+            4,
+            &ParallelConfig {
+                batch,
+                ..Default::default()
+            },
+        );
+        print!("batch={batch}: {t:.4}  ");
+    }
+    println!();
+
+    // 6. Group walks vs per-body walks.
+    {
+        let bodies = plummer(10_000, 23);
+        let tree = Tree::build(bodies, 16);
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (_, s1) = tree_accelerations(&tree, &cfg);
+        let per_body = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let (_, s2) = hot::traverse::group_accelerations(&tree, &cfg);
+        let grouped = t.elapsed().as_secs_f64();
+        println!(
+            "[6] walks on 10k bodies: per-body {:.0} ms ({} opens) vs grouped {:.0} ms ({} opens)",
+            per_body * 1e3,
+            s1.opened,
+            grouped * 1e3,
+            s2.opened
+        );
+    }
+
+    // 7. Out-of-core traversal I/O accounting.
+    {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ablation_ooc_{}.bin", std::process::id()));
+        let bodies = plummer(5_000, 31);
+        let store = hot::outofcore::OocStore::create(&path, bodies).unwrap();
+        let file_kb = 5_000 * 72 / 1024;
+        let ooc = hot::outofcore::OocGravity::build(store, 256, 512).unwrap();
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (_, stats) = ooc.accelerations(&cfg).unwrap();
+        println!(
+            "[7] out-of-core 5k bodies ({} kB file): {:.0} ms, read {} kB, {} loads, {} cache hits",
+            file_kb,
+            t.elapsed().as_secs_f64() * 1e3,
+            stats.bytes_read / 1024,
+            stats.chunk_loads,
+            stats.cache_hits
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    // 5. MAC comparison at matched cost.
+    let bodies = plummer(5000, 17);
+    let tree = Tree::build(bodies.clone(), 8);
+    let exact = hot::direct::direct_accelerations(&tree.bodies, 0.01);
+    for mac in [MacKind::BarnesHut, MacKind::BmaxMac] {
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            mac,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (acc, stats) = tree_accelerations(&tree, &cfg);
+        let wall = t.elapsed().as_secs_f64();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (a, e) in acc.iter().zip(&exact) {
+            for d in 0..3 {
+                num += (a.acc[d] - e.acc[d]).powi(2);
+            }
+            den += e.acc[0].powi(2) + e.acc[1].powi(2) + e.acc[2].powi(2);
+        }
+        println!(
+            "[5] {:?}: rms err {:.2e}, {} interactions, {:.0} ms",
+            mac,
+            (num / den).sqrt(),
+            stats.interactions(),
+            wall * 1e3
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Run every table and figure regenerator in sequence (slow ones last).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "figure1",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "reliability",
+        "figure7",
+        "figure8",
+    ];
+    for b in bins {
+        println!("\n================= {b} =================\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(b))
+            .status()
+            .expect("failed to run exhibit binary");
+        assert!(status.success(), "{b} failed");
+    }
+}

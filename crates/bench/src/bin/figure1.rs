@@ -1,0 +1,5 @@
+//! Figure 1 (photo of the racks): rendered as a wiring schematic.
+
+fn main() {
+    println!("{}", cluster::rack::figure1_schematic());
+}

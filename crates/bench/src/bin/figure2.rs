@@ -1,0 +1,42 @@
+//! Figure 2: NetPIPE bandwidth vs message size for TCP and the MPI
+//! libraries, plus the switch-characterization experiment of §3.1.
+
+use bench::render_series;
+use netsim::{netpipe_sweep, Fabric, LibraryProfile};
+
+fn main() {
+    let profiles = LibraryProfile::figure2_set();
+    let sizes: Vec<usize> = (0..25).map(|i| 1usize << i).collect();
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![n as f64];
+        for p in &profiles {
+            row.push(p.throughput_mbits(n));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["bytes"];
+    let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    header.extend(names.iter());
+    println!(
+        "{}",
+        render_series(
+            "Figure 2: bandwidth (Mbit/s) vs message size",
+            &header,
+            &rows
+        )
+    );
+    for p in &profiles {
+        let pts = netpipe_sweep(p, 1, 16 << 20);
+        println!(
+            "# {}: latency {:.0} us, asymptote {:.1} Mbit/s",
+            p.name,
+            p.latency_s * 1e6,
+            pts.last().unwrap().mbits
+        );
+    }
+    // The §3.1 switch experiment.
+    let fabric = Fabric::space_simulator(LibraryProfile::tcp());
+    let agg = fabric.aggregate_pairs_mbits(16, 8 << 20, false);
+    println!("\n# 16 cross-module pairs aggregate: {agg:.0} Mbit/s (paper: ~6000)");
+}

@@ -1,0 +1,42 @@
+//! Figure 3: Linpack on the Space Simulator — scaling, the two record
+//! runs, TOP500 ranks, and the price/performance milestone.
+
+use bench::render_series;
+use cluster::linpack_run::{april_2003, figure3_series, october_2002};
+use cluster::top500::{dollars_per_mflops, rank, List};
+
+fn main() {
+    let procs = [16, 32, 64, 128, 192, 224, 256, 288];
+    let rows: Vec<Vec<f64>> = figure3_series(&procs)
+        .into_iter()
+        .map(|(p, mpich, lam)| vec![p as f64, mpich, lam])
+        .collect();
+    println!(
+        "{}",
+        render_series(
+            "Figure 3: HPL Gflop/s vs processors",
+            &["procs", "MPICH+ATLAS(2002)", "LAM+ATLAS350(2003)"],
+            &rows,
+        )
+    );
+    let oct = october_2002();
+    let apr = april_2003();
+    println!("# October 2002 run:  {oct:.1} Gflop/s (paper 665.1) — calibration point");
+    println!("# April 2003 run:    {apr:.1} Gflop/s (paper 757.1) — prediction");
+    println!(
+        "# TOP500: rank {} on Nov 2002 list (paper #85)",
+        rank(List::Nov2002, oct)
+    );
+    println!(
+        "#         rank {} on Jun 2003 list (paper #88)",
+        rank(List::Jun2003, apr)
+    );
+    println!(
+        "#         757.1 would have ranked #{} on the Nov 2002 list (paper #69)",
+        rank(List::Nov2002, 757.1)
+    );
+    println!(
+        "# price/performance: {:.1} cents per Mflop/s (paper 63.9)",
+        100.0 * dollars_per_mflops(483_855.0, apr)
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 4: NPB Class D scaling on the Space Simulator.
+
+use bench::render_series;
+use cluster::npb_run::scaling_series;
+use kernels::npb::{Benchmark, Class};
+
+fn main() {
+    let procs = [16usize, 32, 64, 128, 256];
+    let benches = [
+        Benchmark::BT,
+        Benchmark::SP,
+        Benchmark::LU,
+        Benchmark::MG,
+        Benchmark::CG,
+        Benchmark::FT,
+    ];
+    let mut rows = Vec::new();
+    for (i, &p) in procs.iter().enumerate() {
+        let mut row = vec![p as f64];
+        for b in benches {
+            let series = scaling_series(b, Class::D, &procs);
+            row.push(series[i].1);
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_series(
+            "Figure 4: Class D Mop/s per processor vs processors (flat = perfect scaling)",
+            &["procs", "BT", "SP", "LU", "MG", "CG", "FT"],
+            &rows,
+        )
+    );
+}

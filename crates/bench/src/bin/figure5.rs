@@ -1,0 +1,41 @@
+//! Figure 5: NPB Class C scaling — smaller problems scale worse, and LU
+//! shows the super-linear L2 kink.
+
+use bench::render_series;
+use cluster::npb_run::scaling_series;
+use kernels::npb::{Benchmark, Class};
+
+fn main() {
+    let procs = [1usize, 4, 16, 64, 256];
+    let benches = [
+        Benchmark::BT,
+        Benchmark::SP,
+        Benchmark::LU,
+        Benchmark::MG,
+        Benchmark::CG,
+        Benchmark::FT,
+        Benchmark::IS,
+    ];
+    let mut rows = Vec::new();
+    for (i, &p) in procs.iter().enumerate() {
+        let mut row = vec![p as f64];
+        for b in benches {
+            let series = scaling_series(b, Class::C, &procs);
+            row.push(series[i].1);
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_series(
+            "Figure 5: Class C Mop/s per processor vs processors",
+            &["procs", "BT", "SP", "LU", "MG", "CG", "FT", "IS"],
+            &rows,
+        )
+    );
+    let lu = scaling_series(Benchmark::LU, Class::C, &[1, 64]);
+    println!(
+        "# LU L2 kink: {:.0} Mop/s/proc at 1 proc -> {:.0} at 64 procs (super-linear)",
+        lu[0].1, lu[1].1
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 6: the self-similar Morton curve (left) and a 2-D tree of
+//! centrally condensed particles (right).
+
+use hot::models::condensed_disc_2d;
+use hot::morton::morton2d;
+use hot::tree::{Body, Tree};
+
+fn main() {
+    // Left panel: the space-filling curve on an 8x8 grid, drawn by
+    // visiting order.
+    println!("# Figure 6 (left): Morton order on an 8x8 grid (visit order)");
+    let curve = morton2d::curve(3);
+    let mut grid = [[0usize; 8]; 8];
+    for (order, (x, y)) in curve.iter().enumerate() {
+        grid[*y as usize][*x as usize] = order;
+    }
+    for row in grid.iter().rev() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:2}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+    println!("\n# curve as (x, y) polyline for plotting:");
+    for (x, y) in &curve {
+        println!("{x}\t{y}");
+    }
+
+    // Right panel: quadtree cell boundaries of a condensed disc. We use
+    // the 3-D tree with z = 0 and report x/y cell boxes at z mid-plane.
+    let pts = condensed_disc_2d(2000, 42);
+    let bodies: Vec<Body> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut b = Body::at([p[0], p[1], 0.0], 1.0);
+            b.id = i as u64;
+            b
+        })
+        .collect();
+    let tree = Tree::build(bodies, 4);
+    println!("\n# Figure 6 (right): tree cells (center_x, center_y, half) by level");
+    let mut by_level = std::collections::BTreeMap::new();
+    for c in &tree.cells {
+        *by_level.entry(c.level()).or_insert(0) += 1;
+        if c.is_leaf && c.level() <= 6 {
+            println!("{:.4}\t{:.4}\t{:.4}", c.center[0], c.center[1], c.half);
+        }
+    }
+    println!("# cells per level: {by_level:?}");
+    println!(
+        "# total cells: {} for {} bodies",
+        tree.cells.len(),
+        tree.bodies.len()
+    );
+}

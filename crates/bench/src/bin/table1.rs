@@ -1,0 +1,47 @@
+//! Table 1: Space Simulator architecture and price (September 2002).
+
+use bench::{f, render_table};
+use nodesim::Bom;
+
+fn main() {
+    let bom = Bom::space_simulator();
+    let rows: Vec<Vec<String>> = bom
+        .items
+        .iter()
+        .map(|i| {
+            vec![
+                if i.qty > 0 {
+                    i.qty.to_string()
+                } else {
+                    String::new()
+                },
+                if i.qty > 0 {
+                    f(i.unit_price, 0)
+                } else {
+                    String::new()
+                },
+                f(i.extended(), 0),
+                i.description.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 1: Space Simulator architecture and price (September 2002)",
+            &["Qty", "Price", "Ext.", "Description"],
+            &rows,
+        )
+    );
+    println!("Total: ${}", f(bom.total(), 0));
+    println!(
+        "${} per node, {} Gflop/s peak per node",
+        f(bom.per_node(), 0),
+        f(bom.peak_per_node / 1e9, 2)
+    );
+    println!(
+        "Network (NICs + switches): ${} per node ({}% of node cost)",
+        f(bom.nic_and_switch_per_node(), 0),
+        f(100.0 * bom.nic_and_switch_per_node() / bom.per_node(), 0)
+    );
+}

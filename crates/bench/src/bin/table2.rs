@@ -1,0 +1,36 @@
+//! Table 2: benchmark sensitivity to CPU and memory clock scaling.
+//! Model calibrated on the slow-mem column; slow-CPU and overclock are
+//! predictions. Paper values in parentheses in EXPERIMENTS.md.
+
+use bench::{f, render_table};
+use nodesim::roofline::{table2_rows, ClockConfig};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table2_rows()
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.name.to_string()];
+            for cfg in ClockConfig::TABLE2 {
+                let v = r.score(cfg);
+                let digits = if r.normal < 10.0 { 3 } else { 1 };
+                if cfg.name == "Normal" {
+                    cells.push(f(v, digits));
+                } else {
+                    cells.push(format!("{} ({})", f(v, digits), f(v / r.normal, 3)));
+                }
+            }
+            cells
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 2: clock-scaling sensitivity (model; ratios to normal in parens)",
+            &["Benchmark", "Normal", "Slow mem", "Slow CPU", "Overclock"],
+            &rows,
+        )
+    );
+    println!("STREAM rows in MB/s, NPB in Mop/s, SPEC in SPEC units, Linpack in Gflop/s.");
+    println!("Memory fractions calibrated from the paper's slow-mem column only;");
+    println!("the slow-CPU and overclock columns are model predictions.");
+}

@@ -1,0 +1,34 @@
+//! Table 3: 64-processor Class C NPB (Mops), SS vs ASCI Q.
+
+use bench::{f, ratio, render_table};
+use cluster::npb_run::{table3, table3_paper};
+
+fn main() {
+    let model = table3();
+    let paper = table3_paper();
+    let rows: Vec<Vec<String>> = model
+        .iter()
+        .zip(&paper)
+        .map(|((n, ss, q), (_, pss, pq))| {
+            vec![
+                n.to_string(),
+                f(*ss, 0),
+                f(*pss, 0),
+                ratio(*ss, *pss),
+                f(*q, 0),
+                f(*pq, 0),
+                ratio(*q, *pq),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 3: 64-proc Class C NPB Mops — model vs paper",
+            &["Bench", "SS model", "SS paper", "r", "Q model", "Q paper", "r"],
+            &rows,
+        )
+    );
+    println!("SS column calibrated; ASCI Q column is a prediction.");
+    println!("Shape: ASCI Q wins everywhere except FT, where the SS wins (as measured).");
+}

@@ -1,0 +1,32 @@
+//! Table 4: 256-processor Class D NPB (Mops), SS vs ASCI Q.
+
+use bench::{f, ratio, render_table};
+use cluster::npb_run::{table4, table4_paper};
+
+fn main() {
+    let model = table4();
+    let paper = table4_paper();
+    let rows: Vec<Vec<String>> = model
+        .iter()
+        .zip(&paper)
+        .map(|((n, ss, q), (_, pss, pq))| {
+            vec![
+                n.to_string(),
+                f(*ss, 0),
+                f(*pss, 0),
+                ratio(*ss, *pss),
+                f(*q, 0),
+                f(*pq, 0),
+                ratio(*q, *pq),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 4: 256-proc Class D NPB Mops — model vs paper (all predictions)",
+            &["Bench", "SS model", "SS paper", "r", "Q model", "Q paper", "r"],
+            &rows,
+        )
+    );
+}

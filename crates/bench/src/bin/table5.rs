@@ -1,0 +1,50 @@
+//! Table 5: the gravity micro-kernel across processors, libm vs Karp —
+//! plus a real measurement on this host.
+
+use bench::{f, render_table};
+use kernels::gravity_kernel::KernelBench;
+use nodesim::cpu_models::{table5_cpus, table5_paper_values};
+
+fn main() {
+    let cpus = table5_cpus();
+    let paper = table5_paper_values();
+    let mut rows: Vec<Vec<String>> = cpus
+        .iter()
+        .zip(&paper)
+        .map(|(c, (_, plibm, pkarp))| {
+            vec![
+                c.name.to_string(),
+                f(c.libm_mflops(), 1),
+                f(*plibm, 1),
+                f(c.karp_mflops(), 1),
+                f(*pkarp, 1),
+            ]
+        })
+        .collect();
+    // A real run on this host for comparison.
+    let kb = KernelBench::new(64, 2048, 1);
+    let (libm, karp) = kb.measure(8);
+    rows.push(vec![
+        "this host (measured)".into(),
+        f(libm, 1),
+        "-".into(),
+        f(karp, 1),
+        "-".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "Table 5: gravity micro-kernel Mflop/s (38 flops/interaction)",
+            &[
+                "Processor",
+                "libm model",
+                "libm paper",
+                "Karp model",
+                "Karp paper"
+            ],
+            &rows,
+        )
+    );
+    println!("CPU models: micro-architectural (pipelined flops/cycle + sqrt latency),");
+    println!("fitted to the paper's measurements — see EXPERIMENTS.md.");
+}

@@ -1,0 +1,39 @@
+//! Table 6: historical performance of the treecode, 1993-2003.
+
+use bench::{f, ratio, render_table};
+use cluster::treecode_run::table6;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table6()
+        .iter()
+        .map(|(name, procs, total, per, ptotal, pper)| {
+            vec![
+                name.to_string(),
+                procs.to_string(),
+                f(*total, 1),
+                f(*ptotal, 1),
+                ratio(*total, *ptotal),
+                f(*per, 1),
+                f(*pper, 1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 6: treecode throughput — model vs paper",
+            &[
+                "Machine",
+                "Procs",
+                "Gflop/s",
+                "paper",
+                "r",
+                "Mflops/proc",
+                "paper"
+            ],
+            &rows,
+        )
+    );
+    println!("One constant (non-force fraction) calibrated on the Space Simulator row;");
+    println!("every other machine is a prediction from its CPU kernel model + network.");
+}

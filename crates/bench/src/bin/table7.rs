@@ -1,0 +1,63 @@
+//! Table 7: Loki architecture and price (September 1996), plus the §5
+//! Moore's-law comparison.
+
+use bench::{f, render_table};
+use nodesim::bom::moores_law_factor;
+use nodesim::Bom;
+
+fn main() {
+    let bom = Bom::loki();
+    let rows: Vec<Vec<String>> = bom
+        .items
+        .iter()
+        .map(|i| {
+            vec![
+                if i.qty > 0 {
+                    i.qty.to_string()
+                } else {
+                    String::new()
+                },
+                if i.qty > 0 {
+                    f(i.unit_price, 0)
+                } else {
+                    String::new()
+                },
+                f(i.extended(), 0),
+                i.description.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 7: Loki architecture and price (September 1996)",
+            &["Qty", "Price", "Ext.", "Description"],
+            &rows,
+        )
+    );
+    println!(
+        "Total: ${}  (${} per node)",
+        f(bom.total(), 0),
+        f(bom.per_node(), 0)
+    );
+
+    // §5: component price scaling vs Moore's law over the six years.
+    let moore = moores_law_factor(6.0);
+    let disk = (359.0 / 3.240) / (83.0 / 80.0);
+    let mem = (235.0 * 64.0 / (16.0 * 128.0)) / (118.0 * 588.0 / (294.0 * 1024.0));
+    println!(
+        "\nSection 5 check — six years = {} Moore doublings (x{})",
+        4,
+        f(moore, 1)
+    );
+    println!(
+        "  disk $/GB improvement: x{} ({}x beyond Moore)",
+        f(disk, 0),
+        f(disk / moore, 1)
+    );
+    println!(
+        "  DRAM $/MB improvement: x{} ({}x beyond Moore)",
+        f(mem, 0),
+        f(mem / moore, 1)
+    );
+}

@@ -1,0 +1,36 @@
+//! Assembled simulated machines and the paper's cluster-level
+//! experiments.
+//!
+//! This crate is where the substitution for the missing hardware lives:
+//! it combines the node models (`nodesim`), the switch fabric (`netsim`)
+//! and the message-passing layer (`msg`) into named machines — the Space
+//! Simulator itself, Loki, ASCI Q, and the other Table 6 contenders —
+//! and implements the performance models that regenerate the paper's
+//! cluster-scale numbers:
+//!
+//! * [`machines`] — the machine zoo with per-CPU gravity-kernel models;
+//! * [`treecode_run`] — Table 6 (historical treecode throughput), both
+//!   modeled at full scale and actually executed at small scale on the
+//!   virtual-time message-passing layer;
+//! * [`npb_run`] — Tables 3–4 and Figures 4–5 (NPB C/D on 64–256
+//!   processors, SS vs ASCI Q);
+//! * [`linpack_run`] — Figure 3 (HPL: 665.1 → 757.1 Gflop/s and the
+//!   MPICH → LAM mechanism);
+//! * [`top500`] — TOP500 ranking context and the $/Mflops milestone;
+//! * [`io`] — the local-disk parallel I/O model behind Figure 7's
+//!   417 MB/s sustained / 7 GB/s peak;
+//! * [`rack`] — a schematic stand-in for the Figure 1 photograph.
+
+// Numeric kernels index several parallel arrays in lockstep; the
+// iterator-adapter rewrites clippy suggests obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod io;
+pub mod linpack_run;
+pub mod machines;
+pub mod npb_run;
+pub mod rack;
+pub mod top500;
+pub mod treecode_run;
+
+pub use machines::MachineSpec;

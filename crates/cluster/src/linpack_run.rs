@@ -1,0 +1,122 @@
+//! The HPL cluster model: Figure 3 and the §3.3 story.
+//!
+//! October 2002: 665.1 Gflop/s on 288 processors with MPICH 1.2.4 and
+//! ATLAS. April 2003: 757.1 Gflop/s with LAM 6.5.9 and ATLAS 3.5.0 —
+//! "mostly due to improved network performance via the switch to LAM".
+//! Our model reproduces that mechanism: mpich-1's large-message
+//! bandwidth collapse (Figure 2) is exactly what throttles HPL's panel
+//! broadcasts.
+
+use netsim::LibraryProfile;
+
+/// Single-node HPL rate (Table 2: 3.302 Gflop/s with the 2002 ATLAS).
+pub const NODE_GFLOPS_ATLAS_2002: f64 = 3.302;
+/// With ATLAS 3.5.0 (the April 2003 run; ~4% faster DGEMM).
+pub const NODE_GFLOPS_ATLAS_350: f64 = 3.44;
+
+/// Communication overhead constant, calibrated once so the October 2002
+/// (MPICH) point reproduces 665.1 Gflop/s; the LAM point is then a
+/// prediction.
+pub const COMM_CONSTANT: f64 = 5.1;
+
+/// Problem size filling ~60% of memory on `p` 1 GB nodes.
+pub fn hpl_n(p: usize) -> f64 {
+    (0.6 * p as f64 * 1.0e9 / 8.0).sqrt()
+}
+
+/// Modeled HPL performance in Gflop/s for `p` processors.
+pub fn hpl_model(p: usize, profile: &LibraryProfile, node_gflops: f64) -> f64 {
+    let n = hpl_n(p);
+    let flops = 2.0 * n * n * n / 3.0;
+    let t_comp = flops / (p as f64 * node_gflops * 1e9);
+    // Panel broadcasts + row exchanges: ~N² words over a √P-wide grid,
+    // at the library's *large message* bandwidth (HPL panels are MBs).
+    let bw = profile.effective_bandwidth(1 << 20);
+    let t_comm = COMM_CONSTANT * n * n * 8.0 / ((p as f64).sqrt() * bw);
+    // Latency of the ~N/nb panel broadcasts.
+    let nb = 128.0;
+    let t_lat = (n / nb) * (p as f64).log2() * profile.latency_s;
+    flops / (t_comp + t_comm + t_lat) / 1e9
+}
+
+/// The October 2002 run: 288 processors, MPICH.
+pub fn october_2002() -> f64 {
+    hpl_model(288, &LibraryProfile::mpich1(), NODE_GFLOPS_ATLAS_2002)
+}
+
+/// The April 2003 run: 288 processors, LAM -O + ATLAS 3.5.0.
+pub fn april_2003() -> f64 {
+    hpl_model(
+        288,
+        &LibraryProfile::lam_homogeneous(),
+        NODE_GFLOPS_ATLAS_350,
+    )
+}
+
+/// Figure 3's scaling series: Gflop/s at each processor count, for both
+/// library configurations.
+pub fn figure3_series(procs: &[usize]) -> Vec<(usize, f64, f64)> {
+    procs
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                hpl_model(p, &LibraryProfile::mpich1(), NODE_GFLOPS_ATLAS_2002),
+                hpl_model(p, &LibraryProfile::lam_homogeneous(), NODE_GFLOPS_ATLAS_350),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn october_run_calibrates_to_665() {
+        let g = october_2002();
+        assert!((g - 665.1).abs() / 665.1 < 0.03, "got {g}");
+    }
+
+    #[test]
+    fn lam_switch_predicts_the_april_improvement() {
+        // The LAM point is a *prediction* (only the MPICH point was
+        // calibrated): paper measured 757.1.
+        let g = april_2003();
+        assert!((g - 757.1).abs() / 757.1 < 0.06, "got {g}");
+        assert!(april_2003() > october_2002() * 1.08);
+    }
+
+    #[test]
+    fn efficiency_is_about_70_percent_of_dgemm_peak() {
+        let eff = october_2002() / (288.0 * NODE_GFLOPS_ATLAS_2002);
+        assert!(eff > 0.6 && eff < 0.8, "efficiency {eff}");
+    }
+
+    #[test]
+    fn scaling_is_sublinear_but_strong() {
+        let series = figure3_series(&[32, 64, 128, 288]);
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1, "total Gflop/s must grow with P");
+            // Per-proc declines.
+            let per0 = w[0].1 / w[0].0 as f64;
+            let per1 = w[1].1 / w[1].0 as f64;
+            assert!(per1 < per0 * 1.001);
+        }
+    }
+
+    #[test]
+    fn bigger_memory_would_help() {
+        // Classic HPL: larger N amortizes communication. Double memory →
+        // N up by √2 → efficiency up.
+        let small = hpl_model(288, &LibraryProfile::lam_homogeneous(), 3.44);
+        // Simulate 2 GB nodes by evaluating at the N of 576 procs.
+        let n_big = hpl_n(576);
+        let flops = 2.0 * n_big.powi(3) / 3.0;
+        let t_comp = flops / (288.0 * 3.44e9);
+        let bw = LibraryProfile::lam_homogeneous().effective_bandwidth(1 << 20);
+        let t_comm = COMM_CONSTANT * n_big * n_big * 8.0 / ((288.0f64).sqrt() * bw);
+        let big = flops / (t_comp + t_comm) / 1e9;
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,360 @@
+//! The machine zoo: every system in Table 6 plus the benchmark
+//! comparators.
+//!
+//! Each machine couples a gravity-kernel CPU model (Table 5 where the
+//! paper measured one; calibrated micro-architectural parameters
+//! otherwise — see EXPERIMENTS.md), a network profile, and metadata.
+
+use netsim::LibraryProfile;
+use nodesim::cpu_models::{table5_cpus, CpuKernelModel};
+
+/// Which fabric topology the machine uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FabricKind {
+    /// The Space Simulator's trunked Foundry pair.
+    SpaceSimulatorSwitch,
+    /// An idealized full crossbar (fat-tree class networks).
+    Crossbar,
+}
+
+/// One machine.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub site: &'static str,
+    pub year: u32,
+    pub procs: u32,
+    pub cpu: CpuKernelModel,
+    pub profile: LibraryProfile,
+    pub fabric: FabricKind,
+    /// Purchase price in dollars, where the paper quotes one.
+    pub price: Option<f64>,
+}
+
+fn table5_cpu(name: &str) -> CpuKernelModel {
+    table5_cpus()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("no Table 5 CPU named {name}"))
+}
+
+/// CPUs of the pre-2002 machines (not in Table 5): micro-architectural
+/// parameters calibrated against the machines' known treecode rates.
+fn historical_cpu(
+    name: &'static str,
+    clock_mhz: f64,
+    fpc: f64,
+    sqrt_cycles: f64,
+) -> CpuKernelModel {
+    CpuKernelModel {
+        name,
+        clock_mhz,
+        karp_flops_per_cycle: fpc,
+        sqrt_div_cycles: sqrt_cycles,
+    }
+}
+
+impl MachineSpec {
+    /// The Space Simulator (the LAM configuration of April 2003).
+    pub fn space_simulator() -> MachineSpec {
+        MachineSpec {
+            name: "Space Simulator",
+            site: "LANL",
+            year: 2003,
+            procs: 288,
+            cpu: table5_cpu("2530-MHz Intel P4"),
+            profile: LibraryProfile::lam_homogeneous(),
+            fabric: FabricKind::SpaceSimulatorSwitch,
+            price: Some(483_855.0),
+        }
+    }
+
+    /// ASCI Q (segment QB): 1.25 GHz Alpha EV68 + Quadrics.
+    pub fn asci_qb() -> MachineSpec {
+        MachineSpec {
+            name: "ASCI QB",
+            site: "LANL",
+            year: 2003,
+            procs: 3600,
+            cpu: table5_cpu("1250-MHz Alpha 21264C"),
+            profile: LibraryProfile::quadrics(),
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// NERSC IBM SP-3 (375 MHz Power3, Colony switch).
+    pub fn ibm_sp3() -> MachineSpec {
+        MachineSpec {
+            name: "IBM SP-3(375/W)",
+            site: "NERSC",
+            year: 2002,
+            procs: 256,
+            cpu: table5_cpu("375-MHz IBM Power3"),
+            profile: LibraryProfile {
+                name: "SP Colony",
+                latency_s: 20.0e-6,
+                bandwidth: 350.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 350.0e6,
+                send_overhead_s: 3.0e-6,
+                recv_overhead_s: 3.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// Green Destiny: 240 Transmeta TM5600 blades (212 used).
+    pub fn green_destiny() -> MachineSpec {
+        MachineSpec {
+            name: "Green Destiny",
+            site: "LANL",
+            year: 2002,
+            procs: 212,
+            cpu: table5_cpu("667-MHz Transmeta TM5600"),
+            profile: LibraryProfile::fast_ethernet(),
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// SGI Origin 2000 (250 MHz R10000, ccNUMA).
+    pub fn origin2000() -> MachineSpec {
+        MachineSpec {
+            name: "SGI Origin 2000",
+            site: "LANL",
+            year: 2000,
+            procs: 64,
+            cpu: historical_cpu("250-MHz MIPS R10000", 250.0, 1.05, 35.0),
+            profile: LibraryProfile {
+                name: "ccNUMA",
+                latency_s: 3.0e-6,
+                bandwidth: 160.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 160.0e6,
+                send_overhead_s: 1.0e-6,
+                recv_overhead_s: 1.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// Avalon: 140 (128 used) 533 MHz Alpha 21164 + Fast Ethernet.
+    pub fn avalon() -> MachineSpec {
+        MachineSpec {
+            name: "Avalon",
+            site: "LANL",
+            year: 1998,
+            procs: 128,
+            cpu: table5_cpu("533-MHz Alpha EV56"),
+            profile: LibraryProfile::fast_ethernet(),
+            fabric: FabricKind::Crossbar,
+            price: Some(300_000.0),
+        }
+    }
+
+    /// Loki: 16 Pentium Pro 200 + Fast Ethernet (Table 7).
+    pub fn loki() -> MachineSpec {
+        MachineSpec {
+            name: "Loki",
+            site: "LANL",
+            year: 1996,
+            procs: 16,
+            cpu: historical_cpu("200-MHz Pentium Pro", 200.0, 0.52, 68.0),
+            profile: LibraryProfile::fast_ethernet(),
+            fabric: FabricKind::Crossbar,
+            price: Some(51_379.0),
+        }
+    }
+
+    /// Loki + Hyglac: the 32-processor SC'96 run over two sites' worth
+    /// of hardware (higher effective latency).
+    pub fn loki_hyglac() -> MachineSpec {
+        MachineSpec {
+            name: "Loki+Hyglac",
+            site: "SC '96",
+            year: 1996,
+            procs: 32,
+            cpu: historical_cpu("200-MHz Pentium Pro", 200.0, 0.52, 68.0),
+            profile: LibraryProfile {
+                name: "Fast Ethernet (bridged)",
+                latency_s: 300.0e-6,
+                bandwidth: 70.0 * netsim::MBIT,
+                large_threshold: usize::MAX,
+                large_bw: 70.0 * netsim::MBIT,
+                send_overhead_s: 20.0e-6,
+                recv_overhead_s: 20.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: Some(103_000.0),
+        }
+    }
+
+    /// ASCI Red: 6800 200 MHz Pentium Pros, custom mesh.
+    pub fn asci_red() -> MachineSpec {
+        MachineSpec {
+            name: "ASCI Red",
+            site: "Sandia",
+            year: 1996,
+            procs: 6800,
+            cpu: historical_cpu("200-MHz Pentium Pro", 200.0, 0.52, 68.0),
+            profile: LibraryProfile {
+                name: "ASCI Red mesh",
+                latency_s: 15.0e-6,
+                bandwidth: 310.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 310.0e6,
+                send_overhead_s: 3.0e-6,
+                recv_overhead_s: 3.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// Cray T3D: 150 MHz Alpha EV4, 3-D torus.
+    pub fn cray_t3d() -> MachineSpec {
+        MachineSpec {
+            name: "Cray T3D",
+            site: "JPL",
+            year: 1995,
+            procs: 256,
+            cpu: historical_cpu("150-MHz Alpha 21064", 150.0, 0.30, 110.0),
+            profile: LibraryProfile {
+                name: "T3D torus",
+                latency_s: 3.0e-6,
+                bandwidth: 120.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 120.0e6,
+                send_overhead_s: 2.0e-6,
+                recv_overhead_s: 2.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// TMC CM-5: 32 MHz SPARC + vector units.
+    pub fn cm5() -> MachineSpec {
+        MachineSpec {
+            name: "TMC CM-5",
+            site: "LANL",
+            year: 1995,
+            procs: 512,
+            cpu: historical_cpu("32-MHz SPARC+VU", 32.0, 1.15, 60.0),
+            profile: LibraryProfile {
+                name: "CM-5 fat tree",
+                latency_s: 8.0e-6,
+                bandwidth: 10.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 10.0e6,
+                send_overhead_s: 4.0e-6,
+                recv_overhead_s: 4.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// Intel Delta: 40 MHz i860, 2-D mesh.
+    pub fn intel_delta() -> MachineSpec {
+        MachineSpec {
+            name: "Intel Delta",
+            site: "Caltech",
+            year: 1993,
+            procs: 512,
+            cpu: historical_cpu("40-MHz Intel i860", 40.0, 0.68, 55.0),
+            profile: LibraryProfile {
+                name: "Delta mesh",
+                latency_s: 75.0e-6,
+                bandwidth: 8.0e6,
+                large_threshold: usize::MAX,
+                large_bw: 8.0e6,
+                send_overhead_s: 30.0e-6,
+                recv_overhead_s: 30.0e-6,
+            },
+            fabric: FabricKind::Crossbar,
+            price: None,
+        }
+    }
+
+    /// The twelve rows of Table 6, newest first (the paper's order).
+    pub fn table6_machines() -> Vec<(MachineSpec, u32)> {
+        // (machine, procs used in the Table 6 run).
+        vec![
+            (Self::asci_qb(), 3600),
+            (Self::space_simulator(), 288),
+            (Self::ibm_sp3(), 256),
+            (Self::green_destiny(), 212),
+            (Self::origin2000(), 64),
+            (Self::avalon(), 128),
+            (Self::loki(), 16),
+            (Self::loki_hyglac(), 32),
+            (Self::asci_red(), 6800),
+            (Self::cray_t3d(), 256),
+            (Self::cm5(), 512),
+            (Self::intel_delta(), 512),
+        ]
+    }
+
+    /// The paper's measured Mflops/proc for each Table 6 row.
+    pub fn table6_paper_values() -> Vec<(&'static str, f64, f64)> {
+        // (name, total Gflop/s, Mflops/proc)
+        vec![
+            ("ASCI QB", 2793.0, 775.8),
+            ("Space Simulator", 179.7, 623.9),
+            ("IBM SP-3(375/W)", 57.70, 225.0),
+            ("Green Destiny", 38.9, 183.5),
+            ("SGI Origin 2000", 13.10, 205.0),
+            ("Avalon", 16.16, 126.0),
+            ("Loki", 1.28, 80.0),
+            ("Loki+Hyglac", 2.19, 68.4),
+            ("ASCI Red", 464.9, 68.4),
+            ("Cray T3D", 7.94, 31.0),
+            ("TMC CM-5", 14.06, 27.5),
+            ("Intel Delta", 10.02, 19.6),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_has_twelve_machines() {
+        let ms = MachineSpec::table6_machines();
+        assert_eq!(ms.len(), 12);
+        assert_eq!(MachineSpec::table6_paper_values().len(), 12);
+        for ((m, _), (name, _, _)) in ms.iter().zip(MachineSpec::table6_paper_values()) {
+            assert_eq!(m.name, name);
+        }
+    }
+
+    #[test]
+    fn space_simulator_kernel_rate_matches_table5() {
+        let ss = MachineSpec::space_simulator();
+        assert!((ss.cpu.karp_mflops() - 792.6).abs() < 20.0);
+    }
+
+    #[test]
+    fn newer_cpus_are_faster() {
+        let ss = MachineSpec::space_simulator();
+        let loki = MachineSpec::loki();
+        assert!(ss.cpu.best_mflops() > 5.0 * loki.cpu.best_mflops());
+    }
+
+    #[test]
+    fn machine_prices_match_the_boms() {
+        assert_eq!(
+            MachineSpec::space_simulator().price,
+            Some(nodesim::Bom::space_simulator().total())
+        );
+        assert_eq!(
+            MachineSpec::loki().price,
+            Some(nodesim::Bom::loki().total())
+        );
+    }
+}

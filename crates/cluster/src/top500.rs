@@ -1,0 +1,176 @@
+//! TOP500 ranking context and the price/performance milestone.
+//!
+//! "This is the first machine in the TOP500 to surpass Linpack
+//! price/performance of 1 dollar per Mflop/s" — 63.9 ¢/Mflop/s at
+//! 757.1 Gflop/s against the $483,855 total.
+
+/// Anchor points (rank, Gflop/s) from the 20th (November 2002) list.
+const LIST_NOV_2002: &[(u32, f64)] = &[
+    (1, 35_860.0), // Earth Simulator
+    (2, 7_727.0),  // ASCI Q segment
+    (10, 2_916.0),
+    (50, 825.0),
+    (69, 757.0),
+    (85, 665.1), // the Space Simulator
+    (100, 594.0),
+    (500, 195.8),
+];
+
+/// Anchor points from the 21st (June 2003) list.
+const LIST_JUN_2003: &[(u32, f64)] = &[
+    (1, 35_860.0),
+    (2, 13_880.0), // ASCI Q combined
+    (10, 3_337.0),
+    (50, 1_166.0),
+    (88, 757.1), // the Space Simulator
+    (100, 730.0),
+    (500, 245.1),
+];
+
+/// Which list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum List {
+    Nov2002,
+    Jun2003,
+}
+
+fn anchors(list: List) -> &'static [(u32, f64)] {
+    match list {
+        List::Nov2002 => LIST_NOV_2002,
+        List::Jun2003 => LIST_JUN_2003,
+    }
+}
+
+/// Rank a Linpack score on a list (log-interpolated between anchors).
+pub fn rank(list: List, gflops: f64) -> u32 {
+    let a = anchors(list);
+    if gflops >= a[0].1 {
+        return 1;
+    }
+    if gflops <= a.last().unwrap().1 {
+        return a.last().unwrap().0;
+    }
+    for w in a.windows(2) {
+        let (r0, g0) = w[0];
+        let (r1, g1) = w[1];
+        if gflops <= g0 && gflops >= g1 {
+            // Interpolate rank in log-performance space.
+            let f = (g0.ln() - gflops.ln()) / (g0.ln() - g1.ln());
+            return (r0 as f64 + f * (r1 - r0) as f64).round() as u32;
+        }
+    }
+    a.last().unwrap().0
+}
+
+/// Dollars per Mflop/s.
+pub fn dollars_per_mflops(price: f64, gflops: f64) -> f64 {
+    price / (gflops * 1000.0)
+}
+
+/// Representative price/performance of contemporary TOP500 machines
+/// (price estimates in $M, Linpack in Gflop/s) — the field the Space
+/// Simulator beat to the $1/Mflops line.
+pub fn contemporaries() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("Earth Simulator", 350.0e6, 35_860.0),
+        ("ASCI Q", 215.0e6, 13_880.0),
+        ("ASCI White", 110.0e6, 7_226.0),
+        ("Linux NetworX MCR", 10.0e6, 5_694.0),
+        ("Space Simulator", 483_855.0, 757.1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_paper_ranks_reproduce() {
+        assert_eq!(rank(List::Nov2002, 665.1), 85);
+        assert_eq!(rank(List::Jun2003, 757.1), 88);
+        // "that performance would have ranked the Space Simulator at
+        // #69 on the 20th TOP500 list".
+        assert_eq!(rank(List::Nov2002, 757.1), 69);
+    }
+
+    #[test]
+    fn rank_one_needs_earth_simulator_class_performance() {
+        assert_eq!(rank(List::Nov2002, 40_000.0), 1);
+        assert!(rank(List::Nov2002, 1_000.0) > 10);
+    }
+
+    #[test]
+    fn price_performance_milestone() {
+        let d = dollars_per_mflops(483_855.0, 757.1);
+        assert!((d - 0.639).abs() < 0.002, "got {d}");
+        // Everyone else on the contemporaries list is over $1/Mflops.
+        for (name, price, gflops) in contemporaries() {
+            let dpm = dollars_per_mflops(price, gflops);
+            if name == "Space Simulator" {
+                assert!(dpm < 1.0);
+            } else {
+                assert!(dpm > 1.0, "{name}: {dpm}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_monotone_in_performance() {
+        let mut last = u32::MAX;
+        for g in [200.0, 400.0, 665.1, 757.1, 2000.0, 10_000.0, 40_000.0] {
+            let r = rank(List::Nov2002, g);
+            assert!(r <= last, "rank not monotone at {g}");
+            last = r;
+        }
+    }
+}
+
+/// The cluster lineage of §1: Loki (1996, Gordon Bell
+/// price/performance), Avalon (1998, Gordon Bell + TOP500 #113), the
+/// Space Simulator (2003, TOP500 #85). `(name, year, price, Gflop/s)`
+/// on the group's N-body code.
+pub fn lineage() -> Vec<(&'static str, u32, f64, f64)> {
+    vec![
+        ("Loki", 1996, 51_379.0, 1.28),
+        ("Avalon", 1998, 300_000.0, 16.16),
+        ("Space Simulator", 2003, 483_855.0, 179.7),
+    ]
+}
+
+#[cfg(test)]
+mod lineage_tests {
+    use super::*;
+
+    #[test]
+    fn price_performance_improves_close_to_moores_law() {
+        // §5: "the overall price/performance improvement that clusters
+        // have obtained over the past six years has not differed much
+        // from Moore's Law": Loki -> SS is x140 performance at x9.4 the
+        // price, vs x150 from 16x Moore x 9.4.
+        let l = lineage();
+        let (_, _, loki_price, loki_gf) = l[0];
+        let (_, _, ss_price, ss_gf) = l[2];
+        let perf_ratio = ss_gf / loki_gf;
+        assert!((perf_ratio - 140.0).abs() < 5.0, "perf ratio {perf_ratio}");
+        let price_ratio = ss_price / loki_price;
+        let moore = nodesim::bom::moores_law_factor(6.0) * price_ratio;
+        assert!(
+            (perf_ratio / moore - 1.0).abs() < 0.15,
+            "perf {perf_ratio} vs Moore-scaled {moore}"
+        );
+    }
+
+    #[test]
+    fn dollars_per_mflops_fall_monotonically() {
+        let mut last = f64::INFINITY;
+        for (name, _, price, gf) in lineage() {
+            let dpm = dollars_per_mflops(price, gf);
+            assert!(dpm < last, "{name}: {dpm} not below {last}");
+            last = dpm;
+        }
+        // Loki's N-body price/performance was ~$40/Mflops; the paper's
+        // SC'97 entry quotes $50/Mflops for Loki+Hyglac on ASCI Red-era
+        // hardware.
+        assert!(last < 3.0, "SS N-body $/Mflops {last}");
+    }
+}

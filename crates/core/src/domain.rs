@@ -1,0 +1,203 @@
+//! Work-weighted domain decomposition over Morton keys (§4.2).
+//!
+//! "The domain decomposition is obtained by splitting this list into N_p
+//! pieces ... practically identical to a parallel sorting algorithm, with
+//! the modification that the amount of data that ends up in each processor
+//! is weighted by the work associated with each item."
+//!
+//! Each body carries a `work` estimate (interactions from the previous
+//! traversal, or 1.0 initially); the sample sort balances summed work.
+//! The resulting per-rank key ranges drive ownership queries during the
+//! distributed traversal.
+
+use crate::morton::{BBox, Key};
+use crate::tree::Body;
+use msg::Comm;
+
+impl msg::payload::FixedWire for Body {
+    // pos + vel + mass + id + work
+    const WIRE: usize = 3 * 8 + 3 * 8 + 8 + 8 + 8;
+}
+
+/// Who owns which part of the key space after decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Global bounding box (identical on all ranks).
+    pub bbox: BBox,
+    /// Per-rank `(first, last)` full-depth body keys; `None` for ranks
+    /// that ended up with no bodies.
+    pub ranges: Vec<Option<(u64, u64)>>,
+}
+
+impl Decomposition {
+    /// All ranks whose bodies could fall inside `cell`'s key range.
+    pub fn owners_of(&self, cell: Key) -> Vec<usize> {
+        let (lo, hi) = cell.key_range();
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(r, range)| {
+                range.and_then(|(first, last)| (first <= hi.0 && last >= lo.0).then_some(r))
+            })
+            .collect()
+    }
+
+    /// Is `rank` the only possible owner of `cell`?
+    pub fn purely_local(&self, cell: Key, rank: usize) -> bool {
+        let owners = self.owners_of(cell);
+        owners.len() == 1 && owners[0] == rank
+    }
+
+    /// Total ranks holding at least one body.
+    pub fn populated_ranks(&self) -> usize {
+        self.ranges.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Decompose `bodies` across the world: returns this rank's shard (sorted
+/// by key, work-balanced) and the global decomposition map.
+pub fn decompose(comm: &mut Comm, bodies: Vec<Body>) -> (Vec<Body>, Decomposition) {
+    // Global bounding box (min/max reduction, same construction as the
+    // serial BBox::enclosing so serial and parallel agree bitwise).
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for b in &bodies {
+        for d in 0..3 {
+            lo[d] = lo[d].min(b.pos[d]);
+            hi[d] = hi[d].max(b.pos[d]);
+        }
+    }
+    let lo = comm.allreduce(lo.to_vec(), |a, b| {
+        a.iter().zip(b).map(|(x, y)| x.min(*y)).collect()
+    });
+    let hi = comm.allreduce(hi.to_vec(), |a, b| {
+        a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+    });
+    assert!(lo[0].is_finite(), "decompose: no bodies anywhere");
+    let bbox = BBox::from_lo_hi([lo[0], lo[1], lo[2]], [hi[0], hi[1], hi[2]]);
+
+    let shard = msg::sort::sample_sort_weighted(
+        comm,
+        bodies,
+        |b| bbox.key_of(b.pos).0,
+        |b| b.work.max(1e-9),
+        64,
+    );
+
+    // Publish each rank's key range.
+    let my_range: Vec<u64> = if shard.is_empty() {
+        Vec::new()
+    } else {
+        vec![
+            bbox.key_of(shard[0].pos).0,
+            bbox.key_of(shard[shard.len() - 1].pos).0,
+        ]
+    };
+    let all = comm.allgather(my_range);
+    let ranges = all
+        .into_iter()
+        .map(|r| (!r.is_empty()).then(|| (r[0], r[1])))
+        .collect();
+    (shard, Decomposition { bbox, ranges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::plummer;
+
+    fn split(bodies: &[Body], nranks: usize, rank: usize) -> Vec<Body> {
+        bodies
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % nranks == rank)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+
+    #[test]
+    fn decomposition_preserves_bodies_and_orders_keys() {
+        let all = plummer(400, 31);
+        let nranks = 4;
+        let shards = msg::run(nranks, |c| {
+            let mine = split(&all, nranks, c.rank());
+            decompose(c, mine)
+        });
+        let total: usize = shards.iter().map(|(s, _)| s.len()).sum();
+        assert_eq!(total, 400);
+        // Identical decomposition map on all ranks.
+        for (_, d) in &shards[1..] {
+            assert_eq!(d, &shards[0].1);
+        }
+        // Keys are globally ordered across ranks.
+        let bbox = shards[0].1.bbox;
+        let mut last = 0u64;
+        for (s, _) in &shards {
+            for b in s {
+                let k = bbox.key_of(b.pos).0;
+                assert!(k >= last, "key order violated");
+                last = k;
+            }
+        }
+    }
+
+    #[test]
+    fn work_weighting_shifts_boundaries() {
+        let mut all = plummer(600, 17);
+        // Make bodies in the +x half 9x more expensive.
+        for b in &mut all {
+            b.work = if b.pos[0] > 0.0 { 9.0 } else { 1.0 };
+        }
+        let nranks = 2;
+        let shards = msg::run(nranks, |c| {
+            let mine = split(&all, nranks, c.rank());
+            decompose(c, mine)
+        });
+        let work_of = |s: &[Body]| -> f64 { s.iter().map(|b| b.work).sum() };
+        let w: Vec<f64> = shards.iter().map(|(s, _)| work_of(s)).collect();
+        let frac = w[0] / (w[0] + w[1]);
+        assert!((frac - 0.5).abs() < 0.15, "work split {frac}");
+    }
+
+    #[test]
+    fn owners_cover_every_cell() {
+        let all = plummer(200, 23);
+        let nranks = 3;
+        let results = msg::run(nranks, |c| {
+            let mine = split(&all, nranks, c.rank());
+            let (shard, d) = decompose(c, mine);
+            // The root must be owned by every populated rank.
+            let root_owners = d.owners_of(Key::ROOT);
+            assert_eq!(root_owners.len(), d.populated_ranks());
+            // Every local body's leaf-level key has this rank among its
+            // owners.
+            for b in &shard {
+                let k = d.bbox.key_of(b.pos);
+                assert!(
+                    d.owners_of(k).contains(&c.rank()),
+                    "rank {} missing from owners of its own body",
+                    c.rank()
+                );
+            }
+            shard.len()
+        });
+        assert_eq!(results.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn purely_local_detects_interior_cells() {
+        let all = plummer(300, 41);
+        msg::run(2, |c| {
+            let mine = split(&all, 2, c.rank());
+            let (shard, d) = decompose(c, mine);
+            if shard.len() > 10 {
+                // A deep cell around the shard's middle body should be
+                // purely local.
+                let mid = d.bbox.key_of(shard[shard.len() / 2].pos);
+                let deep = mid.ancestor_at(15);
+                let owners = d.owners_of(deep);
+                assert!(owners.contains(&c.rank()));
+            }
+        });
+    }
+}

@@ -1,0 +1,435 @@
+//! Gravity kernels: softened P2P, multipole evaluation, and the Karp
+//! reciprocal square root.
+//!
+//! The paper's micro-kernel benchmark (§3.6, Table 5) compares the math
+//! library's `sqrt` against "an optimization by Karp, which decomposes the
+//! reciprocal square root into a table lookup, Chebyshev interpolation and
+//! Newton-Raphson iteration, which uses only adds and multiplies".
+//! [`karp_rsqrt`] implements exactly that decomposition.
+
+use crate::multipole::Multipole;
+use std::sync::OnceLock;
+
+/// Flops charged per P2P interaction (the community convention used by
+/// the paper's Mflop/s figures).
+pub const P2P_FLOPS: f64 = 38.0;
+/// Flops charged per monopole cell interaction.
+pub const M2P_MONO_FLOPS: f64 = 38.0;
+/// Flops charged per quadrupole cell interaction.
+pub const M2P_QUAD_FLOPS: f64 = 92.0;
+
+/// Acceleration and potential on one body.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Accel {
+    pub acc: [f64; 3],
+    pub pot: f64,
+}
+
+impl Accel {
+    pub fn add(&mut self, o: &Accel) {
+        for d in 0..3 {
+            self.acc[d] += o.acc[d];
+        }
+        self.pot += o.pot;
+    }
+
+    pub fn norm(&self) -> f64 {
+        (self.acc[0] * self.acc[0] + self.acc[1] * self.acc[1] + self.acc[2] * self.acc[2]).sqrt()
+    }
+}
+
+/// Which multipole acceptance criterion to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MacKind {
+    /// Barnes–Hut geometric: accept when `cell side / distance < θ`.
+    BarnesHut,
+    /// Warren–Salmon style: accept when `2·bmax / distance < θ` — adapts
+    /// to the actual mass distribution inside the cell.
+    BmaxMac,
+}
+
+/// Configuration of a gravity calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GravityConfig {
+    /// Opening angle; smaller = more accurate, more work.
+    pub theta: f64,
+    /// Plummer softening length.
+    pub eps: f64,
+    /// Max bodies in a leaf cell.
+    pub leaf_max: usize,
+    /// Evaluate cell quadrupoles (vs monopole only).
+    pub quadrupole: bool,
+    pub mac: MacKind,
+    /// Periodic box side length; forces use the nearest image of each
+    /// cell/body (a minimum-image approximation to Ewald summation,
+    /// adequate for theta <= 0.7 — see DESIGN.md).
+    pub periodic: Option<f64>,
+}
+
+impl Default for GravityConfig {
+    fn default() -> Self {
+        GravityConfig {
+            theta: 0.6,
+            eps: 0.0,
+            leaf_max: 8,
+            quadrupole: true,
+            mac: MacKind::BarnesHut,
+            periodic: None,
+        }
+    }
+}
+
+/// Nearest periodic image of `pos` relative to `target` in a box of
+/// side `l` (component-wise minimum image).
+#[inline]
+pub fn nearest_image(target: [f64; 3], pos: [f64; 3], l: f64) -> [f64; 3] {
+    let mut out = pos;
+    for d in 0..3 {
+        let mut dx = pos[d] - target[d];
+        if dx > 0.5 * l {
+            dx -= l;
+        } else if dx < -0.5 * l {
+            dx += l;
+        }
+        out[d] = target[d] + dx;
+    }
+    out
+}
+
+/// Softened point-mass (P2P) interaction of a source at `sp` with mass
+/// `sm` on a target at `tp`. G = 1.
+#[inline]
+pub fn p2p(tp: [f64; 3], sp: [f64; 3], sm: f64, eps2: f64, out: &mut Accel) {
+    let dx = sp[0] - tp[0];
+    let dy = sp[1] - tp[1];
+    let dz = sp[2] - tp[2];
+    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+    let rinv = 1.0 / r2.sqrt();
+    let rinv3 = rinv * rinv * rinv;
+    out.acc[0] += sm * dx * rinv3;
+    out.acc[1] += sm * dy * rinv3;
+    out.acc[2] += sm * dz * rinv3;
+    out.pot -= sm * rinv;
+}
+
+/// P2P using [`karp_rsqrt`] instead of the library sqrt — the inner loop
+/// of the paper's Table 5 "Karp" column.
+#[inline]
+pub fn p2p_karp(tp: [f64; 3], sp: [f64; 3], sm: f64, eps2: f64, out: &mut Accel) {
+    let dx = sp[0] - tp[0];
+    let dy = sp[1] - tp[1];
+    let dz = sp[2] - tp[2];
+    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+    let rinv = karp_rsqrt(r2);
+    let rinv3 = rinv * rinv * rinv;
+    out.acc[0] += sm * dx * rinv3;
+    out.acc[1] += sm * dy * rinv3;
+    out.acc[2] += sm * dz * rinv3;
+    out.pot -= sm * rinv;
+}
+
+/// Cell–particle (M2P) interaction: monopole plus, optionally, the
+/// traceless quadrupole. Softening applies to the monopole term (the
+/// quadrupole only matters in the far field where softening is
+/// negligible).
+#[inline]
+pub fn m2p(tp: [f64; 3], mom: &Multipole, eps2: f64, quadrupole: bool, out: &mut Accel) {
+    let dx = mom.com[0] - tp[0];
+    let dy = mom.com[1] - tp[1];
+    let dz = mom.com[2] - tp[2];
+    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+    let rinv = 1.0 / r2.sqrt();
+    let rinv2 = rinv * rinv;
+    let rinv3 = rinv * rinv2;
+    out.acc[0] += mom.mass * dx * rinv3;
+    out.acc[1] += mom.mass * dy * rinv3;
+    out.acc[2] += mom.mass * dz * rinv3;
+    out.pot -= mom.mass * rinv;
+    if quadrupole {
+        // r points from target to com; the expansion is in x = tp − com,
+        // but Q is symmetric in x → −x, so we can use r directly.
+        let q = &mom.quad;
+        let qr = [
+            q[0] * dx + q[3] * dy + q[4] * dz,
+            q[3] * dx + q[1] * dy + q[5] * dz,
+            q[4] * dx + q[5] * dy + q[2] * dz,
+        ];
+        let rqr = qr[0] * dx + qr[1] * dy + qr[2] * dz;
+        let rinv5 = rinv3 * rinv2;
+        let rinv7 = rinv5 * rinv2;
+        // φ = −m/R − RᵀQR/(2R⁵) with R = tp − com = −d; a = −∇_tp φ
+        //   = QR/R⁵ − (5/2)(RᵀQR)R/R⁷ = −Qd/R⁵ + (5/2)(dᵀQd)d/R⁷.
+        out.pot -= 0.5 * rqr * rinv5;
+        out.acc[0] += -qr[0] * rinv5 + 2.5 * rqr * dx * rinv7;
+        out.acc[1] += -qr[1] * rinv5 + 2.5 * rqr * dy * rinv7;
+        out.acc[2] += -qr[2] * rinv5 + 2.5 * rqr * dz * rinv7;
+    }
+}
+
+const KARP_BITS: usize = 8;
+const KARP_SIZE: usize = 1 << KARP_BITS;
+
+struct KarpTables {
+    /// Linear fit y ≈ a + b·t per interval, for f in [1,2) and [2,4).
+    a: [f64; 2 * KARP_SIZE],
+    b: [f64; 2 * KARP_SIZE],
+}
+
+fn karp_tables() -> &'static KarpTables {
+    static TABLES: OnceLock<KarpTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut a = [0.0; 2 * KARP_SIZE];
+        let mut b = [0.0; 2 * KARP_SIZE];
+        // Interval i of half h (h=0: f in [1,2); h=1: f in [2,4)) covers
+        // f0 .. f0 + df. Chebyshev-flavoured linear fit: interpolate the
+        // endpoints, which for 512 intervals leaves a ~1e-6 max error,
+        // then one Newton step reaches ~1e-12.
+        for h in 0..2 {
+            let base = 1.0 * (1 << h) as f64;
+            let df = base / KARP_SIZE as f64;
+            for i in 0..KARP_SIZE {
+                let f0 = base + i as f64 * df;
+                let f1 = f0 + df;
+                let y0 = 1.0 / f0.sqrt();
+                let y1 = 1.0 / f1.sqrt();
+                let idx = h * KARP_SIZE + i;
+                b[idx] = (y1 - y0) / df;
+                a[idx] = y0 - b[idx] * f0;
+            }
+        }
+        KarpTables { a, b }
+    })
+}
+
+/// Karp's reciprocal square root: table lookup + linear (Chebyshev)
+/// interpolation + one Newton–Raphson iteration — adds and multiplies
+/// only after the initial bit extraction. Relative error < 1e-11 over the
+/// full positive range.
+#[inline]
+pub fn karp_rsqrt(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023; // unbiased exponent
+                                                    // Split x = 2^(2k) · f with f in [1,4): k = floor(exp/2).
+    let k = exp >> 1; // arithmetic shift: floor for negatives
+    let h = (exp - 2 * k) as usize; // 0 → f in [1,2), 1 → f in [2,4)
+                                    // f's mantissa: force exponent to 1023 + h.
+    let fbits = (bits & 0x000f_ffff_ffff_ffff) | (((1023 + h as u64) & 0x7ff) << 52);
+    let f = f64::from_bits(fbits);
+    // Table index: top mantissa bits.
+    let idx = h * KARP_SIZE + ((bits >> (52 - KARP_BITS)) & (KARP_SIZE as u64 - 1)) as usize;
+    let t = karp_tables();
+    let y0 = t.a[idx] + t.b[idx] * f;
+    // One Newton–Raphson step: y ← y(1.5 − 0.5 f y²).
+    let y = y0 * (1.5 - 0.5 * f * y0 * y0);
+    let y = y * (1.5 - 0.5 * f * y * y);
+    // Scale by 2^(−k).
+    let scale = f64::from_bits(((1023 - k) as u64) << 52);
+    y * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn karp_rsqrt_accuracy_across_magnitudes() {
+        for &x in &[
+            1.0, 2.0, 3.0, 4.0, 0.5, 0.25, 1e-12, 1e12, 7.389, 1e-300, 1e300, 1.0000001,
+        ] {
+            let got = karp_rsqrt(x);
+            let want = 1.0 / x.sqrt();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-11, "x={x}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn p2p_matches_newton_for_two_bodies() {
+        let mut out = Accel::default();
+        p2p([0.0; 3], [2.0, 0.0, 0.0], 8.0, 0.0, &mut out);
+        // a = m/r² toward the source = 8/4 = 2 in +x.
+        assert!((out.acc[0] - 2.0).abs() < 1e-14);
+        assert_eq!(out.acc[1], 0.0);
+        assert!((out.pot + 4.0).abs() < 1e-14); // φ = −m/r = −4
+    }
+
+    #[test]
+    fn softening_caps_close_encounters() {
+        let mut hard = Accel::default();
+        let mut soft = Accel::default();
+        p2p([0.0; 3], [1e-6, 0.0, 0.0], 1.0, 0.0, &mut hard);
+        p2p([0.0; 3], [1e-6, 0.0, 0.0], 1.0, 0.01, &mut soft);
+        assert!(hard.acc[0] > 1e11);
+        assert!(soft.acc[0] < 1.0);
+    }
+
+    #[test]
+    fn p2p_karp_agrees_with_p2p() {
+        let mut a = Accel::default();
+        let mut b = Accel::default();
+        p2p([0.1, 0.2, 0.3], [1.0, -2.0, 0.5], 3.0, 0.01, &mut a);
+        p2p_karp([0.1, 0.2, 0.3], [1.0, -2.0, 0.5], 3.0, 0.01, &mut b);
+        for d in 0..3 {
+            assert!((a.acc[d] - b.acc[d]).abs() < 1e-9 * a.norm());
+        }
+        assert!((a.pot - b.pot).abs() < 1e-9 * a.pot.abs());
+    }
+
+    #[test]
+    fn m2p_monopole_equals_p2p_of_com() {
+        let mom = Multipole {
+            mass: 5.0,
+            com: [3.0, 1.0, -2.0],
+            quad: [0.0; 6],
+            bmax: 0.0,
+        };
+        let mut a = Accel::default();
+        let mut b = Accel::default();
+        m2p([0.0; 3], &mom, 0.0, true, &mut a);
+        p2p([0.0; 3], mom.com, mom.mass, 0.0, &mut b);
+        for d in 0..3 {
+            assert!((a.acc[d] - b.acc[d]).abs() < 1e-14);
+        }
+        assert!((a.pot - b.pot).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quadrupole_improves_far_field() {
+        // A dumbbell seen from afar: quadrupole correction must shrink
+        // the error vs the exact pairwise force.
+        let bodies = [([1.0, 0.0, 0.0], 1.0), ([-1.0, 0.0, 0.0], 1.0)];
+        let mom = Multipole::from_bodies(bodies.iter().map(|(p, m)| (p, *m)));
+        let target = [10.0, 4.0, 0.0];
+        let mut exact = Accel::default();
+        for (p, m) in &bodies {
+            p2p(target, *p, *m, 0.0, &mut exact);
+        }
+        let mut mono = Accel::default();
+        m2p(target, &mom, 0.0, false, &mut mono);
+        let mut quad = Accel::default();
+        m2p(target, &mom, 0.0, true, &mut quad);
+        let err = |a: &Accel| {
+            let mut e = 0.0;
+            for d in 0..3 {
+                e += (a.acc[d] - exact.acc[d]).powi(2);
+            }
+            e.sqrt() / exact.norm()
+        };
+        assert!(
+            err(&quad) < err(&mono) * 0.3,
+            "mono {} quad {}",
+            err(&mono),
+            err(&quad)
+        );
+        let pot_err_mono = (mono.pot - exact.pot).abs();
+        let pot_err_quad = (quad.pot - exact.pot).abs();
+        assert!(pot_err_quad < pot_err_mono * 0.3);
+    }
+
+    #[test]
+    fn accel_add_accumulates() {
+        let mut a = Accel {
+            acc: [1.0, 2.0, 3.0],
+            pot: -1.0,
+        };
+        a.add(&Accel {
+            acc: [0.5, 0.5, 0.5],
+            pot: -0.5,
+        });
+        assert_eq!(a.acc, [1.5, 2.5, 3.5]);
+        assert_eq!(a.pot, -1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_karp_rsqrt_accurate(x in 1e-30f64..1e30) {
+            let got = karp_rsqrt(x);
+            let want = 1.0 / x.sqrt();
+            prop_assert!(((got - want) / want).abs() < 1e-11);
+        }
+
+        #[test]
+        fn prop_p2p_antisymmetric(px in -5.0f64..5.0, py in -5.0f64..5.0, pz in -5.0f64..5.0) {
+            // Force of A on B equals minus force of B on A (equal masses).
+            prop_assume!(px * px + py * py + pz * pz > 1e-4);
+            let a_pos = [0.0; 3];
+            let b_pos = [px, py, pz];
+            let mut on_a = Accel::default();
+            let mut on_b = Accel::default();
+            p2p(a_pos, b_pos, 1.0, 0.0, &mut on_a);
+            p2p(b_pos, a_pos, 1.0, 0.0, &mut on_b);
+            for d in 0..3 {
+                prop_assert!((on_a.acc[d] + on_b.acc[d]).abs() < 1e-12 * (on_a.norm() + 1.0));
+            }
+        }
+    }
+}
+
+/// Four P2P interactions per call with the Karp reciprocal square root —
+/// the structure the paper's conclusion anticipates hand-coding with SSE
+/// ("we hope to be able to reach 2x higher performance"): four
+/// independent interaction chains expose the instruction-level
+/// parallelism a 2-wide SIMD unit (or a modern autovectorizer) needs.
+#[inline]
+pub fn p2p_batch4(tp: [f64; 3], sp: &[[f64; 3]; 4], sm: &[f64; 4], eps2: f64, out: &mut Accel) {
+    let mut dx = [0.0; 4];
+    let mut dy = [0.0; 4];
+    let mut dz = [0.0; 4];
+    let mut r2 = [0.0; 4];
+    for l in 0..4 {
+        dx[l] = sp[l][0] - tp[0];
+        dy[l] = sp[l][1] - tp[1];
+        dz[l] = sp[l][2] - tp[2];
+        r2[l] = dx[l] * dx[l] + dy[l] * dy[l] + dz[l] * dz[l] + eps2;
+    }
+    let rinv = [
+        karp_rsqrt(r2[0]),
+        karp_rsqrt(r2[1]),
+        karp_rsqrt(r2[2]),
+        karp_rsqrt(r2[3]),
+    ];
+    let mut ax = 0.0;
+    let mut ay = 0.0;
+    let mut az = 0.0;
+    let mut pot = 0.0;
+    for l in 0..4 {
+        let rinv3 = rinv[l] * rinv[l] * rinv[l];
+        ax += sm[l] * dx[l] * rinv3;
+        ay += sm[l] * dy[l] * rinv3;
+        az += sm[l] * dz[l] * rinv3;
+        pot -= sm[l] * rinv[l];
+    }
+    out.acc[0] += ax;
+    out.acc[1] += ay;
+    out.acc[2] += az;
+    out.pot += pot;
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batch4_matches_four_scalar_calls() {
+        let tp = [0.1, -0.2, 0.3];
+        let sp = [
+            [1.0, 0.0, 0.0],
+            [-0.5, 0.7, 0.2],
+            [0.0, -1.2, 0.4],
+            [2.0, 2.0, -1.0],
+        ];
+        let sm = [1.0, 0.5, 2.0, 0.25];
+        let mut batched = Accel::default();
+        p2p_batch4(tp, &sp, &sm, 0.01, &mut batched);
+        let mut scalar = Accel::default();
+        for l in 0..4 {
+            p2p_karp(tp, sp[l], sm[l], 0.01, &mut scalar);
+        }
+        for d in 0..3 {
+            assert!((batched.acc[d] - scalar.acc[d]).abs() < 1e-12 * (1.0 + scalar.norm()));
+        }
+        assert!((batched.pot - scalar.pot).abs() < 1e-12 * scalar.pot.abs());
+    }
+}

@@ -1,0 +1,193 @@
+//! The "H" of HOT: an open-addressing hash table from keys to cell slots.
+//!
+//! "A hash table is used in order to translate the key into a pointer to
+//! the location where the cell data are stored. This level of indirection
+//! through a hash table can also be used to catch accesses to non-local
+//! data" (§4.2). Keys are never 0 (the root is `1`), so 0 marks an empty
+//! slot; linear probing with a Fibonacci hash keeps lookups to a couple of
+//! cache lines.
+
+use crate::morton::Key;
+
+/// Open-addressing `Key → u32` map. No deletion (trees are rebuilt, not
+/// edited — matching the treecode's per-timestep rebuild).
+#[derive(Debug, Clone)]
+pub struct KeyMap {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+    mask: usize,
+}
+
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl KeyMap {
+    /// Create with capacity for at least `expected` entries without
+    /// rehashing.
+    pub fn with_capacity(expected: usize) -> Self {
+        let slots = (expected.max(8) * 2).next_power_of_two();
+        KeyMap {
+            keys: vec![0; slots],
+            vals: vec![0; slots],
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> 32) as usize & self.mask
+    }
+
+    /// Insert or replace; returns the previous value if the key was
+    /// present.
+    pub fn insert(&mut self, key: Key, val: u32) -> Option<u32> {
+        debug_assert!(key.0 != 0, "key 0 is reserved");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot_of(key.0);
+        loop {
+            if self.keys[i] == 0 {
+                self.keys[i] = key.0;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            if self.keys[i] == key.0 {
+                let old = self.vals[i];
+                self.vals[i] = val;
+                return Some(old);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Look up a key.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<u32> {
+        let mut i = self.slot_of(key.0);
+        loop {
+            let k = self.keys[i];
+            if k == key.0 {
+                return Some(self.vals[i]);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                self.insert(Key(k), v);
+            }
+        }
+    }
+
+    /// Iterate over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != 0)
+            .map(|(&k, &v)| (Key(k), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut m = KeyMap::with_capacity(4);
+        assert_eq!(m.insert(Key(1), 10), None);
+        assert_eq!(m.get(Key(1)), Some(10));
+        assert_eq!(m.insert(Key(1), 20), Some(10));
+        assert_eq!(m.get(Key(1)), Some(20));
+        assert_eq!(m.get(Key(2)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = KeyMap::with_capacity(2);
+        for i in 1..=1000u64 {
+            m.insert(Key(i), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 1..=1000u64 {
+            assert_eq!(m.get(Key(i)), Some(i as u32), "key {i}");
+        }
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = KeyMap::with_capacity(0);
+        assert!(m.is_empty());
+        assert_eq!(m.get(Key(42)), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut m = KeyMap::with_capacity(8);
+        for i in 1..=50u64 {
+            m.insert(Key(i * 7), (i * 3) as u32);
+        }
+        let mut got: Vec<(u64, u32)> = m.iter().map(|(k, v)| (k.0, v)).collect();
+        got.sort_unstable();
+        let expect: Vec<(u64, u32)> = (1..=50u64).map(|i| (i * 7, (i * 3) as u32)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn adversarial_keys_with_same_low_bits() {
+        // Keys differing only above bit 32 would collide in a low-bits
+        // hash; the Fibonacci multiplier must spread them.
+        let mut m = KeyMap::with_capacity(16);
+        for i in 1..=64u64 {
+            m.insert(Key(i << 40), i as u32);
+        }
+        for i in 1..=64u64 {
+            assert_eq!(m.get(Key(i << 40)), Some(i as u32));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_behaves_like_std_hashmap(ops in proptest::collection::vec((1u64..5000, 0u32..100), 1..500)) {
+            let mut m = KeyMap::with_capacity(4);
+            let mut reference = HashMap::new();
+            for (k, v) in ops {
+                prop_assert_eq!(m.insert(Key(k), v), reference.insert(k, v));
+            }
+            prop_assert_eq!(m.len(), reference.len());
+            for (&k, &v) in &reference {
+                prop_assert_eq!(m.get(Key(k)), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Morton (Z-order) keys with the Warren–Salmon level prefix.
+//!
+//! A body's key interleaves the bits of its three integer grid
+//! coordinates, "mapping the points in 3-dimensional space to a
+//! 1-dimensional list, while maintaining as much spatial locality as
+//! possible" (§4.2). A leading 1 bit ("placeholder") makes keys
+//! self-describing: the bit length encodes the tree level, so the key of a
+//! parent, daughter or boundary cell is computed with shifts alone:
+//!
+//! * root key = `1`;
+//! * `parent(k) = k >> 3`;
+//! * `child(k, i) = (k << 3) | i` for octant `i` in `0..8`.
+//!
+//! Keys use 1 + 3×21 = 64 bits: 21 bits of grid resolution per dimension.
+
+/// Maximum tree depth (bits of grid resolution per dimension).
+pub const MAX_LEVEL: u32 = 21;
+
+/// A Warren–Salmon Morton key. The all-zero value is invalid (the root is
+/// `Key(1)`), which lets hash tables use 0 as the empty slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+/// Spread the low 21 bits of `x` so consecutive bits land 3 apart.
+#[inline]
+pub fn dilate3(x: u32) -> u64 {
+    let mut x = (x as u64) & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`dilate3`]: collect every third bit.
+#[inline]
+pub fn contract3(x: u64) -> u32 {
+    let mut x = x & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+impl Key {
+    /// The root cell's key.
+    pub const ROOT: Key = Key(1);
+
+    /// Key at full depth from integer grid coordinates in `[0, 2^21)`.
+    /// Bit order is (x, y, z) from most to least significant within each
+    /// triple.
+    pub fn from_grid(ix: u32, iy: u32, iz: u32) -> Key {
+        debug_assert!(ix < (1 << MAX_LEVEL) && iy < (1 << MAX_LEVEL) && iz < (1 << MAX_LEVEL));
+        Key((1u64 << 63) | (dilate3(ix) << 2) | (dilate3(iy) << 1) | dilate3(iz))
+    }
+
+    /// Recover the grid coordinates of a full-depth key.
+    pub fn to_grid(self) -> (u32, u32, u32) {
+        debug_assert_eq!(self.level(), MAX_LEVEL);
+        let k = self.0 & !(1u64 << 63);
+        (contract3(k >> 2), contract3(k >> 1), contract3(k))
+    }
+
+    /// Tree level: 0 for the root, [`MAX_LEVEL`] for a full-depth key.
+    #[inline]
+    pub fn level(self) -> u32 {
+        debug_assert!(self.0 != 0, "invalid key 0");
+        (63 - self.0.leading_zeros()) / 3
+    }
+
+    /// Parent cell's key; the root is its own parent's child... don't call
+    /// this on the root.
+    #[inline]
+    pub fn parent(self) -> Key {
+        debug_assert!(self != Key::ROOT, "root has no parent");
+        Key(self.0 >> 3)
+    }
+
+    /// Key of daughter `octant` (0..8).
+    #[inline]
+    pub fn child(self, octant: u8) -> Key {
+        debug_assert!(octant < 8);
+        debug_assert!(self.level() < MAX_LEVEL, "cannot descend below max level");
+        Key((self.0 << 3) | octant as u64)
+    }
+
+    /// Which octant of its parent this key occupies.
+    #[inline]
+    pub fn octant(self) -> u8 {
+        (self.0 & 7) as u8
+    }
+
+    /// The ancestor of this key at `level` (≤ its own level).
+    #[inline]
+    pub fn ancestor_at(self, level: u32) -> Key {
+        let own = self.level();
+        debug_assert!(level <= own);
+        Key(self.0 >> (3 * (own - level)))
+    }
+
+    /// Does `self` (an ancestor-level key) contain `other`?
+    #[inline]
+    pub fn contains(self, other: Key) -> bool {
+        let ls = self.level();
+        let lo = other.level();
+        lo >= ls && other.ancestor_at(ls) == self
+    }
+
+    /// Smallest and largest full-depth keys inside this cell.
+    pub fn key_range(self) -> (Key, Key) {
+        let shift = 3 * (MAX_LEVEL - self.level());
+        let lo = self.0 << shift;
+        let hi = lo | ((1u64 << shift) - 1);
+        (Key(lo), Key(hi))
+    }
+}
+
+/// An axis-aligned cubical bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    pub center: [f64; 3],
+    /// Half the side length.
+    pub half: f64,
+}
+
+impl BBox {
+    /// Cube enclosing all points, padded slightly so boundary points map
+    /// strictly inside the grid.
+    pub fn enclosing(points: impl IntoIterator<Item = [f64; 3]>) -> BBox {
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        let mut any = false;
+        for p in points {
+            any = true;
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        assert!(any, "BBox::enclosing of empty set");
+        BBox::from_lo_hi(lo, hi)
+    }
+
+    /// Cube from componentwise bounds (shared by the serial and the
+    /// distributed build so both produce bit-identical boxes).
+    pub fn from_lo_hi(lo: [f64; 3], hi: [f64; 3]) -> BBox {
+        let center = [
+            0.5 * (lo[0] + hi[0]),
+            0.5 * (lo[1] + hi[1]),
+            0.5 * (lo[2] + hi[2]),
+        ];
+        let mut half = 0.0f64;
+        for d in 0..3 {
+            half = half.max(hi[d] - center[d]).max(center[d] - lo[d]);
+        }
+        let half = if half == 0.0 { 1.0 } else { half * 1.000001 };
+        BBox { center, half }
+    }
+
+    /// Merge two boxes into a cube covering both.
+    pub fn union(&self, other: &BBox) -> BBox {
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for d in 0..3 {
+            lo[d] = (self.center[d] - self.half).min(other.center[d] - other.half);
+            hi[d] = (self.center[d] + self.half).max(other.center[d] + other.half);
+        }
+        let center = [
+            0.5 * (lo[0] + hi[0]),
+            0.5 * (lo[1] + hi[1]),
+            0.5 * (lo[2] + hi[2]),
+        ];
+        let half = (0..3).map(|d| hi[d] - center[d]).fold(0.0, f64::max);
+        BBox { center, half }
+    }
+
+    /// Map a position to integer grid coordinates at full depth.
+    #[inline]
+    pub fn grid_coords(&self, p: [f64; 3]) -> (u32, u32, u32) {
+        let scale = (1u64 << MAX_LEVEL) as f64 / (2.0 * self.half);
+        let max = (1u32 << MAX_LEVEL) - 1;
+        let f = |d: usize| -> u32 {
+            let x = (p[d] - (self.center[d] - self.half)) * scale;
+            (x as i64).clamp(0, max as i64) as u32
+        };
+        (f(0), f(1), f(2))
+    }
+
+    /// Full-depth Morton key of a position.
+    #[inline]
+    pub fn key_of(&self, p: [f64; 3]) -> Key {
+        let (ix, iy, iz) = self.grid_coords(p);
+        Key::from_grid(ix, iy, iz)
+    }
+
+    /// Geometric center and half-size of the cell with the given key.
+    pub fn cell_geometry(&self, key: Key) -> ([f64; 3], f64) {
+        let level = key.level();
+        let cell_half = self.half / (1u64 << level) as f64;
+        // Walk down from the root accumulating octant offsets.
+        let mut c = self.center;
+        let mut h = self.half;
+        for l in (0..level).rev() {
+            let oct = (key.0 >> (3 * l)) & 7;
+            h *= 0.5;
+            c[0] += if oct & 4 != 0 { h } else { -h };
+            c[1] += if oct & 2 != 0 { h } else { -h };
+            c[2] += if oct & 1 != 0 { h } else { -h };
+        }
+        (c, cell_half)
+    }
+}
+
+/// 2-D Morton key support for the Figure 6 load-balancing illustration.
+pub mod morton2d {
+    /// Spread the low 16 bits of `x` so consecutive bits land 2 apart.
+    #[inline]
+    pub fn dilate2(x: u32) -> u64 {
+        let mut x = (x as u64) & 0xffff_ffff;
+        x = (x | (x << 16)) & 0x0000ffff0000ffff;
+        x = (x | (x << 8)) & 0x00ff00ff00ff00ff;
+        x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0f;
+        x = (x | (x << 2)) & 0x3333333333333333;
+        x = (x | (x << 1)) & 0x5555555555555555;
+        x
+    }
+
+    /// 2-D Morton key (no level prefix) of a grid point.
+    pub fn key2d(ix: u32, iy: u32) -> u64 {
+        (dilate2(ix) << 1) | dilate2(iy)
+    }
+
+    /// The self-similar space-filling curve of Figure 6 (left): visit the
+    /// cells of a `2^level × 2^level` grid in key order, returning grid
+    /// coordinates in visit order.
+    pub fn curve(level: u32) -> Vec<(u32, u32)> {
+        assert!(level <= 12, "curve of 2^{level} cells per side is too big");
+        let n = 1u32 << level;
+        let mut cells: Vec<(u64, (u32, u32))> = (0..n)
+            .flat_map(|x| (0..n).map(move |y| (key2d(x, y), (x, y))))
+            .collect();
+        cells.sort_by_key(|&(k, _)| k);
+        cells.into_iter().map(|(_, xy)| xy).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn root_properties() {
+        assert_eq!(Key::ROOT.level(), 0);
+        assert_eq!(Key::ROOT.child(0), Key(0b1000));
+        assert_eq!(Key(0b1000).parent(), Key::ROOT);
+        assert_eq!(Key(0b1101).octant(), 5);
+    }
+
+    #[test]
+    fn full_depth_key_level() {
+        let k = Key::from_grid(0, 0, 0);
+        assert_eq!(k.level(), MAX_LEVEL);
+        assert_eq!(k.0, 1u64 << 63);
+        let k = Key::from_grid((1 << 21) - 1, (1 << 21) - 1, (1 << 21) - 1);
+        assert_eq!(k.level(), MAX_LEVEL);
+        assert_eq!(k.0, u64::MAX);
+    }
+
+    #[test]
+    fn grid_round_trip_examples() {
+        for (x, y, z) in [
+            (0, 0, 0),
+            (1, 2, 3),
+            (100_000, 5, 2_000_000),
+            (2_097_151, 0, 77),
+        ] {
+            let k = Key::from_grid(x, y, z);
+            assert_eq!(k.to_grid(), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn ancestor_and_contains() {
+        let k = Key::from_grid(12345, 678, 91011);
+        let a = k.ancestor_at(5);
+        assert_eq!(a.level(), 5);
+        assert!(a.contains(k));
+        assert!(Key::ROOT.contains(k));
+        assert!(!a.child(0).contains(a));
+    }
+
+    #[test]
+    fn key_range_brackets_descendants() {
+        let a = Key::ROOT.child(3).child(5);
+        let (lo, hi) = a.key_range();
+        assert_eq!(lo.level(), MAX_LEVEL);
+        let k = Key::from_grid(0, 0, 0);
+        // Root's range covers everything.
+        let (rlo, rhi) = Key::ROOT.key_range();
+        assert!(rlo.0 <= k.0 && k.0 <= rhi.0);
+        assert!(lo.0 <= hi.0);
+    }
+
+    #[test]
+    fn bbox_maps_extremes_inside() {
+        let b = BBox {
+            center: [0.0; 3],
+            half: 1.0,
+        };
+        let (x0, y0, z0) = b.grid_coords([-1.0, -1.0, -1.0]);
+        let (x1, y1, z1) = b.grid_coords([1.0, 1.0, 1.0]);
+        assert_eq!((x0, y0, z0), (0, 0, 0));
+        let max = (1 << MAX_LEVEL) - 1;
+        assert_eq!((x1, y1, z1), (max, max, max));
+    }
+
+    #[test]
+    fn bbox_enclosing_points() {
+        let b = BBox::enclosing([[0.0, 0.0, 0.0], [2.0, 4.0, 1.0]]);
+        assert!(b.half >= 2.0);
+        assert_eq!(b.center[1], 2.0);
+        // Degenerate single point gets a unit box.
+        let b1 = BBox::enclosing([[5.0, 5.0, 5.0]]);
+        assert_eq!(b1.half, 1.0);
+    }
+
+    #[test]
+    fn cell_geometry_descends_correctly() {
+        let b = BBox {
+            center: [0.0; 3],
+            half: 8.0,
+        };
+        let (c, h) = b.cell_geometry(Key::ROOT);
+        assert_eq!(c, [0.0; 3]);
+        assert_eq!(h, 8.0);
+        // Child 7 = (+x, +y, +z) octant.
+        let (c, h) = b.cell_geometry(Key::ROOT.child(7));
+        assert_eq!(h, 4.0);
+        assert_eq!(c, [4.0, 4.0, 4.0]);
+        // Child 0 of child 7.
+        let (c, h) = b.cell_geometry(Key::ROOT.child(7).child(0));
+        assert_eq!(h, 2.0);
+        assert_eq!(c, [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn key_of_consistent_with_cell_geometry() {
+        let b = BBox {
+            center: [0.5; 3],
+            half: 0.5,
+        };
+        let p = [0.9, 0.1, 0.6];
+        let k = b.key_of(p);
+        // Every ancestor's geometric cell must contain p.
+        for level in 0..=MAX_LEVEL {
+            let a = k.ancestor_at(level);
+            let (c, h) = b.cell_geometry(a);
+            for d in 0..3 {
+                assert!(
+                    (p[d] - c[d]).abs() <= h * 1.0001,
+                    "level {level} dim {d}: p={} c={} h={}",
+                    p[d],
+                    c[d],
+                    h
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn morton_order_preserves_locality_coarsely() {
+        // Points in the same octant of the root share the top key bits.
+        let b = BBox {
+            center: [0.0; 3],
+            half: 1.0,
+        };
+        let k1 = b.key_of([0.5, 0.5, 0.5]);
+        let k2 = b.key_of([0.6, 0.6, 0.6]);
+        let k3 = b.key_of([-0.5, -0.5, -0.5]);
+        assert_eq!(k1.ancestor_at(1), k2.ancestor_at(1));
+        assert_ne!(k1.ancestor_at(1), k3.ancestor_at(1));
+    }
+
+    #[test]
+    fn curve_2d_visits_every_cell_once() {
+        let c = morton2d::curve(3);
+        assert_eq!(c.len(), 64);
+        let mut seen = std::collections::HashSet::new();
+        for xy in &c {
+            assert!(seen.insert(*xy));
+        }
+        // Z-order: consecutive cells are usually adjacent; measure total
+        // Manhattan path length is modest (locality).
+        let total: u32 = c
+            .windows(2)
+            .map(|w| w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1))
+            .sum();
+        assert!(total < 64 * 3, "curve jumps too much: {total}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_grid_round_trip(x in 0u32..1 << 21, y in 0u32..1 << 21, z in 0u32..1 << 21) {
+            let k = Key::from_grid(x, y, z);
+            prop_assert_eq!(k.to_grid(), (x, y, z));
+            prop_assert_eq!(k.level(), MAX_LEVEL);
+        }
+
+        #[test]
+        fn prop_parent_child_inverse(x in 0u32..1 << 21, y in 0u32..1 << 21, z in 0u32..1 << 21, lvl in 1u32..=21) {
+            let k = Key::from_grid(x, y, z).ancestor_at(lvl);
+            prop_assert_eq!(k.parent().child(k.octant()), k);
+            prop_assert_eq!(k.parent().level() + 1, k.level());
+        }
+
+        #[test]
+        fn prop_morton_order_matches_key_order_within_octant(
+            a in 0u32..1 << 20, b in 0u32..1 << 20
+        ) {
+            // Along a single dimension with others fixed, grid order
+            // matches key order at the deepest level where they differ.
+            let k1 = Key::from_grid(a, 0, 0);
+            let k2 = Key::from_grid(b, 0, 0);
+            prop_assert_eq!(a.cmp(&b), k1.0.cmp(&k2.0));
+        }
+
+        #[test]
+        fn prop_contains_is_transitive(x in 0u32..1 << 21, y in 0u32..1 << 21, z in 0u32..1 << 21,
+                                       l1 in 0u32..=21, l2 in 0u32..=21) {
+            let k = Key::from_grid(x, y, z);
+            let (lo, hi) = (l1.min(l2), l1.max(l2));
+            prop_assert!(k.ancestor_at(lo).contains(k.ancestor_at(hi)));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Multipole moments (monopole + traceless quadrupole) and their shifts.
+//!
+//! "Aggregations of bodies at various levels of detail form the internal
+//! nodes of the tree (cells) ... the use of a truncated expansion to
+//! approximate the contribution of many bodies with a single interaction"
+//! (§4.1). We carry mass, center of mass, the traceless quadrupole tensor
+//!
+//! `Q_ij = Σ m (3 x_i x_j − |x|² δ_ij)`  (x relative to the center of mass)
+//!
+//! and `bmax`, the radius of the smallest sphere about the center of mass
+//! containing every body — the quantity the Warren–Salmon error-bound MAC
+//! needs.
+
+/// Moments of one cell. Quadrupole components are stored as
+/// `[Qxx, Qyy, Qzz, Qxy, Qxz, Qyz]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Multipole {
+    pub mass: f64,
+    pub com: [f64; 3],
+    pub quad: [f64; 6],
+    /// Max distance from `com` to any body in the cell (exact for leaves,
+    /// an upper bound for internal cells).
+    pub bmax: f64,
+}
+
+impl Multipole {
+    pub const ZERO: Multipole = Multipole {
+        mass: 0.0,
+        com: [0.0; 3],
+        quad: [0.0; 6],
+        bmax: 0.0,
+    };
+
+    /// P2M: moments of a set of `(position, mass)` bodies.
+    pub fn from_bodies<'a>(bodies: impl Iterator<Item = (&'a [f64; 3], f64)> + Clone) -> Multipole {
+        let mut mass = 0.0;
+        let mut com = [0.0; 3];
+        for (p, m) in bodies.clone() {
+            mass += m;
+            for d in 0..3 {
+                com[d] += m * p[d];
+            }
+        }
+        if mass > 0.0 {
+            for c in &mut com {
+                *c /= mass;
+            }
+        }
+        let mut quad = [0.0; 6];
+        let mut bmax2 = 0.0f64;
+        for (p, m) in bodies {
+            let x = [p[0] - com[0], p[1] - com[1], p[2] - com[2]];
+            let r2 = x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+            bmax2 = bmax2.max(r2);
+            quad[0] += m * (3.0 * x[0] * x[0] - r2);
+            quad[1] += m * (3.0 * x[1] * x[1] - r2);
+            quad[2] += m * (3.0 * x[2] * x[2] - r2);
+            quad[3] += m * 3.0 * x[0] * x[1];
+            quad[4] += m * 3.0 * x[0] * x[2];
+            quad[5] += m * 3.0 * x[1] * x[2];
+        }
+        Multipole {
+            mass,
+            com,
+            quad,
+            bmax: bmax2.sqrt(),
+        }
+    }
+
+    /// M2M: combine child moments into a parent. Uses the parallel-axis
+    /// shift for the quadrupole and a triangle-inequality bound for bmax.
+    pub fn combine(children: &[Multipole]) -> Multipole {
+        let mut mass = 0.0;
+        let mut com = [0.0; 3];
+        for c in children {
+            mass += c.mass;
+            for d in 0..3 {
+                com[d] += c.mass * c.com[d];
+            }
+        }
+        if mass > 0.0 {
+            for c in &mut com {
+                *c /= mass;
+            }
+        }
+        let mut quad = [0.0; 6];
+        let mut bmax = 0.0f64;
+        for c in children {
+            if c.mass == 0.0 {
+                continue;
+            }
+            let d = [c.com[0] - com[0], c.com[1] - com[1], c.com[2] - com[2]];
+            let d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            quad[0] += c.quad[0] + c.mass * (3.0 * d[0] * d[0] - d2);
+            quad[1] += c.quad[1] + c.mass * (3.0 * d[1] * d[1] - d2);
+            quad[2] += c.quad[2] + c.mass * (3.0 * d[2] * d[2] - d2);
+            quad[3] += c.quad[3] + c.mass * 3.0 * d[0] * d[1];
+            quad[4] += c.quad[4] + c.mass * 3.0 * d[0] * d[2];
+            quad[5] += c.quad[5] + c.mass * 3.0 * d[1] * d[2];
+            bmax = bmax.max(d2.sqrt() + c.bmax);
+        }
+        Multipole {
+            mass,
+            com,
+            quad,
+            bmax,
+        }
+    }
+
+    /// The trace `Qxx + Qyy + Qzz`, identically 0 for exact arithmetic.
+    pub fn trace(&self) -> f64 {
+        self.quad[0] + self.quad[1] + self.quad[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bodies(n: usize, seed: u64) -> Vec<([f64; 3], f64)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()],
+                    rng.gen::<f64>() + 0.1,
+                )
+            })
+            .collect()
+    }
+
+    fn moments_of(bodies: &[([f64; 3], f64)]) -> Multipole {
+        Multipole::from_bodies(bodies.iter().map(|(p, m)| (p, *m)))
+    }
+
+    #[test]
+    fn single_body_moments() {
+        let m = moments_of(&[([1.0, 2.0, 3.0], 5.0)]);
+        assert_eq!(m.mass, 5.0);
+        assert_eq!(m.com, [1.0, 2.0, 3.0]);
+        assert_eq!(m.quad, [0.0; 6]);
+        assert_eq!(m.bmax, 0.0);
+    }
+
+    #[test]
+    fn symmetric_pair_quadrupole() {
+        // Two unit masses at ±1 on the x axis: com at origin,
+        // Qxx = 2(3·1 − 1) = 4, Qyy = Qzz = 2(0 − 1) = −2.
+        let m = moments_of(&[([1.0, 0.0, 0.0], 1.0), ([-1.0, 0.0, 0.0], 1.0)]);
+        assert_eq!(m.mass, 2.0);
+        assert_eq!(m.com, [0.0; 3]);
+        assert!((m.quad[0] - 4.0).abs() < 1e-14);
+        assert!((m.quad[1] + 2.0).abs() < 1e-14);
+        assert!((m.quad[2] + 2.0).abs() < 1e-14);
+        assert_eq!(m.bmax, 1.0);
+    }
+
+    #[test]
+    fn quad_is_traceless() {
+        let m = moments_of(&random_bodies(100, 3));
+        assert!(m.trace().abs() < 1e-10 * m.mass);
+    }
+
+    #[test]
+    fn combine_equals_direct_p2m() {
+        let bodies = random_bodies(60, 7);
+        let whole = moments_of(&bodies);
+        let parts: Vec<Multipole> = bodies.chunks(20).map(moments_of).collect();
+        let combined = Multipole::combine(&parts);
+        assert!((combined.mass - whole.mass).abs() < 1e-12);
+        for d in 0..3 {
+            assert!((combined.com[d] - whole.com[d]).abs() < 1e-12);
+        }
+        for q in 0..6 {
+            assert!(
+                (combined.quad[q] - whole.quad[q]).abs() < 1e-10,
+                "quad[{q}]: {} vs {}",
+                combined.quad[q],
+                whole.quad[q]
+            );
+        }
+        // bmax from combine is an upper bound on the true bmax.
+        assert!(combined.bmax >= whole.bmax - 1e-12);
+    }
+
+    #[test]
+    fn combine_ignores_empty_children() {
+        let bodies = random_bodies(10, 11);
+        let a = moments_of(&bodies);
+        let b = Multipole::combine(&[a, Multipole::ZERO, Multipole::ZERO]);
+        assert!((b.mass - a.mass).abs() < 1e-14);
+        for q in 0..6 {
+            assert!((b.quad[q] - a.quad[q]).abs() < 1e-10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_combine_matches_p2m(seed in 0u64..1000, split in 1usize..29) {
+            let bodies = random_bodies(30, seed);
+            let whole = moments_of(&bodies);
+            let combined = Multipole::combine(&[
+                moments_of(&bodies[..split]),
+                moments_of(&bodies[split..]),
+            ]);
+            prop_assert!((combined.mass - whole.mass).abs() < 1e-10);
+            for q in 0..6 {
+                prop_assert!((combined.quad[q] - whole.quad[q]).abs() < 1e-8);
+            }
+            prop_assert!(combined.bmax + 1e-12 >= whole.bmax);
+        }
+    }
+}

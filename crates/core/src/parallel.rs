@@ -1,0 +1,797 @@
+//! The distributed HOT traversal: deferred walks, batched requests,
+//! latency hiding (§4.2 of the paper).
+//!
+//! "The level of indirection through a hash table can also be used to
+//! catch accesses to non-local data, and allows us to request and receive
+//! data from other processors using the global key name space. ... To
+//! avoid stalls during non-local data access, we effectively do explicit
+//! 'context switching' using a software queue to keep track of which
+//! computations have been put aside waiting for messages to arrive."
+//!
+//! Concretely: each local body's traversal is a `Walk` with an explicit
+//! key stack. When a walk needs a cell that is not purely local and whose
+//! data has not yet arrived, the walk is parked on the pending request and
+//! the engine switches to another walk; requests accumulate in
+//! asynchronous batched messages ([`msg::Abm`]) and the walk resumes when
+//! the merged reply is in. Quiescence is detected with the Safra token
+//! ([`msg::abm::Termination`]).
+//!
+//! Because the domain decomposition splits a Morton-sorted list, a cell
+//! may straddle several ranks. A request for such a cell goes to *every*
+//! possible owner; each returns its partial moments, and the requester
+//! merges them (the multipole combine is exactly M2M), giving the true
+//! global cell.
+
+use crate::domain::{decompose, Decomposition};
+use crate::gravity::{self, Accel, GravityConfig};
+use crate::mac::Mac;
+use crate::morton::{Key, MAX_LEVEL};
+use crate::multipole::Multipole;
+use crate::traverse::TraverseStats;
+use crate::tree::{Body, Tree};
+use msg::abm::Termination;
+use msg::{Abm, Comm};
+use std::collections::{HashMap, VecDeque};
+
+/// Partial moments of one child octant, as shipped over the wire.
+/// `oct == 0xFF` is the per-request completion sentinel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellPartial {
+    pub parent: u64,
+    pub oct: u8,
+    pub mass: f64,
+    pub com: [f64; 3],
+    pub quad: [f64; 6],
+    pub bmax: f64,
+    pub nbody: u32,
+}
+
+impl msg::payload::FixedWire for CellPartial {
+    const WIRE: usize = 104;
+}
+
+/// One body shipped for a remote leaf's P2P phase. `id == u64::MAX` is the
+/// completion sentinel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyPart {
+    pub cell: u64,
+    pub pos: [f64; 3],
+    pub mass: f64,
+    pub id: u64,
+}
+
+impl msg::payload::FixedWire for BodyPart {
+    const WIRE: usize = 48;
+}
+
+/// Result of a distributed force calculation on this rank.
+pub struct ParallelResult {
+    /// This rank's bodies after decomposition (key-sorted).
+    pub bodies: Vec<Body>,
+    /// Acceleration per body (same order as `bodies`).
+    pub accel: Vec<Accel>,
+    pub stats: TraverseStats,
+    /// Requests this rank issued (batches may combine several).
+    pub requests: u64,
+    /// Virtual time at completion of this rank.
+    pub vtime: f64,
+}
+
+/// Tuning knobs for the parallel traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    pub gravity: GravityConfig,
+    /// Requests per ABM batch.
+    pub batch: usize,
+    /// Fraction of peak the gravity inner loop sustains (for virtual-time
+    /// accounting; the P4/gcc micro-kernel reaches 790 of 5060 Mflop/s).
+    pub cpu_eff: f64,
+    /// Disable latency hiding: process one walk to completion at a time,
+    /// blocking on every remote fetch (the ablation baseline).
+    pub latency_hiding: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            gravity: GravityConfig::default(),
+            batch: 64,
+            cpu_eff: 790.0 / 5060.0,
+            latency_hiding: true,
+        }
+    }
+}
+
+struct Walk {
+    body: u32,
+    stack: Vec<Key>,
+    out: Accel,
+    p2p: u64,
+    m2p: u64,
+}
+
+enum StepOutcome {
+    Complete,
+    Suspended,
+}
+
+#[derive(Debug, Clone)]
+struct Ghost {
+    mom: Multipole,
+    nbody: u32,
+}
+
+struct PendingChildren {
+    remaining: usize,
+    moms: HashMap<u8, Vec<Multipole>>,
+    counts: HashMap<u8, u32>,
+    waiting: Vec<u32>,
+}
+
+struct PendingBodies {
+    remaining: usize,
+    bodies: Vec<BodyPart>,
+    waiting: Vec<u32>,
+}
+
+struct Engine<'a> {
+    rank: usize,
+    decomp: &'a Decomposition,
+    tree: Option<&'a Tree>,
+    cfg: ParallelConfig,
+    mac: Mac,
+    eps2: f64,
+    ghost: HashMap<u64, Ghost>,
+    ghost_children: HashMap<u64, Vec<Key>>,
+    ghost_bodies: HashMap<u64, Vec<BodyPart>>,
+    pending_children: HashMap<u64, PendingChildren>,
+    pending_bodies: HashMap<u64, PendingBodies>,
+    req_children: Abm<u64>,
+    rep_children: Abm<CellPartial>,
+    req_bodies: Abm<u64>,
+    rep_bodies: Abm<BodyPart>,
+    /// Interactions accumulated since the last virtual-time charge.
+    uncharged: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        comm: &Comm,
+        decomp: &'a Decomposition,
+        tree: Option<&'a Tree>,
+        cfg: ParallelConfig,
+    ) -> Self {
+        Engine {
+            rank: comm.rank(),
+            decomp,
+            tree,
+            mac: Mac::new(cfg.gravity.mac, cfg.gravity.theta),
+            eps2: cfg.gravity.eps * cfg.gravity.eps,
+            cfg,
+            ghost: HashMap::new(),
+            ghost_children: HashMap::new(),
+            ghost_bodies: HashMap::new(),
+            pending_children: HashMap::new(),
+            pending_bodies: HashMap::new(),
+            req_children: Abm::new(comm.size(), 1, cfg.batch),
+            rep_children: Abm::new(comm.size(), 2, cfg.batch * 4),
+            req_bodies: Abm::new(comm.size(), 3, cfg.batch),
+            rep_bodies: Abm::new(comm.size(), 4, cfg.batch * 4),
+            uncharged: 0,
+        }
+    }
+
+    /// Bodies of the local shard lying inside `key`'s range.
+    fn local_range(&self, key: Key) -> (usize, usize) {
+        let Some(tree) = self.tree else {
+            return (0, 0);
+        };
+        let (lo, hi) = key.key_range();
+        let a = tree.keys.partition_point(|k| k.0 < lo.0);
+        let b = tree.keys.partition_point(|k| k.0 <= hi.0);
+        (a, b)
+    }
+
+    /// This rank's partial child moments of `key`, straight from the
+    /// sorted body array (works whether or not a local cell exists).
+    fn partial_children(&self, key: Key) -> Vec<CellPartial> {
+        let (a, b) = self.local_range(key);
+        let mut out = Vec::new();
+        if a == b {
+            return out;
+        }
+        let tree = self.tree.unwrap();
+        let level = key.level();
+        debug_assert!(level < MAX_LEVEL);
+        let shift = 3 * (MAX_LEVEL - level - 1);
+        let mut start = a;
+        for oct in 0..8u8 {
+            let run_end =
+                start + tree.keys[start..b].partition_point(|k| ((k.0 >> shift) & 7) as u8 <= oct);
+            if run_end > start {
+                let mom = Multipole::from_bodies(
+                    tree.bodies[start..run_end]
+                        .iter()
+                        .map(|bd| (&bd.pos, bd.mass)),
+                );
+                out.push(CellPartial {
+                    parent: key.0,
+                    oct,
+                    mass: mom.mass,
+                    com: mom.com,
+                    quad: mom.quad,
+                    bmax: mom.bmax,
+                    nbody: (run_end - start) as u32,
+                });
+            }
+            start = run_end;
+        }
+        out
+    }
+
+    /// This rank's bodies inside `key`, as wire records.
+    fn partial_bodies(&self, key: Key) -> Vec<BodyPart> {
+        let (a, b) = self.local_range(key);
+        let Some(tree) = self.tree else {
+            return Vec::new();
+        };
+        tree.bodies[a..b]
+            .iter()
+            .map(|bd| BodyPart {
+                cell: key.0,
+                pos: bd.pos,
+                mass: bd.mass,
+                id: bd.id,
+            })
+            .collect()
+    }
+
+    /// Serve all incoming requests and integrate all incoming replies.
+    /// Returns walk ids to resume and the count of basic batches received.
+    fn service(&mut self, comm: &mut Comm) -> (Vec<u32>, u64) {
+        let mut wake = Vec::new();
+        let mut received = 0u64;
+
+        for (src, keys) in self.req_children.poll(comm) {
+            received += 1;
+            for k in keys {
+                let mut reply = self.partial_children(Key(k));
+                reply.push(CellPartial {
+                    parent: k,
+                    oct: 0xFF,
+                    mass: 0.0,
+                    com: [0.0; 3],
+                    quad: [0.0; 6],
+                    bmax: 0.0,
+                    nbody: 0,
+                });
+                for part in reply {
+                    self.rep_children.post(comm, src, part);
+                }
+            }
+        }
+        for (src, keys) in self.req_bodies.poll(comm) {
+            received += 1;
+            for k in keys {
+                let mut reply = self.partial_bodies(Key(k));
+                reply.push(BodyPart {
+                    cell: k,
+                    pos: [0.0; 3],
+                    mass: 0.0,
+                    id: u64::MAX,
+                });
+                for part in reply {
+                    self.rep_bodies.post(comm, src, part);
+                }
+            }
+        }
+        for (_src, parts) in self.rep_children.poll(comm) {
+            received += 1;
+            for p in parts {
+                let Some(pending) = self.pending_children.get_mut(&p.parent) else {
+                    panic!("children reply for unrequested key {}", p.parent);
+                };
+                if p.oct == 0xFF {
+                    pending.remaining -= 1;
+                    if pending.remaining == 0 {
+                        let done = self.pending_children.remove(&p.parent).unwrap();
+                        self.finalize_children(Key(p.parent), done, &mut wake);
+                    }
+                } else {
+                    pending.moms.entry(p.oct).or_default().push(Multipole {
+                        mass: p.mass,
+                        com: p.com,
+                        quad: p.quad,
+                        bmax: p.bmax,
+                    });
+                    *pending.counts.entry(p.oct).or_insert(0) += p.nbody;
+                }
+            }
+        }
+        for (_src, parts) in self.rep_bodies.poll(comm) {
+            received += 1;
+            for p in parts {
+                let Some(pending) = self.pending_bodies.get_mut(&p.cell) else {
+                    panic!("bodies reply for unrequested key {}", p.cell);
+                };
+                if p.id == u64::MAX {
+                    pending.remaining -= 1;
+                    if pending.remaining == 0 {
+                        let done = self.pending_bodies.remove(&p.cell).unwrap();
+                        wake.extend(done.waiting.iter().copied());
+                        self.ghost_bodies.insert(p.cell, done.bodies);
+                    }
+                } else {
+                    pending.bodies.push(p);
+                }
+            }
+        }
+        (wake, received)
+    }
+
+    fn finalize_children(&mut self, parent: Key, done: PendingChildren, wake: &mut Vec<u32>) {
+        let mut kids: Vec<(u8, Key)> = Vec::new();
+        for (oct, moms) in &done.moms {
+            let merged = Multipole::combine(moms);
+            let nbody = done.counts[oct];
+            if nbody == 0 {
+                continue;
+            }
+            let ck = parent.child(*oct);
+            self.ghost.insert(ck.0, Ghost { mom: merged, nbody });
+            kids.push((*oct, ck));
+        }
+        kids.sort_by_key(|&(o, _)| o);
+        self.ghost_children
+            .insert(parent.0, kids.into_iter().map(|(_, k)| k).collect());
+        wake.extend(done.waiting.iter().copied());
+    }
+
+    /// Request the merged children of `key`, parking `walk_id` on it.
+    fn request_children(&mut self, comm: &mut Comm, key: Key, walk_id: u32) {
+        if let Some(p) = self.pending_children.get_mut(&key.0) {
+            p.waiting.push(walk_id);
+            return;
+        }
+        let owners = self.decomp.owners_of(key);
+        let remote: Vec<usize> = owners.into_iter().filter(|&r| r != self.rank).collect();
+        let mut pending = PendingChildren {
+            remaining: remote.len(),
+            moms: HashMap::new(),
+            counts: HashMap::new(),
+            waiting: vec![walk_id],
+        };
+        // Fold in our own partial immediately.
+        for part in self.partial_children(key) {
+            pending.moms.entry(part.oct).or_default().push(Multipole {
+                mass: part.mass,
+                com: part.com,
+                quad: part.quad,
+                bmax: part.bmax,
+            });
+            *pending.counts.entry(part.oct).or_insert(0) += part.nbody;
+        }
+        if pending.remaining == 0 {
+            let mut wake = Vec::new();
+            self.finalize_children(key, pending, &mut wake);
+            // Caller immediately retries the walk; no parking needed.
+            return;
+        }
+        for dst in remote {
+            self.req_children.post(comm, dst, key.0);
+        }
+        self.pending_children.insert(key.0, pending);
+    }
+
+    /// Request the merged body list of `key`, parking `walk_id` on it.
+    fn request_bodies(&mut self, comm: &mut Comm, key: Key, walk_id: u32) {
+        if let Some(p) = self.pending_bodies.get_mut(&key.0) {
+            p.waiting.push(walk_id);
+            return;
+        }
+        let owners = self.decomp.owners_of(key);
+        let remote: Vec<usize> = owners.into_iter().filter(|&r| r != self.rank).collect();
+        let mut pending = PendingBodies {
+            remaining: remote.len(),
+            bodies: self.partial_bodies(key),
+            waiting: vec![walk_id],
+        };
+        if pending.remaining == 0 {
+            self.ghost_bodies
+                .insert(key.0, std::mem::take(&mut pending.bodies));
+            return;
+        }
+        for dst in remote {
+            self.req_bodies.post(comm, dst, key.0);
+        }
+        self.pending_bodies.insert(key.0, pending);
+    }
+
+    /// Advance one walk until it completes or suspends.
+    fn run_walk(&mut self, comm: &mut Comm, walks: &mut [Walk], walk_id: u32) -> StepOutcome {
+        let leaf_max = self.cfg.gravity.leaf_max;
+        let quadrupole = self.cfg.gravity.quadrupole;
+        let tree = self.tree.expect("rank with no bodies has no walks");
+        let w = &mut walks[walk_id as usize];
+        let pos = tree.bodies[w.body as usize].pos;
+        let my_id = tree.bodies[w.body as usize].id;
+
+        while let Some(key) = w.stack.pop() {
+            if self.decomp.purely_local(key, self.rank) {
+                // Entirely ours: use the local tree (or the raw body range
+                // when the local tree didn't subdivide this far).
+                if let Some(idx) = tree.map.get(key) {
+                    let cell = &tree.cells[idx as usize];
+                    if cell.nbody == 0 {
+                        continue;
+                    }
+                    if self.mac.accept(cell, pos) {
+                        gravity::m2p(pos, &cell.mom, self.eps2, quadrupole, &mut w.out);
+                        w.m2p += 1;
+                    } else if cell.is_leaf {
+                        let first = cell.first_body as usize;
+                        for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
+                            if first + j == w.body as usize {
+                                continue;
+                            }
+                            gravity::p2p(pos, b.pos, b.mass, self.eps2, &mut w.out);
+                            w.p2p += 1;
+                        }
+                    } else {
+                        for &ch in &cell.children {
+                            if ch != crate::tree::NO_CELL {
+                                w.stack.push(tree.cells[ch as usize].key);
+                            }
+                        }
+                    }
+                } else {
+                    // No local cell: p2p over the (small) raw range.
+                    let (a, b) = {
+                        let (lo, hi) = key.key_range();
+                        let a = tree.keys.partition_point(|k| k.0 < lo.0);
+                        let b = tree.keys.partition_point(|k| k.0 <= hi.0);
+                        (a, b)
+                    };
+                    for j in a..b {
+                        if j == w.body as usize {
+                            continue;
+                        }
+                        let bd = &tree.bodies[j];
+                        gravity::p2p(pos, bd.pos, bd.mass, self.eps2, &mut w.out);
+                        w.p2p += 1;
+                    }
+                }
+                continue;
+            }
+
+            // Shared or remote cell: use the ghost store.
+            let Some(g) = self.ghost.get(&key.0) else {
+                panic!("walk reached key {key:?} with no ghost entry");
+            };
+            let g = g.clone();
+            if g.nbody == 0 {
+                continue;
+            }
+            let side = if key == Key::ROOT {
+                f64::INFINITY
+            } else {
+                2.0 * self.decomp.bbox.cell_geometry(key).1
+            };
+            if key != Key::ROOT && self.mac.accept_raw(side, &g.mom, pos) {
+                gravity::m2p(pos, &g.mom, self.eps2, quadrupole, &mut w.out);
+                w.m2p += 1;
+            } else if g.nbody as usize <= leaf_max || key.level() == MAX_LEVEL {
+                if let Some(parts) = self.ghost_bodies.get(&key.0) {
+                    for p in parts {
+                        if p.id == my_id {
+                            continue;
+                        }
+                        gravity::p2p(pos, p.pos, p.mass, self.eps2, &mut w.out);
+                        w.p2p += 1;
+                    }
+                } else {
+                    w.stack.push(key);
+                    let wid = walk_id;
+                    self.request_bodies(comm, key, wid);
+                    if self.ghost_bodies.contains_key(&key.0) {
+                        // Satisfied locally without any remote owner.
+                        continue;
+                    }
+                    return StepOutcome::Suspended;
+                }
+            } else if let Some(kids) = self.ghost_children.get(&key.0) {
+                for k in kids {
+                    w.stack.push(*k);
+                }
+            } else {
+                w.stack.push(key);
+                self.request_children(comm, key, walk_id);
+                if self.ghost_children.contains_key(&key.0) {
+                    continue;
+                }
+                return StepOutcome::Suspended;
+            }
+        }
+        self.uncharged += w.p2p + w.m2p;
+        StepOutcome::Complete
+    }
+
+    /// Charge accumulated interactions to the virtual clock.
+    fn charge(&mut self, comm: &mut Comm) {
+        if self.uncharged == 0 {
+            return;
+        }
+        let m2p_flops = if self.cfg.gravity.quadrupole {
+            gravity::M2P_QUAD_FLOPS
+        } else {
+            gravity::M2P_MONO_FLOPS
+        };
+        // Interactions aren't split by kind here; charge the mean cost.
+        let flops = self.uncharged as f64 * 0.5 * (gravity::P2P_FLOPS + m2p_flops);
+        comm.compute_eff(flops, 0.0, self.cfg.cpu_eff);
+        self.uncharged = 0;
+    }
+
+    fn flush(&mut self, comm: &mut Comm, term: &mut Termination) {
+        let before = self.req_children.sent
+            + self.rep_children.sent
+            + self.req_bodies.sent
+            + self.rep_bodies.sent;
+        self.req_children.flush_all(comm);
+        self.rep_children.flush_all(comm);
+        self.req_bodies.flush_all(comm);
+        self.rep_bodies.flush_all(comm);
+        let after = self.req_children.sent
+            + self.rep_children.sent
+            + self.req_bodies.sent
+            + self.rep_bodies.sent;
+        term.on_send(after - before);
+    }
+}
+
+/// Distributed accelerations: decomposes `bodies` across the world, runs
+/// the deferred-walk traversal, and returns this rank's shard + forces.
+///
+/// Body `id`s must be globally unique (they identify self-interactions in
+/// exchanged leaves).
+pub fn parallel_accelerations(
+    comm: &mut Comm,
+    bodies: Vec<Body>,
+    cfg: &ParallelConfig,
+) -> ParallelResult {
+    let (shard, decomp) = decompose(comm, bodies);
+    let global_n = comm.allreduce(shard.len() as u64, |a, b| a + b);
+    let tree =
+        (!shard.is_empty()).then(|| Tree::build_in(shard, decomp.bbox, cfg.gravity.leaf_max));
+
+    let mut engine = Engine::new(comm, &decomp, tree.as_ref(), *cfg);
+    // Synthesize the root ghost: never MAC-accepted (side = ∞ handled in
+    // the walk), always descended.
+    engine.ghost.insert(
+        Key::ROOT.0,
+        Ghost {
+            mom: Multipole {
+                mass: 1.0,
+                com: decomp.bbox.center,
+                quad: [0.0; 6],
+                bmax: f64::INFINITY,
+            },
+            nbody: global_n as u32,
+        },
+    );
+
+    let nlocal = tree.as_ref().map_or(0, |t| t.bodies.len());
+    let mut walks: Vec<Walk> = (0..nlocal)
+        .map(|i| Walk {
+            body: i as u32,
+            stack: vec![Key::ROOT],
+            out: Accel::default(),
+            p2p: 0,
+            m2p: 0,
+        })
+        .collect();
+    let mut active: VecDeque<u32> = (0..nlocal as u32).collect();
+    let mut done = vec![false; nlocal];
+    let mut completed = 0usize;
+    let mut term = Termination::new();
+
+    while completed < nlocal || !term.poll(comm) {
+        // Service traffic first so replies wake parked walks.
+        let (wake, received) = engine.service(comm);
+        if received > 0 {
+            term.on_recv(received);
+        }
+        for w in wake {
+            active.push_back(w);
+        }
+        if let Some(id) = active.pop_front() {
+            match engine.run_walk(comm, &mut walks, id) {
+                StepOutcome::Complete => {
+                    if !done[id as usize] {
+                        done[id as usize] = true;
+                        completed += 1;
+                    }
+                    engine.charge(comm);
+                }
+                StepOutcome::Suspended => {
+                    if !cfg.latency_hiding {
+                        // Ablation mode: spin until this walk can resume.
+                        engine.flush(comm, &mut term);
+                        loop {
+                            let (wake, received) = engine.service(comm);
+                            if received > 0 {
+                                term.on_recv(received);
+                            }
+                            if !wake.is_empty() {
+                                for w in wake {
+                                    active.push_front(w);
+                                }
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        } else {
+            // Out of runnable walks: push requests out and serve others.
+            engine.flush(comm, &mut term);
+            std::thread::yield_now();
+        }
+    }
+    // Final flush in case termination raced a reply (cannot happen with
+    // Safra, but keeps the channels clean for the next phase).
+    engine.flush(comm, &mut term);
+    engine.charge(comm);
+
+    let mut stats = TraverseStats::default();
+    let mut accel = Vec::with_capacity(nlocal);
+    for w in &walks {
+        accel.push(w.out);
+        stats.p2p += w.p2p;
+        stats.m2p += w.m2p;
+    }
+    let requests = engine.req_children.sent + engine.req_bodies.sent;
+    let vtime = comm.time();
+    ParallelResult {
+        bodies: tree.map_or(Vec::new(), |t| t.bodies),
+        accel,
+        stats,
+        requests,
+        vtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::plummer;
+    use crate::traverse::tree_accelerations;
+
+    fn split(bodies: &[Body], nranks: usize, rank: usize) -> Vec<Body> {
+        bodies
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % nranks == rank)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+
+    /// Collect (id → accel) from all ranks.
+    fn run_parallel(all: &[Body], nranks: usize, cfg: &ParallelConfig) -> Vec<(u64, Accel)> {
+        let shards = msg::run(nranks, |c| {
+            let mine = split(all, nranks, c.rank());
+            let r = parallel_accelerations(c, mine, cfg);
+            r.bodies
+                .iter()
+                .map(|b| b.id)
+                .zip(r.accel.iter().copied())
+                .collect::<Vec<_>>()
+        });
+        let mut out: Vec<(u64, Accel)> = shards.into_iter().flatten().collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    fn serial_reference(all: &[Body], cfg: &GravityConfig) -> Vec<(u64, Accel)> {
+        let tree = Tree::build(all.to_vec(), cfg.leaf_max);
+        let (acc, _) = tree_accelerations(&tree, cfg);
+        let mut out: Vec<(u64, Accel)> = tree
+            .bodies
+            .iter()
+            .map(|b| b.id)
+            .zip(acc.iter().copied())
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    fn assert_close(par: &[(u64, Accel)], ser: &[(u64, Accel)], tol: f64) {
+        assert_eq!(par.len(), ser.len());
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((id_p, a), (id_s, b)) in par.iter().zip(ser) {
+            assert_eq!(id_p, id_s);
+            for d in 0..3 {
+                num += (a.acc[d] - b.acc[d]).powi(2);
+            }
+            den += b.acc[0].powi(2) + b.acc[1].powi(2) + b.acc[2].powi(2);
+        }
+        let rel = (num / den).sqrt();
+        assert!(rel < tol, "parallel vs serial rms {rel}");
+    }
+
+    #[test]
+    fn matches_serial_on_two_ranks() {
+        let all = plummer(240, 101);
+        let cfg = ParallelConfig::default();
+        let par = run_parallel(&all, 2, &cfg);
+        let ser = serial_reference(&all, &cfg.gravity);
+        assert_close(&par, &ser, 1e-3);
+    }
+
+    #[test]
+    fn matches_serial_on_four_ranks() {
+        let all = plummer(300, 55);
+        let cfg = ParallelConfig::default();
+        let par = run_parallel(&all, 4, &cfg);
+        let ser = serial_reference(&all, &cfg.gravity);
+        assert_close(&par, &ser, 1e-3);
+    }
+
+    #[test]
+    fn single_rank_equals_serial_exactly() {
+        let all = plummer(150, 7);
+        let cfg = ParallelConfig::default();
+        let par = run_parallel(&all, 1, &cfg);
+        let ser = serial_reference(&all, &cfg.gravity);
+        assert_close(&par, &ser, 1e-12);
+    }
+
+    #[test]
+    fn no_latency_hiding_gets_same_answer() {
+        let all = plummer(160, 13);
+        let cfg = ParallelConfig {
+            latency_hiding: false,
+            ..Default::default()
+        };
+        let par = run_parallel(&all, 2, &cfg);
+        let ser = serial_reference(&all, &cfg.gravity);
+        assert_close(&par, &ser, 1e-3);
+    }
+
+    #[test]
+    fn remote_requests_actually_happen() {
+        let all = plummer(200, 3);
+        let requests = msg::run(2, |c| {
+            let mine = split(&all, 2, c.rank());
+            parallel_accelerations(c, mine, &ParallelConfig::default()).requests
+        });
+        assert!(
+            requests.iter().sum::<u64>() > 0,
+            "no remote traffic: {requests:?}"
+        );
+    }
+
+    #[test]
+    fn latency_hiding_reduces_virtual_wait() {
+        let all = plummer(300, 29);
+        let time_of = |hide: bool| -> f64 {
+            let cfg = ParallelConfig {
+                latency_hiding: hide,
+                ..Default::default()
+            };
+            let times = msg::run(3, |c| {
+                let mine = split(&all, 3, c.rank());
+                parallel_accelerations(c, mine, &cfg).vtime
+            });
+            times.into_iter().fold(0.0, f64::max)
+        };
+        let hidden = time_of(true);
+        let blocking = time_of(false);
+        assert!(
+            hidden <= blocking * 1.05,
+            "latency hiding slower: {hidden} vs {blocking}"
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! Serial tree traversal: accelerations on every body.
+//!
+//! "In the main stage of the algorithm, this tree is traversed
+//! independently in each processor" (§4.2). The walk here is the
+//! single-address-space version; [`crate::parallel`] adds the deferred
+//! walks and request traffic for distributed trees.
+
+use crate::gravity::{self, Accel, GravityConfig};
+use crate::mac::Mac;
+use crate::tree::{Tree, NO_CELL};
+use rayon::prelude::*;
+
+/// Interaction counts from one traversal (per the whole body set).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraverseStats {
+    /// Body–body interactions.
+    pub p2p: u64,
+    /// Cell–body (multipole) interactions.
+    pub m2p: u64,
+    /// Cells opened.
+    pub opened: u64,
+}
+
+impl TraverseStats {
+    pub fn add(&mut self, o: &TraverseStats) {
+        self.p2p += o.p2p;
+        self.m2p += o.m2p;
+        self.opened += o.opened;
+    }
+
+    /// Total flops by the paper's counting convention.
+    pub fn flops(&self, quadrupole: bool) -> f64 {
+        let m2p_flops = if quadrupole {
+            gravity::M2P_QUAD_FLOPS
+        } else {
+            gravity::M2P_MONO_FLOPS
+        };
+        self.p2p as f64 * gravity::P2P_FLOPS + self.m2p as f64 * m2p_flops
+    }
+
+    /// Interactions per body (a traversal cost measure).
+    pub fn interactions(&self) -> u64 {
+        self.p2p + self.m2p
+    }
+}
+
+/// Acceleration on the body at index `i` of `tree.bodies`.
+pub fn accel_on(tree: &Tree, i: usize, cfg: &GravityConfig) -> (Accel, TraverseStats) {
+    let pos = tree.bodies[i].pos;
+    let mac = Mac::new(cfg.mac, cfg.theta);
+    let eps2 = cfg.eps * cfg.eps;
+    let mut out = Accel::default();
+    let mut stats = TraverseStats::default();
+    let mut stack: Vec<i32> = vec![0];
+    while let Some(ci) = stack.pop() {
+        let cell = tree.cell(ci);
+        if cell.nbody == 0 {
+            continue;
+        }
+        // Periodic runs interact with the nearest image of each cell.
+        let mom = match cfg.periodic {
+            Some(l) => {
+                let mut m = cell.mom;
+                m.com = gravity::nearest_image(pos, m.com, l);
+                m
+            }
+            None => cell.mom,
+        };
+        if mac.accept_raw(cell.side(), &mom, pos) {
+            gravity::m2p(pos, &mom, eps2, cfg.quadrupole, &mut out);
+            stats.m2p += 1;
+        } else if cell.is_leaf {
+            let first = cell.first_body as usize;
+            for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
+                if first + j == i {
+                    continue; // no self-interaction
+                }
+                let sp = match cfg.periodic {
+                    Some(l) => gravity::nearest_image(pos, b.pos, l),
+                    None => b.pos,
+                };
+                gravity::p2p(pos, sp, b.mass, eps2, &mut out);
+                stats.p2p += 1;
+            }
+        } else {
+            stats.opened += 1;
+            for &ch in &cell.children {
+                if ch != NO_CELL {
+                    stack.push(ch);
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+/// Group-walk traversal: one interaction list per leaf cell, shared by
+/// its bodies. The MAC is applied conservatively (to the nearest point
+/// of the group's bounding sphere), so the force error is no worse than
+/// the per-body walk at the same θ, while the tree-descent overhead is
+/// amortized over the group — the classic HOT "walk vectorization".
+pub fn group_accelerations(tree: &Tree, cfg: &GravityConfig) -> (Vec<Accel>, TraverseStats) {
+    assert!(
+        cfg.periodic.is_none(),
+        "group walks do not support periodic boxes yet"
+    );
+    let eps2 = cfg.eps * cfg.eps;
+    let leaves: Vec<i32> = (0..tree.cells.len() as i32)
+        .filter(|&ci| tree.cell(ci).is_leaf && tree.cell(ci).nbody > 0)
+        .collect();
+    let results: Vec<(i32, Vec<Accel>, TraverseStats)> = leaves
+        .par_iter()
+        .map(|&gi| {
+            let group = tree.cell(gi);
+            let gc = group.mom.com;
+            let rg = group.mom.bmax;
+            let mut stats = TraverseStats::default();
+            // Build the interaction list.
+            let mut accept_list: Vec<i32> = Vec::new();
+            let mut leaf_list: Vec<i32> = Vec::new();
+            let mut stack = vec![0i32];
+            while let Some(ci) = stack.pop() {
+                let cell = tree.cell(ci);
+                if cell.nbody == 0 {
+                    continue;
+                }
+                // Worst-case target: the group-sphere point nearest the
+                // cell. Shrink the distance by rg before testing.
+                let d = {
+                    let dx = gc[0] - cell.mom.com[0];
+                    let dy = gc[1] - cell.mom.com[1];
+                    let dz = gc[2] - cell.mom.com[2];
+                    (dx * dx + dy * dy + dz * dz).sqrt()
+                };
+                let worst = (d - rg).max(0.0);
+                let crit = match cfg.mac {
+                    gravity::MacKind::BarnesHut => cell.side() / cfg.theta,
+                    gravity::MacKind::BmaxMac => 2.0 * cell.mom.bmax / cfg.theta,
+                };
+                if worst > cell.mom.bmax && worst > crit {
+                    accept_list.push(ci);
+                } else if cell.is_leaf {
+                    leaf_list.push(ci);
+                } else {
+                    stats.opened += 1;
+                    for &ch in &cell.children {
+                        if ch != NO_CELL {
+                            stack.push(ch);
+                        }
+                    }
+                }
+            }
+            // Apply the shared list to every body of the group.
+            let first = group.first_body as usize;
+            let nb = group.nbody as usize;
+            let mut out = vec![Accel::default(); nb];
+            for (bi, body) in tree.bodies[first..first + nb].iter().enumerate() {
+                let pos = body.pos;
+                for &ci in &accept_list {
+                    gravity::m2p(pos, &tree.cell(ci).mom, eps2, cfg.quadrupole, &mut out[bi]);
+                    stats.m2p += 1;
+                }
+                for &ci in &leaf_list {
+                    let src = tree.cell(ci);
+                    let sfirst = src.first_body as usize;
+                    for (j, b) in tree.leaf_bodies(src).iter().enumerate() {
+                        if sfirst + j == first + bi {
+                            continue;
+                        }
+                        gravity::p2p(pos, b.pos, b.mass, eps2, &mut out[bi]);
+                        stats.p2p += 1;
+                    }
+                }
+            }
+            (gi, out, stats)
+        })
+        .collect();
+    let mut accels = vec![Accel::default(); tree.bodies.len()];
+    let mut stats = TraverseStats::default();
+    for (gi, out, s) in results {
+        let first = tree.cell(gi).first_body as usize;
+        for (bi, a) in out.into_iter().enumerate() {
+            accels[first + bi] = a;
+        }
+        stats.add(&s);
+    }
+    (accels, stats)
+}
+
+/// Accelerations on every body (parallel over bodies).
+pub fn tree_accelerations(tree: &Tree, cfg: &GravityConfig) -> (Vec<Accel>, TraverseStats) {
+    let results: Vec<(Accel, TraverseStats)> = (0..tree.bodies.len())
+        .into_par_iter()
+        .map(|i| accel_on(tree, i, cfg))
+        .collect();
+    let mut accels = Vec::with_capacity(results.len());
+    let mut stats = TraverseStats::default();
+    for (a, s) in results {
+        accels.push(a);
+        stats.add(&s);
+    }
+    (accels, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_accelerations;
+    use crate::gravity::MacKind;
+    use crate::models::plummer;
+    use crate::tree::{Body, Tree};
+
+    fn rms_error(tree_acc: &[Accel], exact: &[Accel]) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (t, e) in tree_acc.iter().zip(exact) {
+            for d in 0..3 {
+                num += (t.acc[d] - e.acc[d]).powi(2);
+            }
+            den += e.acc[0].powi(2) + e.acc[1].powi(2) + e.acc[2].powi(2);
+        }
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn matches_direct_for_plummer_sphere() {
+        let bodies = plummer(300, 42);
+        let tree = Tree::build(bodies.clone(), 8);
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.01,
+            ..GravityConfig::default()
+        };
+        let (ta, stats) = tree_accelerations(&tree, &cfg);
+        let exact = direct_accelerations(&tree.bodies, cfg.eps);
+        let err = rms_error(&ta, &exact);
+        assert!(err < 2e-3, "rms force error {err}");
+        assert!(stats.p2p > 0 && stats.m2p > 0);
+    }
+
+    #[test]
+    fn error_decreases_with_theta() {
+        let bodies = plummer(200, 7);
+        let tree = Tree::build(bodies, 8);
+        let exact = direct_accelerations(&tree.bodies, 0.01);
+        let mut last = f64::INFINITY;
+        for theta in [1.0, 0.6, 0.3] {
+            let cfg = GravityConfig {
+                theta,
+                eps: 0.01,
+                ..GravityConfig::default()
+            };
+            let (ta, _) = tree_accelerations(&tree, &cfg);
+            let err = rms_error(&ta, &exact);
+            assert!(err < last, "theta {theta}: {err} !< {last}");
+            last = err;
+        }
+        assert!(last < 5e-4, "theta=0.3 error {last}");
+    }
+
+    #[test]
+    fn tiny_theta_degenerates_to_direct() {
+        let bodies = plummer(100, 3);
+        let tree = Tree::build(bodies, 4);
+        let cfg = GravityConfig {
+            theta: 1e-6,
+            eps: 0.01,
+            ..GravityConfig::default()
+        };
+        let (ta, stats) = tree_accelerations(&tree, &cfg);
+        let exact = direct_accelerations(&tree.bodies, cfg.eps);
+        // All interactions must be P2P and exactly N(N-1) of them.
+        assert_eq!(stats.m2p, 0);
+        assert_eq!(stats.p2p, 100 * 99);
+        let err = rms_error(&ta, &exact);
+        assert!(err < 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn quadrupole_beats_monopole() {
+        let bodies = plummer(300, 11);
+        let tree = Tree::build(bodies, 8);
+        let exact = direct_accelerations(&tree.bodies, 0.01);
+        let err_of = |quadrupole: bool| {
+            let cfg = GravityConfig {
+                theta: 0.8,
+                eps: 0.01,
+                quadrupole,
+                ..GravityConfig::default()
+            };
+            rms_error(&tree_accelerations(&tree, &cfg).0, &exact)
+        };
+        let mono = err_of(false);
+        let quad = err_of(true);
+        assert!(quad < mono * 0.6, "mono {mono}, quad {quad}");
+    }
+
+    #[test]
+    fn bmax_mac_is_cheaper_at_matched_accuracy() {
+        let bodies = plummer(400, 13);
+        let tree = Tree::build(bodies, 8);
+        let run = |mac: MacKind, theta: f64| {
+            let cfg = GravityConfig {
+                theta,
+                eps: 0.01,
+                mac,
+                ..GravityConfig::default()
+            };
+            tree_accelerations(&tree, &cfg).1.interactions()
+        };
+        // With matched θ the bmax MAC does no more interactions than BH
+        // opening everything the same way would — sanity only, the real
+        // accuracy/cost tradeoff is exercised in the bench.
+        let bh = run(MacKind::BarnesHut, 0.6);
+        let bm = run(MacKind::BmaxMac, 0.6);
+        assert!(bm > 0 && bh > 0);
+    }
+
+    #[test]
+    fn momentum_is_approximately_conserved() {
+        let bodies = plummer(300, 21);
+        let tree = Tree::build(bodies, 8);
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.01,
+            ..GravityConfig::default()
+        };
+        let (ta, _) = tree_accelerations(&tree, &cfg);
+        // Σ m·a should vanish (it does exactly for direct summation).
+        let mut net = [0.0; 3];
+        let mut scale = 0.0;
+        for (a, b) in ta.iter().zip(&tree.bodies) {
+            for d in 0..3 {
+                net[d] += b.mass * a.acc[d];
+            }
+            scale += b.mass * a.norm();
+        }
+        let net_mag = (net[0] * net[0] + net[1] * net[1] + net[2] * net[2]).sqrt();
+        assert!(
+            net_mag / scale < 5e-3,
+            "net force fraction {}",
+            net_mag / scale
+        );
+    }
+
+    #[test]
+    fn two_body_problem_exact() {
+        let bodies = vec![
+            Body::at([-1.0, 0.0, 0.0], 2.0),
+            Body::at([1.0, 0.0, 0.0], 3.0),
+        ];
+        let tree = Tree::build(bodies, 1);
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.0,
+            ..GravityConfig::default()
+        };
+        let (ta, _) = tree_accelerations(&tree, &cfg);
+        // Bodies are sorted by key; find which is which by mass.
+        let (i2, i3) = if tree.bodies[0].mass == 2.0 {
+            (0, 1)
+        } else {
+            (1, 0)
+        };
+        assert!((ta[i2].acc[0] - 3.0 / 4.0).abs() < 1e-12);
+        assert!((ta[i3].acc[0] + 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_walk_matches_periodic_direct() {
+        use crate::direct::direct_periodic;
+        use crate::models::uniform_cube;
+        // A clustered periodic box: two clumps, one near a face so image
+        // forces matter.
+        let mut bodies = uniform_cube(300, 41);
+        for (i, b) in bodies.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                for d in 0..3 {
+                    b.pos[d] = 0.05 + 0.1 * b.pos[d]; // clump at the corner
+                }
+            }
+        }
+        let tree = Tree::build_in(
+            bodies,
+            crate::morton::BBox {
+                center: [0.5; 3],
+                half: 0.5,
+            },
+            8,
+        );
+        let cfg = GravityConfig {
+            theta: 0.4,
+            eps: 0.01,
+            periodic: Some(1.0),
+            ..Default::default()
+        };
+        let (acc, _) = tree_accelerations(&tree, &cfg);
+        let exact = direct_periodic(&tree.bodies, cfg.eps, 1.0);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (a, e) in acc.iter().zip(&exact) {
+            for d in 0..3 {
+                num += (a.acc[d] - e.acc[d]).powi(2);
+            }
+            den += e.acc[0].powi(2) + e.acc[1].powi(2) + e.acc[2].powi(2);
+        }
+        let err = (num / den).sqrt();
+        assert!(err < 0.05, "periodic rms error {err}");
+    }
+
+    #[test]
+    fn periodic_two_bodies_attract_across_the_boundary() {
+        use crate::direct::direct_periodic;
+        // Bodies at x = 0.05 and x = 0.95 in a unit box: the near image
+        // is across the face, so the force on the first points in -x.
+        let bodies = vec![
+            Body::at([0.05, 0.5, 0.5], 1.0),
+            Body::at([0.95, 0.5, 0.5], 1.0),
+        ];
+        let exact = direct_periodic(&bodies, 0.0, 1.0);
+        assert!(exact[0].acc[0] < 0.0, "{:?}", exact[0].acc);
+        // Magnitude: separation 0.1 through the boundary -> a = 1/0.01.
+        assert!((exact[0].acc[0] + 100.0).abs() < 1e-9);
+        // The tree walk agrees.
+        let tree = Tree::build_in(
+            bodies,
+            crate::morton::BBox {
+                center: [0.5; 3],
+                half: 0.5,
+            },
+            1,
+        );
+        let cfg = GravityConfig {
+            theta: 0.5,
+            periodic: Some(1.0),
+            ..Default::default()
+        };
+        let (acc, _) = tree_accelerations(&tree, &cfg);
+        // Match accelerations by body position rather than order.
+        for (b, a) in tree.bodies.iter().zip(&acc) {
+            if b.pos[0] < 0.5 {
+                assert!((a.acc[0] + 100.0).abs() < 1e-6, "{:?}", a.acc);
+            } else {
+                assert!((a.acc[0] - 100.0).abs() < 1e-6, "{:?}", a.acc);
+            }
+        }
+    }
+
+    #[test]
+    fn group_walk_matches_per_body_accuracy() {
+        let bodies = plummer(800, 23);
+        let tree = Tree::build(bodies, 16);
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let exact = direct_accelerations(&tree.bodies, cfg.eps);
+        let (per_body, s1) = tree_accelerations(&tree, &cfg);
+        let (grouped, s2) = group_accelerations(&tree, &cfg);
+        let err_pb = rms_error(&per_body, &exact);
+        let err_gr = rms_error(&grouped, &exact);
+        // The conservative group MAC cannot be less accurate.
+        assert!(
+            err_gr <= err_pb * 1.1,
+            "group {err_gr} vs per-body {err_pb}"
+        );
+        // And it opens far fewer cells in total.
+        assert!(
+            s2.opened < s1.opened / 2,
+            "group opened {} vs per-body {}",
+            s2.opened,
+            s1.opened
+        );
+    }
+
+    #[test]
+    fn group_walk_momentum_conservation() {
+        let bodies = plummer(500, 29);
+        let tree = Tree::build(bodies, 16);
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let (acc, _) = group_accelerations(&tree, &cfg);
+        let mut net = [0.0; 3];
+        let mut scale = 0.0;
+        for (a, b) in acc.iter().zip(&tree.bodies) {
+            for d in 0..3 {
+                net[d] += b.mass * a.acc[d];
+            }
+            scale += b.mass * a.norm();
+        }
+        let mag = (net[0] * net[0] + net[1] * net[1] + net[2] * net[2]).sqrt();
+        assert!(mag / scale < 1e-2, "net {mag} scale {scale}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Friends-of-friends halo finding.
+//!
+//! §4.3: "Simulations at this resolution allow us to examine the
+//! sub-structure of dark matter halos and approach the problem of galaxy
+//! formation in a very direct way." The standard instrument is the FoF
+//! group finder: particles closer than a linking length `b·n̄^(−1/3)`
+//! belong to the same halo. We link with tree ball-queries and a
+//! union-find structure.
+
+use hot::tree::{Body, Tree, NO_CELL};
+
+/// Disjoint-set forest with path compression + union by size.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+    }
+}
+
+/// One halo: member indices into the input body slice.
+#[derive(Debug, Clone)]
+pub struct Halo {
+    pub members: Vec<usize>,
+    pub mass: f64,
+    pub center: [f64; 3],
+}
+
+/// Find friends-of-friends groups with linking length `link`; only
+/// groups with at least `min_members` particles are returned, sorted by
+/// descending mass.
+pub fn fof_halos(bodies: &[Body], link: f64, min_members: usize) -> Vec<Halo> {
+    assert!(link > 0.0 && !bodies.is_empty());
+    // Tree over the bodies; Body::id indexes back into `bodies`.
+    let tree_bodies: Vec<Body> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Body { id: i as u64, ..*b })
+        .collect();
+    let tree = Tree::build(tree_bodies, 16);
+    let mut uf = UnionFind::new(bodies.len());
+    let link2 = link * link;
+    // For every body, link to neighbours within `link` via a ball query.
+    for tb in &tree.bodies {
+        let i = tb.id as usize;
+        // Ball query on the tree (cube/sphere overlap pruning).
+        let mut stack = vec![0i32];
+        while let Some(ci) = stack.pop() {
+            let cell = tree.cell(ci);
+            let mut d2 = 0.0;
+            for d in 0..3 {
+                let gap = (tb.pos[d] - cell.center[d]).abs() - cell.half;
+                if gap > 0.0 {
+                    d2 += gap * gap;
+                }
+            }
+            if d2 > link2 {
+                continue;
+            }
+            if cell.is_leaf {
+                for nb in tree.leaf_bodies(cell) {
+                    let j = nb.id as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let dx = tb.pos[0] - nb.pos[0];
+                    let dy = tb.pos[1] - nb.pos[1];
+                    let dz = tb.pos[2] - nb.pos[2];
+                    if dx * dx + dy * dy + dz * dz <= link2 {
+                        uf.union(i, j);
+                    }
+                }
+            } else {
+                for &ch in &cell.children {
+                    if ch != NO_CELL {
+                        stack.push(ch);
+                    }
+                }
+            }
+        }
+    }
+    // Collect groups.
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for i in 0..bodies.len() {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|m| m.len() >= min_members)
+        .map(|members| {
+            let mut mass = 0.0;
+            let mut center = [0.0; 3];
+            for &i in &members {
+                mass += bodies[i].mass;
+                for d in 0..3 {
+                    center[d] += bodies[i].mass * bodies[i].pos[d];
+                }
+            }
+            for c in &mut center {
+                *c /= mass;
+            }
+            Halo {
+                members,
+                mass,
+                center,
+            }
+        })
+        .collect();
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap());
+    halos
+}
+
+/// The cumulative halo mass function: number of halos with mass ≥ M for
+/// each halo's mass (sorted descending) — `(mass, count)` pairs.
+pub fn mass_function(halos: &[Halo]) -> Vec<(f64, usize)> {
+    halos
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.mass, i + 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clump(center: [f64; 3], n: usize, radius: f64, id0: u64, seed: u64) -> Vec<Body> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut b = Body::at(
+                    [
+                        center[0] + rng.gen_range(-radius..radius),
+                        center[1] + rng.gen_range(-radius..radius),
+                        center[2] + rng.gen_range(-radius..radius),
+                    ],
+                    1.0,
+                );
+                b.id = id0 + i as u64;
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_separated_clumps_give_two_halos() {
+        let mut bodies = clump([0.0; 3], 100, 0.1, 0, 1);
+        bodies.extend(clump([5.0, 0.0, 0.0], 60, 0.1, 100, 2));
+        let halos = fof_halos(&bodies, 0.15, 10);
+        assert_eq!(halos.len(), 2);
+        assert_eq!(halos[0].members.len(), 100);
+        assert_eq!(halos[1].members.len(), 60);
+        assert!(halos[0].center[0].abs() < 0.05);
+        assert!((halos[1].center[0] - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn linking_length_merges_clumps() {
+        let mut bodies = clump([0.0; 3], 50, 0.1, 0, 3);
+        bodies.extend(clump([0.5, 0.0, 0.0], 50, 0.1, 50, 4));
+        // Short link: two halos. Long link: one.
+        assert_eq!(fof_halos(&bodies, 0.1, 10).len(), 2);
+        assert_eq!(fof_halos(&bodies, 0.6, 10).len(), 1);
+    }
+
+    #[test]
+    fn sparse_uniform_field_has_no_big_halos() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let bodies: Vec<Body> = (0..500)
+            .map(|i| {
+                let mut b = Body::at(
+                    [
+                        rng.gen_range(0.0..10.0),
+                        rng.gen_range(0.0..10.0),
+                        rng.gen_range(0.0..10.0),
+                    ],
+                    1.0,
+                );
+                b.id = i;
+                b
+            })
+            .collect();
+        // Mean separation ~ (1000/500)^(1/3) ≈ 1.26; link far below it.
+        let halos = fof_halos(&bodies, 0.1, 5);
+        assert!(halos.is_empty(), "found {} spurious halos", halos.len());
+    }
+
+    #[test]
+    fn fof_matches_brute_force_on_small_sets() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bodies: Vec<Body> = (0..120)
+            .map(|i| {
+                let mut b = Body::at([rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()], 1.0);
+                b.id = i;
+                b
+            })
+            .collect();
+        let link = 0.12;
+        let halos = fof_halos(&bodies, link, 1);
+        // Brute-force union-find.
+        let mut uf = UnionFind::new(bodies.len());
+        for i in 0..bodies.len() {
+            for j in i + 1..bodies.len() {
+                let d2: f64 = (0..3)
+                    .map(|d| (bodies[i].pos[d] - bodies[j].pos[d]).powi(2))
+                    .sum();
+                if d2 <= link * link {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let mut expect: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for i in 0..bodies.len() {
+            *expect.entry(uf.find(i)).or_default() += 1;
+        }
+        let mut expect_sizes: Vec<usize> = expect.into_values().collect();
+        expect_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut got_sizes: Vec<usize> = halos.iter().map(|h| h.members.len()).collect();
+        got_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(got_sizes, expect_sizes);
+    }
+
+    #[test]
+    fn mass_function_is_cumulative() {
+        let bodies = {
+            let mut v = clump([0.0; 3], 80, 0.1, 0, 9);
+            v.extend(clump([5.0, 0.0, 0.0], 40, 0.1, 80, 10));
+            v.extend(clump([0.0, 5.0, 0.0], 20, 0.1, 120, 11));
+            v
+        };
+        let halos = fof_halos(&bodies, 0.2, 10);
+        let mf = mass_function(&halos);
+        assert_eq!(mf.len(), 3);
+        assert_eq!(mf[0], (80.0, 1));
+        assert_eq!(mf[2], (20.0, 3));
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(3));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(4));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+}

@@ -1,0 +1,38 @@
+//! Cosmological N-body front end (§4.3 of the paper).
+//!
+//! "Structure in the Universe forms almost entirely due to the
+//! gravitational collapse of primordial density fluctuations. ... In this
+//! regime, the distribution of matter can be studied only via large scale
+//! N-body simulations."
+//!
+//! This crate supplies everything around the `hot` gravity engine that a
+//! cosmology run needs:
+//!
+//! * [`expansion`] — Friedmann background: E(a), growth factor, EdS;
+//! * [`power`] — the BBKS CDM power spectrum with σ₈ normalization;
+//! * [`zeldovich`] — Zel'dovich-approximation initial conditions on a
+//!   particle lattice;
+//! * [`sphere`] — the paper's "standard simulation problem": a spherical
+//!   cosmological volume with Hubble flow and ZA perturbations
+//!   (Table 6's workload, and our vacuum-boundary stand-in for the
+//!   Figure 7 production box — see DESIGN.md for the substitution);
+//! * [`integrate`] — the expanding-volume simulation driver;
+//! * [`analysis`] — CIC density fields, P(k) estimation, two-point
+//!   correlation functions and density projections;
+//! * [`halos`] — friends-of-friends group finding and the halo mass
+//!   function (the §4.3 "sub-structure of dark matter halos").
+
+// Numeric kernels index several parallel arrays in lockstep; the
+// iterator-adapter rewrites clippy suggests obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analysis;
+pub mod expansion;
+pub mod halos;
+pub mod integrate;
+pub mod power;
+pub mod sphere;
+pub mod zeldovich;
+
+pub use expansion::Cosmology;
+pub use power::PowerSpectrum;

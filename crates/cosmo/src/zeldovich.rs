@@ -1,0 +1,254 @@
+//! Zel'dovich-approximation initial conditions.
+//!
+//! A Gaussian density field with the target P(k) is realized on a grid;
+//! particles start on the lattice and are displaced by
+//! `x = q + D(a)·ψ(q)`, `ψ_k = (i k/k²) δ_k`, with peculiar velocities
+//! `v = a H(a) f(a) D(a) ψ` — the standard way every cosmological N-body
+//! code of the paper's era made its initial conditions.
+
+use crate::expansion::Cosmology;
+use crate::power::PowerSpectrum;
+use hot::tree::Body;
+use kernels::fft::{Field3, C64};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A realized displacement field on an n³ lattice in a box of side
+/// `box_size` (Mpc/h).
+pub struct ZeldovichField {
+    pub n: usize,
+    pub box_size: f64,
+    /// Displacement components at each lattice site (Mpc/h), unit growth.
+    pub psi: [Vec<f64>; 3],
+    /// The realized linear density contrast at unit growth.
+    pub delta: Vec<f64>,
+}
+
+fn freq(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// Realize the displacement field for `ps` on an `n`³ grid.
+pub fn realize(ps: &PowerSpectrum, n: usize, box_size: f64, seed: u64) -> ZeldovichField {
+    assert!(n.is_power_of_two(), "grid must be a power of two");
+    let volume = box_size.powi(3);
+    let ncell = n * n * n;
+    // White noise → Fourier space (Hermitian symmetry comes for free).
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut white = Field3::zeros(n, n, n);
+    for c in &mut white.data {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        *c = C64::new(
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos(),
+            0.0,
+        );
+    }
+    white.fft3(false);
+    // Scale modes: Δ_k = W_k √(N P(k)/V).
+    let mut delta_k = white;
+    let kf = std::f64::consts::TAU / box_size;
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let kx = kf * freq(x, n) as f64;
+                let ky = kf * freq(y, n) as f64;
+                let kz = kf * freq(z, n) as f64;
+                let k = (kx * kx + ky * ky + kz * kz).sqrt();
+                let idx = delta_k.idx(x, y, z);
+                if k == 0.0 {
+                    delta_k.data[idx] = C64::ZERO;
+                } else {
+                    let amp = (ncell as f64 * ps.p_of_k(k) / volume).sqrt();
+                    delta_k.data[idx] = delta_k.data[idx].scale(amp);
+                }
+            }
+        }
+    }
+    // Displacements ψ_k = i k/k² δ_k, one inverse FFT per component.
+    let mut psi: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (d, psi_d) in psi.iter_mut().enumerate() {
+        let mut comp = Field3::zeros(n, n, n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let kv = [
+                        kf * freq(x, n) as f64,
+                        kf * freq(y, n) as f64,
+                        kf * freq(z, n) as f64,
+                    ];
+                    let k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
+                    let idx = comp.idx(x, y, z);
+                    if k2 > 0.0 {
+                        // i·k_d/k² · δ_k
+                        let dk = delta_k.data[idx];
+                        comp.data[idx] = C64::new(-kv[d] / k2 * dk.im, kv[d] / k2 * dk.re);
+                    }
+                }
+            }
+        }
+        comp.fft3(true);
+        *psi_d = comp.data.iter().map(|c| c.re).collect();
+    }
+    let mut delta_x = delta_k;
+    delta_x.fft3(true);
+    let delta = delta_x.data.iter().map(|c| c.re).collect();
+    ZeldovichField {
+        n,
+        box_size,
+        psi,
+        delta,
+    }
+}
+
+/// Particles displaced to scale factor `a` with cosmology `c`.
+/// Masses sum to `total_mass`; velocities are physical peculiar
+/// velocities in box units per unit `1/H0` time.
+pub fn particles(field: &ZeldovichField, c: &Cosmology, a: f64, total_mass: f64) -> Vec<Body> {
+    let n = field.n;
+    let ncell = n * n * n;
+    let m = total_mass / ncell as f64;
+    let d = c.growth(a);
+    let vel_fac = a * c.e_of_a(a) * c.growth_rate(a) * d;
+    let cell = field.box_size / n as f64;
+    let mut bodies = Vec::with_capacity(ncell);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let i = (z * n + y) * n + x;
+                let q = [
+                    (x as f64 + 0.5) * cell,
+                    (y as f64 + 0.5) * cell,
+                    (z as f64 + 0.5) * cell,
+                ];
+                let psi = [field.psi[0][i], field.psi[1][i], field.psi[2][i]];
+                let mut pos = [0.0; 3];
+                let mut vel = [0.0; 3];
+                for dd in 0..3 {
+                    pos[dd] = (q[dd] + d * psi[dd]).rem_euclid(field.box_size);
+                    vel[dd] = vel_fac * psi[dd];
+                }
+                bodies.push(Body {
+                    pos,
+                    vel,
+                    mass: m,
+                    id: i as u64,
+                    work: 1.0,
+                });
+            }
+        }
+    }
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn small_field() -> (PowerSpectrum, ZeldovichField) {
+        let ps = PowerSpectrum::new(Cosmology::lcdm());
+        let f = realize(&ps, 16, 100.0, 7);
+        (ps, f)
+    }
+
+    #[test]
+    fn displacements_are_real_and_zero_mean() {
+        let (_, f) = small_field();
+        for d in 0..3 {
+            let mean: f64 = f.psi[d].iter().sum::<f64>() / f.psi[d].len() as f64;
+            assert!(mean.abs() < 1e-10, "mean ψ[{d}] = {mean}");
+            let rms: f64 =
+                (f.psi[d].iter().map(|v| v * v).sum::<f64>() / f.psi[d].len() as f64).sqrt();
+            assert!(rms > 0.5 && rms < 50.0, "rms ψ[{d}] = {rms} Mpc/h");
+        }
+    }
+
+    #[test]
+    fn density_field_is_zero_mean_with_sane_variance() {
+        let (_, f) = small_field();
+        let mean: f64 = f.delta.iter().sum::<f64>() / f.delta.len() as f64;
+        assert!(mean.abs() < 1e-10);
+        let var: f64 = f.delta.iter().map(|v| v * v).sum::<f64>() / f.delta.len() as f64;
+        // Variance on a 6.25 Mpc/h grid should be O(1) for σ₈ = 0.9.
+        assert!(var > 0.1 && var < 10.0, "grid variance {var}");
+    }
+
+    #[test]
+    fn measured_power_tracks_input() {
+        let ps = PowerSpectrum::new(Cosmology::lcdm());
+        let n = 32;
+        let box_size = 200.0;
+        let f = realize(&ps, n, box_size, 11);
+        // Measure P(k) of the realized grid directly.
+        let spectrum = analysis::grid_power(&f.delta, n, box_size);
+        let mut checked = 0;
+        for (k, p_meas, nmodes) in &spectrum {
+            if *nmodes < 20 || *k <= 0.0 {
+                continue; // too noisy
+            }
+            let p_in = ps.p_of_k(*k);
+            let ratio = p_meas / p_in;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "k={k}: measured {p_meas} vs input {p_in}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "only {checked} k-bins checked");
+    }
+
+    #[test]
+    fn particles_fill_the_box_with_small_displacements_early() {
+        let ps = PowerSpectrum::new(Cosmology::lcdm());
+        let f = realize(&ps, 8, 100.0, 3);
+        let c = Cosmology::lcdm();
+        let early = particles(&f, &c, 0.02, 1.0);
+        assert_eq!(early.len(), 512);
+        let total: f64 = early.iter().map(|b| b.mass).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // At a = 0.02 the growth factor is tiny: particles near lattice.
+        let cell = 100.0 / 8.0;
+        let lattice_q = |v: f64| (v / cell - 0.5).round() * cell + 0.5 * cell;
+        for b in &early {
+            for d in 0..3 {
+                let dq = (b.pos[d] - lattice_q(b.pos[d])).abs();
+                assert!(dq < cell, "early displacement {dq} too big");
+            }
+        }
+        // Later displacements are larger.
+        let late = particles(&f, &c, 1.0, 1.0);
+        let disp = |set: &[Body]| -> f64 {
+            set.iter()
+                .map(|b| {
+                    (0..3)
+                        .map(|d| (b.pos[d] - lattice_q(b.pos[d])).powi(2))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        assert!(disp(&late) > disp(&early) * 4.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let ps = PowerSpectrum::new(Cosmology::lcdm());
+        let a = realize(&ps, 8, 50.0, 5);
+        let b = realize(&ps, 8, 50.0, 5);
+        assert_eq!(a.delta, b.delta);
+        let c = realize(&ps, 8, 50.0, 6);
+        assert_ne!(a.delta, c.delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_grid_rejected() {
+        let ps = PowerSpectrum::new(Cosmology::lcdm());
+        realize(&ps, 12, 100.0, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Alternating-direction-implicit integration: the sweep structure of
+//! NPB BT and SP.
+//!
+//! Both pseudo-applications integrate implicit factors
+//! `(I − dt·D_x)(I − dt·D_y)(I − dt·D_z) u^{n+1} = u^n` through a 3-D
+//! grid; each factor is a family of independent line systems — block
+//! tridiagonal with 5×5 blocks for BT, scalar pentadiagonal for SP. We
+//! integrate the heat equation with both line solvers and verify the
+//! analytic decay rates.
+
+use crate::blocksolve::{block_tridiag_solve, pentadiag_solve};
+use crate::mg::Grid;
+
+/// One Douglas-style ADI step of `du/dt = ∇²u` on a periodic grid,
+/// solving each direction implicitly with the SP scalar solver.
+///
+/// Periodic lines are handled with the Sherman–Morrison trick folded
+/// into two extra solves; for simplicity (and to exercise the
+/// pentadiagonal path the way SP does) we instead use Dirichlet-in-line
+/// sweeps on an extended ghost formulation: each line is solved with
+/// the wrap terms moved to the right-hand side from the previous sweep
+/// (one Jacobi-style lag, second-order accurate for diffusion).
+pub fn adi_heat_step(u: &mut Grid, dt: f64) {
+    let n = u.n;
+    let lam = dt; // dt/h² with h = 1
+    for dim in 0..3 {
+        let old = u.clone();
+        // Solve (I - lam·D₂) u_new = u_old along each line of `dim`,
+        // with the periodic wrap contributions lagged from `old`.
+        let e = vec![0.0; n];
+        let f = vec![0.0; n];
+        let mut c = vec![-lam; n];
+        let mut a = vec![-lam; n];
+        let d = vec![1.0 + 2.0 * lam; n];
+        c[0] = 0.0;
+        a[n - 1] = 0.0;
+        let mut rhs = vec![0.0; n];
+        let idx = |line: (usize, usize), k: usize| -> (usize, usize, usize) {
+            match dim {
+                0 => (k, line.0, line.1),
+                1 => (line.0, k, line.1),
+                _ => (line.0, line.1, k),
+            }
+        };
+        for l0 in 0..n {
+            for l1 in 0..n {
+                for k in 0..n {
+                    let (x, y, z) = idx((l0, l1), k);
+                    let mut r = old.at(x, y, z);
+                    // Lagged periodic wrap terms at the line ends.
+                    if k == 0 {
+                        let (xw, yw, zw) = idx((l0, l1), n - 1);
+                        r += lam * old.at(xw, yw, zw);
+                    }
+                    if k == n - 1 {
+                        let (xw, yw, zw) = idx((l0, l1), 0);
+                        r += lam * old.at(xw, yw, zw);
+                    }
+                    rhs[k] = r;
+                }
+                let sol = pentadiag_solve(&e, &c, &d, &a, &f, &rhs);
+                for (k, v) in sol.iter().enumerate() {
+                    let (x, y, z) = idx((l0, l1), k);
+                    u.set(x, y, z, *v);
+                }
+            }
+        }
+    }
+}
+
+/// A 5-component coupled line system integrated with the BT block
+/// solver: `du/dt = ∇²u + C·u` per point, with C a constant 5×5
+/// coupling matrix, one implicit block-tridiagonal solve per line per
+/// dimension. Returns the new state; `state[(point, component)]` is
+/// laid out as `point*5 + component` along x-lines of an n³ grid...
+/// For testability we integrate 1-D lines only (the BT kernel itself);
+/// the 3-D sweep structure is identical to [`adi_heat_step`].
+pub fn bt_line_step(state: &mut [[f64; 5]], coupling: &[f64; 25], dt: f64) {
+    let n = state.len();
+    assert!(n >= 2);
+    let lam = dt;
+    // (I - dt·D₂ - dt·C) u_new = u_old, Dirichlet ends.
+    let mut amat = vec![[0.0; 25]; n];
+    let mut bmat = vec![[0.0; 25]; n];
+    let mut cmat = vec![[0.0; 25]; n];
+    for i in 0..n {
+        for comp in 0..5 {
+            amat[i][comp * 5 + comp] = -lam;
+            cmat[i][comp * 5 + comp] = -lam;
+            bmat[i][comp * 5 + comp] = 1.0 + 2.0 * lam;
+        }
+        for k in 0..25 {
+            bmat[i][k] -= dt * coupling[k];
+        }
+    }
+    let rhs: Vec<[f64; 5]> = state.to_vec();
+    let sol = block_tridiag_solve(&amat, &bmat, &cmat, &rhs);
+    state.copy_from_slice(&sol);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn adi_decays_a_fourier_mode_at_the_analytic_rate() {
+        let n = 16;
+        let mut u = Grid::zeros(n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    u.set(x, y, z, (TAU * x as f64 / n as f64).sin());
+                }
+            }
+        }
+        let amp0 = u.norm2();
+        let dt = 0.1;
+        let steps = 10;
+        for _ in 0..steps {
+            adi_heat_step(&mut u, dt);
+        }
+        let amp1 = u.norm2();
+        // Discrete decay per step for the k=1 mode: the implicit factor
+        // gives 1/(1 + dt·λ) with λ = 2 − 2cos(2π/n) (per dimension the
+        // mode only varies along x, so one factor applies).
+        let lam = 2.0 - 2.0 * (TAU / n as f64).cos();
+        let expect = (1.0 / (1.0 + dt * lam)).powi(steps);
+        let got = amp1 / amp0;
+        assert!(
+            (got - expect).abs() < 0.05 * expect,
+            "decay {got} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn adi_preserves_the_mean() {
+        let n = 8;
+        let mut u = Grid::zeros(n);
+        for (i, v) in u.data.iter_mut().enumerate() {
+            *v = (i % 7) as f64;
+        }
+        let mean0 = u.data.iter().sum::<f64>() / u.data.len() as f64;
+        adi_heat_step(&mut u, 0.2);
+        let mean1 = u.data.iter().sum::<f64>() / u.data.len() as f64;
+        // The lagged periodic wrap makes conservation approximate
+        // (second-order in dt), not exact.
+        assert!(((mean0 - mean1) / mean0).abs() < 2e-3, "{mean0} vs {mean1}");
+    }
+
+    #[test]
+    fn adi_flattens_toward_uniform() {
+        let n = 8;
+        let mut u = Grid::zeros(n);
+        u.set(4, 4, 4, 100.0);
+        let var0: f64 = {
+            let mut w = u.clone();
+            w.remove_mean();
+            w.norm2()
+        };
+        for _ in 0..20 {
+            adi_heat_step(&mut u, 0.3);
+        }
+        let var1: f64 = {
+            let mut w = u.clone();
+            w.remove_mean();
+            w.norm2()
+        };
+        assert!(var1 < 0.2 * var0, "{var0} -> {var1}");
+    }
+
+    #[test]
+    fn bt_line_step_decays_and_couples_components() {
+        let n = 32;
+        let mut state = vec![[0.0; 5]; n];
+        for (i, s) in state.iter_mut().enumerate() {
+            s[0] = (TAU * i as f64 / n as f64).sin();
+        }
+        // Coupling feeds component 0 into component 1.
+        let mut c = [0.0; 25];
+        c[5] = 0.5; // du₁/dt += 0.5·u₀
+        let e0: f64 = state.iter().map(|s| s[0] * s[0]).sum();
+        for _ in 0..5 {
+            bt_line_step(&mut state, &c, 0.05);
+        }
+        let e0_after: f64 = state.iter().map(|s| s[0] * s[0]).sum();
+        let e1_after: f64 = state.iter().map(|s| s[1] * s[1]).sum();
+        assert!(e0_after < e0, "component 0 should diffuse");
+        assert!(e1_after > 0.0, "coupling should populate component 1");
+    }
+
+    #[test]
+    fn bt_line_step_with_zero_coupling_keeps_components_independent() {
+        let n = 16;
+        let mut state = vec![[0.0; 5]; n];
+        for (i, s) in state.iter_mut().enumerate() {
+            s[2] = (i as f64 - 8.0).abs();
+        }
+        bt_line_step(&mut state, &[0.0; 25], 0.1);
+        for s in &state {
+            for comp in [0, 1, 3, 4] {
+                assert_eq!(s[comp], 0.0);
+            }
+        }
+    }
+}

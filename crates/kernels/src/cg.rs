@@ -1,0 +1,339 @@
+//! Conjugate gradient with a random sparse SPD matrix (NPB CG).
+//!
+//! NPB CG estimates the largest eigenvalue of a random sparse symmetric
+//! matrix by inverse power iteration, each step solved with 25 CG
+//! iterations. We reproduce that structure: a CSR symmetric matrix with a
+//! dominant diagonal shift, the CG inner solver, and the ζ estimate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Compressed sparse row, square, symmetric by construction.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    pub n: usize,
+    pub row_ptr: Vec<usize>,
+    pub col: Vec<usize>,
+    pub val: Vec<f64>,
+}
+
+impl Csr {
+    /// y = A·x.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut s = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                s += self.val[k] * x[self.col[k]];
+            }
+            y[i] = s;
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Build from (row, col, value) triples, summing duplicates.
+    pub fn from_triples(n: usize, mut triples: Vec<(usize, usize, f64)>) -> Csr {
+        triples.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col: Vec<usize> = Vec::with_capacity(triples.len());
+        let mut val: Vec<f64> = Vec::with_capacity(triples.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triples {
+            assert!(r < n && c < n, "triple ({r},{c}) out of range for n={n}");
+            if last == Some((r, c)) {
+                *val.last_mut().unwrap() += v;
+            } else {
+                col.push(c);
+                val.push(v);
+                row_ptr[r + 1] = col.len();
+                last = Some((r, c));
+            }
+            row_ptr[r + 1] = col.len();
+        }
+        // Empty rows inherit the previous row's end.
+        for i in 1..=n {
+            row_ptr[i] = row_ptr[i].max(row_ptr[i - 1]);
+        }
+        Csr {
+            n,
+            row_ptr,
+            col,
+            val,
+        }
+    }
+
+    /// The NPB-style random sparse SPD matrix: `A = S + αI` where S is a
+    /// random symmetric matrix with ~`nz_per_row` entries per row and
+    /// spectral radius < α.
+    pub fn random_spd(n: usize, nz_per_row: usize, shift: f64, seed: u64) -> Csr {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut triples = Vec::new();
+        for i in 0..n {
+            triples.push((i, i, shift));
+            for _ in 0..nz_per_row / 2 {
+                let j = rng.gen_range(0..n);
+                if j == i {
+                    continue;
+                }
+                // Keep off-diagonal mass small so A stays positive
+                // definite (diagonally dominant).
+                let v = rng.gen_range(-1.0..1.0) * shift / (2.0 * nz_per_row as f64);
+                triples.push((i, j, v));
+                triples.push((j, i, v));
+            }
+        }
+        Csr::from_triples(n, triples)
+    }
+}
+
+/// Solve `A x = b` by CG; returns (solution, iterations, final ‖r‖).
+pub fn cg_solve(a: &Csr, b: &[f64], max_iter: usize, tol: f64) -> (Vec<f64>, usize, f64) {
+    let n = a.n;
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr: f64 = r.iter().map(|v| v * v).sum();
+    let mut iters = 0;
+    while iters < max_iter && rr.sqrt() > tol {
+        a.matvec(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+        iters += 1;
+    }
+    (x, iters, rr.sqrt())
+}
+
+/// The NPB CG benchmark structure: power iteration with CG inner solves;
+/// returns the ζ eigenvalue estimate (ζ = shift + 1/(xᵀz)).
+pub fn npb_cg(a: &Csr, shift: f64, outer_iters: usize, inner_iters: usize) -> f64 {
+    let n = a.n;
+    let mut x = vec![1.0; n];
+    let mut zeta = 0.0;
+    for _ in 0..outer_iters {
+        let (z, _, _) = cg_solve(a, &x, inner_iters, 0.0);
+        let xz: f64 = x.iter().zip(&z).map(|(a, b)| a * b).sum();
+        zeta = shift + 1.0 / xz * x.iter().map(|v| v * v).sum::<f64>();
+        // x = z / ‖z‖.
+        let norm = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for (xi, zi) in x.iter_mut().zip(&z) {
+            *xi = zi / norm;
+        }
+    }
+    zeta
+}
+
+/// Flops per CG iteration: 2·nnz (matvec) + 10·n (vector ops).
+pub fn cg_flops_per_iter(a: &Csr) -> f64 {
+    2.0 * a.nnz() as f64 + 10.0 * a.n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D Poisson matrix (tridiagonal 2,−1): classic CG testbed.
+    fn poisson1d(n: usize) -> Csr {
+        let mut triples = Vec::new();
+        for i in 0..n {
+            triples.push((i, i, 2.0));
+            if i > 0 {
+                triples.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                triples.push((i, i + 1, -1.0));
+            }
+        }
+        Csr::from_triples(n, triples)
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let triples = (0..5).map(|i| (i, i, 1.0)).collect();
+        let a = Csr::from_triples(5, triples);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![0.0; 5];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn cg_solves_poisson_exactly_in_n_steps() {
+        let n = 32;
+        let a = poisson1d(n);
+        let b = vec![1.0; n];
+        let (x, iters, res) = cg_solve(&a, &b, n + 5, 1e-10);
+        assert!(iters <= n + 1, "took {iters}");
+        assert!(res < 1e-9);
+        // Verify by substitution.
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_residual_decreases_monotonically_enough() {
+        let a = Csr::random_spd(200, 8, 10.0, 1);
+        let b = vec![1.0; 200];
+        let (_, i1, r1) = cg_solve(&a, &b, 5, 0.0);
+        let (_, i2, r2) = cg_solve(&a, &b, 25, 0.0);
+        assert_eq!((i1, i2), (5, 25));
+        assert!(r2 < r1 * 0.1, "r5={r1}, r25={r2}");
+    }
+
+    #[test]
+    fn random_spd_matrix_is_symmetric() {
+        let a = Csr::random_spd(100, 6, 10.0, 7);
+        // Check A == Aᵀ entrywise via dense reconstruction.
+        let mut dense = vec![0.0; 100 * 100];
+        for i in 0..a.n {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                dense[i * 100 + a.col[k]] += a.val[k];
+            }
+        }
+        for i in 0..100 {
+            for j in 0..100 {
+                assert!(
+                    (dense[i * 100 + j] - dense[j * 100 + i]).abs() < 1e-12,
+                    "asymmetric at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn npb_cg_zeta_converges_near_shift() {
+        // With small off-diagonals, the largest eigenvalue of A⁻¹ is
+        // ≈ 1/(shift − ρ(S)); ζ = shift + xᵀx/(xᵀz) → λ_min(A) roughly.
+        let shift = 20.0;
+        let a = Csr::random_spd(150, 8, shift, 3);
+        let zeta = npb_cg(&a, shift, 8, 25);
+        assert!(
+            (zeta - 2.0 * shift).abs() < 0.3 * shift,
+            "zeta {zeta} vs shift {shift}"
+        );
+    }
+
+    #[test]
+    fn flops_counting() {
+        let a = poisson1d(10);
+        assert!(cg_flops_per_iter(&a) > 2.0 * a.nnz() as f64);
+    }
+
+    #[test]
+    fn duplicate_triples_are_summed() {
+        let a = Csr::from_triples(2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0)]);
+        let mut y = vec![0.0; 2];
+        a.matvec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 1.0]);
+    }
+}
+
+/// Distributed CG: rows of the matrix partitioned across ranks, the
+/// vector allgathered before each matvec, dot products allreduced —
+/// NPB CG's communication skeleton (two reductions per iteration plus
+/// the vector exchange). Returns the (identical) solution on every rank.
+pub fn distributed_cg_solve(
+    comm: &mut msg::Comm,
+    a: &Csr,
+    b: &[f64],
+    max_iter: usize,
+    tol: f64,
+) -> (Vec<f64>, usize, f64) {
+    let n = a.n;
+    let size = comm.size();
+    let rank = comm.rank();
+    // My contiguous row range.
+    let lo = rank * n / size;
+    let hi = (rank + 1) * n / size;
+
+    let dot = |comm: &mut msg::Comm, x: &[f64], y: &[f64]| -> f64 {
+        let local: f64 = (lo..hi).map(|i| x[i] * y[i]).sum();
+        comm.allreduce(local, |a, b| a + b)
+    };
+    // Assemble a full vector from per-rank slices.
+    let assemble = |comm: &mut msg::Comm, local: Vec<f64>| -> Vec<f64> {
+        let pieces = comm.allgather(local);
+        pieces.into_iter().flatten().collect()
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rr = dot(comm, &r, &r);
+    let mut iters = 0;
+    while iters < max_iter && rr.sqrt() > tol {
+        // Local rows of A·p.
+        let mut ap_local = vec![0.0; hi - lo];
+        for i in lo..hi {
+            let mut s = 0.0;
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                s += a.val[k] * p[a.col[k]];
+            }
+            ap_local[i - lo] = s;
+        }
+        let ap = assemble(comm, ap_local);
+        let pap = dot(comm, &p, &ap);
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new = dot(comm, &r, &r);
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+        iters += 1;
+    }
+    (x, iters, rr.sqrt())
+}
+
+#[cfg(test)]
+mod distributed_tests {
+    use super::*;
+
+    #[test]
+    fn distributed_cg_matches_serial() {
+        let a = Csr::random_spd(150, 8, 12.0, 4);
+        let b: Vec<f64> = (0..150).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let (serial, si, _) = cg_solve(&a, &b, 60, 1e-10);
+        for ranks in [1usize, 2, 3] {
+            let results = msg::run(ranks, |c| distributed_cg_solve(c, &a, &b, 60, 1e-10));
+            for (x, iters, res) in &results {
+                assert_eq!(*iters, si, "{ranks} ranks: iteration count differs");
+                assert!(*res < 1e-9);
+                for (u, v) in x.iter().zip(&serial) {
+                    assert!((u - v).abs() < 1e-8, "{ranks} ranks: {u} vs {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_cg_solution_is_identical_across_ranks() {
+        let a = Csr::random_spd(90, 6, 15.0, 8);
+        let b = vec![1.0; 90];
+        let results = msg::run(4, |c| distributed_cg_solve(c, &a, &b, 40, 1e-10).0);
+        for x in &results[1..] {
+            assert_eq!(x, &results[0]);
+        }
+    }
+}

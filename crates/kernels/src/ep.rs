@@ -1,0 +1,196 @@
+//! Embarrassingly parallel benchmark (NPB EP): Gaussian deviates by the
+//! Marsaglia polar method from the NPB linear congruential generator.
+//!
+//! EP measures pure floating-point throughput with one final allreduce —
+//! the other end of the communication spectrum from IS.
+
+use msg::Comm;
+
+/// The NPB LCG: x_{k+1} = a·x_k mod 2^46, a = 5^13.
+#[derive(Debug, Clone, Copy)]
+pub struct NpbRandom {
+    seed: u64,
+}
+
+pub const NPB_A: u64 = 1_220_703_125; // 5^13
+const MASK46: u64 = (1 << 46) - 1;
+
+impl NpbRandom {
+    pub fn new(seed: u64) -> NpbRandom {
+        NpbRandom {
+            seed: seed & MASK46,
+        }
+    }
+
+    /// Next uniform deviate in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        // 46-bit modular multiply; u64 overflows at 46+31 bits, so use
+        // 128-bit intermediate (the original splits into halves).
+        self.seed = ((self.seed as u128 * NPB_A as u128) & MASK46 as u128) as u64;
+        self.seed as f64 / (1u64 << 46) as f64
+    }
+
+    /// Jump ahead `k` steps (a^k mod 2^46 by binary power).
+    pub fn skip(&mut self, k: u64) {
+        let mut a = NPB_A as u128;
+        let mut k = k;
+        let m = MASK46 as u128;
+        let mut x = self.seed as u128;
+        while k > 0 {
+            if k & 1 == 1 {
+                x = (x * a) & m;
+            }
+            a = (a * a) & m;
+            k >>= 1;
+        }
+        self.seed = x as u64;
+    }
+}
+
+/// Result of an EP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpResult {
+    /// Accepted Gaussian pairs.
+    pub pairs: u64,
+    /// Σx and Σy of the deviates.
+    pub sx: f64,
+    pub sy: f64,
+    /// Counts per annulus max(|x|,|y|) ∈ [k, k+1).
+    pub annuli: [u64; 10],
+}
+
+/// Generate `n` candidate pairs and tally Gaussian deviates.
+pub fn ep_kernel(n: u64, seed: u64) -> EpResult {
+    ep_kernel_with(n, NpbRandom::new(seed))
+}
+
+/// Distributed EP: each rank generates a disjoint stream slice (via LCG
+/// skip-ahead), then the tallies are allreduced.
+pub fn ep_distributed(comm: &mut Comm, total_pairs: u64, seed: u64) -> EpResult {
+    let size = comm.size() as u64;
+    let rank = comm.rank() as u64;
+    let per = total_pairs / size + if rank < total_pairs % size { 1 } else { 0 };
+    let offset: u64 = (0..rank)
+        .map(|r| total_pairs / size + if r < total_pairs % size { 1 } else { 0 })
+        .sum();
+    let mut rng = NpbRandom::new(seed);
+    rng.skip(2 * offset);
+    let local = ep_kernel_with(per, rng);
+    // Reduce the tallies.
+    let sums = comm.allreduce(
+        vec![
+            local.pairs as f64,
+            local.sx,
+            local.sy,
+            local.annuli[0] as f64,
+            local.annuli[1] as f64,
+            local.annuli[2] as f64,
+            local.annuli[3] as f64,
+            local.annuli[4] as f64,
+        ],
+        |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect(),
+    );
+    let mut annuli = [0u64; 10];
+    for (i, a) in annuli.iter_mut().take(5).enumerate() {
+        *a = sums[3 + i] as u64;
+    }
+    EpResult {
+        pairs: sums[0] as u64,
+        sx: sums[1],
+        sy: sums[2],
+        annuli,
+    }
+}
+
+fn ep_kernel_with(n: u64, mut rng: NpbRandom) -> EpResult {
+    let mut r = EpResult {
+        pairs: 0,
+        sx: 0.0,
+        sy: 0.0,
+        annuli: [0; 10],
+    };
+    for _ in 0..n {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * f;
+            let gy = y * f;
+            r.pairs += 1;
+            r.sx += gx;
+            r.sy += gy;
+            let l = gx.abs().max(gy.abs()) as usize;
+            if l < 10 {
+                r.annuli[l] += 1;
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = NpbRandom::new(271_828_183);
+        let mut b = NpbRandom::new(271_828_183);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn skip_ahead_matches_sequential() {
+        let mut seq = NpbRandom::new(314_159_265);
+        for _ in 0..1000 {
+            seq.next_f64();
+        }
+        let mut jump = NpbRandom::new(314_159_265);
+        jump.skip(1000);
+        assert_eq!(seq.next_f64(), jump.next_f64());
+    }
+
+    #[test]
+    fn acceptance_rate_is_pi_over_4() {
+        let r = ep_kernel(200_000, 271_828_183);
+        let rate = r.pairs as f64 / 200_000.0;
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate {rate}"
+        );
+    }
+
+    #[test]
+    fn gaussian_sums_are_near_zero() {
+        let r = ep_kernel(100_000, 271_828_183);
+        // Mean of ~78k standard normals: |Σx| ≲ 3·sqrt(78k) ≈ 840.
+        assert!(r.sx.abs() < 1000.0, "sx {}", r.sx);
+        assert!(r.sy.abs() < 1000.0, "sy {}", r.sy);
+    }
+
+    #[test]
+    fn annuli_decay_like_a_gaussian() {
+        let r = ep_kernel(300_000, 271_828_183);
+        assert!(r.annuli[0] > r.annuli[1]);
+        assert!(r.annuli[1] > r.annuli[2]);
+        assert!(r.annuli[4] < r.annuli[0] / 100);
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let total = 40_000u64;
+        let serial = ep_kernel(total, 271_828_183);
+        let results = msg::run(4, |c| ep_distributed(c, total, 271_828_183));
+        for r in &results {
+            assert_eq!(r.pairs, serial.pairs);
+            assert!((r.sx - serial.sx).abs() < 1e-6);
+            assert!((r.sy - serial.sy).abs() < 1e-6);
+            assert_eq!(r.annuli[0], serial.annuli[0]);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integer sort (NPB IS): bucket sort of uniformly distributed keys.
+//!
+//! Serial counting sort plus the message-passing bucket sort NPB IS
+//! actually performs: local histogram → alltoallv of keys by bucket →
+//! local ranking. IS is the benchmark with the smallest compute/commun-
+//! ication ratio in the suite, which is why it scales worst on ethernet
+//! (Figure 5) and why Table 2 shows it least memory-bound (0.779).
+
+use msg::Comm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// NPB-flavoured key generator: `n` keys uniform in `[0, max_key)`.
+pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max_key)).collect()
+}
+
+/// Serial counting sort; returns the sorted keys.
+pub fn counting_sort(keys: &[u32], max_key: u32) -> Vec<u32> {
+    let mut counts = vec![0usize; max_key as usize];
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for (k, &c) in counts.iter().enumerate() {
+        out.extend(std::iter::repeat_n(k as u32, c));
+    }
+    out
+}
+
+/// Rank of each key (its index in the sorted order) — what NPB IS
+/// actually verifies.
+pub fn key_ranks(keys: &[u32], max_key: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; max_key as usize + 1];
+    for &k in keys {
+        counts[k as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let mut ranks = Vec::with_capacity(keys.len());
+    let mut next = counts;
+    for &k in keys {
+        ranks.push(next[k as usize]);
+        next[k as usize] += 1;
+    }
+    ranks
+}
+
+/// Distributed bucket sort over the world: each rank contributes its
+/// local keys; on return each rank holds a sorted shard, shards ordered
+/// by rank.
+pub fn distributed_sort(comm: &mut Comm, local: Vec<u32>, max_key: u32) -> Vec<u32> {
+    let size = comm.size();
+    let bucket_width = max_key.div_ceil(size as u32).max(1);
+    let mut buckets: Vec<Vec<u32>> = (0..size).map(|_| Vec::new()).collect();
+    for k in local {
+        let b = ((k / bucket_width) as usize).min(size - 1);
+        buckets[b].push(k);
+    }
+    let received = comm.alltoallv(buckets);
+    let mut mine: Vec<u32> = received.into_iter().flatten().collect();
+    mine.sort_unstable();
+    mine
+}
+
+/// Flops-equivalent op count for one IS ranking of `n` keys (NPB counts
+/// integer ops; the convention is ~2 ops/key for histogram + prefix).
+pub fn is_ops(n: usize) -> f64 {
+    2.0 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sort_sorts() {
+        let keys = generate_keys(10_000, 1 << 12, 1);
+        let sorted = counting_sort(&keys, 1 << 12);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // Same multiset.
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_consistent_with_sorting() {
+        let keys = generate_keys(5000, 1 << 10, 2);
+        let ranks = key_ranks(&keys, 1 << 10);
+        let mut seen = vec![false; keys.len()];
+        for &r in &ranks {
+            assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+        // Placing each key at its rank yields the sorted array.
+        let mut placed = vec![0u32; keys.len()];
+        for (k, r) in keys.iter().zip(&ranks) {
+            placed[*r] = *k;
+        }
+        assert!(placed.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn distributed_sort_matches_serial() {
+        let all = generate_keys(8000, 1 << 14, 3);
+        let nranks = 4;
+        let shards = msg::run(nranks, |c| {
+            let mine: Vec<u32> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % nranks == c.rank())
+                .map(|(_, k)| *k)
+                .collect();
+            distributed_sort(c, mine, 1 << 14)
+        });
+        let merged: Vec<u32> = shards.into_iter().flatten().collect();
+        let mut expect = all;
+        expect.sort_unstable();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn distributed_sort_handles_skewed_keys() {
+        // All keys in one bucket: one rank gets everything, still sorted.
+        let shards = msg::run(3, |c| {
+            let mine = vec![5u32; 100 * (c.rank() + 1)];
+            distributed_sort(c, mine, 1 << 10)
+        });
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(counting_sort(&[], 16).is_empty());
+        assert!(key_ranks(&[], 16).is_empty());
+    }
+}

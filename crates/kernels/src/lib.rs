@@ -1,0 +1,40 @@
+//! Benchmark kernels of the Space Simulator paper (§3).
+//!
+//! Every benchmark the paper runs on the cluster is re-implemented here
+//! from its public problem definition:
+//!
+//! * [`stream`] — McCalpin's STREAM (copy/scale/add/triad), §3.2;
+//! * [`fft`] + [`ft`] — complex FFT and the NPB FT pseudo-application;
+//! * [`cg`] — conjugate gradient with a random sparse SPD matrix;
+//! * [`mg`] — 3-D multigrid V-cycle Poisson solver;
+//! * [`is`] — integer bucket sort (serial and message-passing);
+//! * [`ep`] — embarrassingly parallel Gaussian-pair counting;
+//! * [`blocksolve`] — the line-solver hearts of BT (block tridiagonal)
+//!   and SP (scalar pentadiagonal), plus the SSOR sweep of LU;
+//! * [`adi`] — the alternating-direction-implicit sweep structure that
+//!   BT and SP march those solvers through;
+//! * [`hpl`] — blocked LU with partial pivoting (Linpack), serial and
+//!   distributed, §3.3;
+//! * [`gravity_kernel`] — the §3.6 micro-kernel (libm vs Karp rsqrt);
+//! * [`npb`] — NPB problem classes, operation counts and communication
+//!   patterns, used by the cluster models for Tables 3–4 / Figures 4–5.
+//!
+//! SPEC CPU2000 is proprietary and cannot be re-implemented; Table 2's
+//! SPEC rows come from the calibrated roofline model in `nodesim`.
+
+// Numeric kernels index several parallel arrays in lockstep; the
+// iterator-adapter rewrites clippy suggests obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adi;
+pub mod blocksolve;
+pub mod cg;
+pub mod ep;
+pub mod fft;
+pub mod ft;
+pub mod gravity_kernel;
+pub mod hpl;
+pub mod is;
+pub mod mg;
+pub mod npb;
+pub mod stream;

@@ -1,0 +1,294 @@
+//! Asynchronous Batched Messages (ABM), §4.2 of the paper.
+//!
+//! The treecode's traversal generates huge numbers of small requests for
+//! non-local cells. Sending each as its own message would be latency-bound
+//! (79–87 µs per message on gigabit ethernet!), so the paper's code
+//! aggregates them: messages to the same destination accumulate in a batch
+//! that is flushed when full or when the sender runs out of other work.
+//! The interface is "modeled after that of active messages": the receiver
+//! polls and hands each batch to application code.
+//!
+//! Quiescence — "no rank has work and no messages are in flight" — is
+//! detected with the Safra/Dijkstra token algorithm ([`Termination`]):
+//! a token circulates accumulating a count of sent-minus-received basic
+//! messages and a color; a white token returning to rank 0 with total
+//! count zero proves termination.
+
+use crate::comm::{Comm, Tag};
+use crate::payload::Payload;
+
+/// Tag namespace for ABM batches; one `Abm` instance per tag.
+const ABM_BIT: Tag = 1 << 62;
+const TOKEN_TAG: Tag = (1 << 61) | 1;
+const DONE_TAG: Tag = (1 << 61) | 2;
+
+/// A batching sender/receiver for messages of type `M`.
+pub struct Abm<M> {
+    out: Vec<Vec<M>>,
+    batch_limit: usize,
+    tag: Tag,
+    /// Batches sent and received, for the termination counter.
+    pub sent: u64,
+    pub received: u64,
+}
+
+impl<M> Abm<M>
+where
+    M: Send + 'static,
+    Vec<M>: Payload,
+{
+    /// Create a batcher with a user channel id (small integer) and a batch
+    /// size limit. The paper's code used batches of a few kilobytes.
+    pub fn new(size: usize, channel: u16, batch_limit: usize) -> Self {
+        assert!(batch_limit >= 1);
+        Abm {
+            out: (0..size).map(|_| Vec::new()).collect(),
+            batch_limit,
+            tag: ABM_BIT | (channel as Tag),
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Queue `m` for `dst`, flushing that destination's batch if full.
+    pub fn post(&mut self, comm: &mut Comm, dst: usize, m: M) {
+        self.out[dst].push(m);
+        if self.out[dst].len() >= self.batch_limit {
+            self.flush_one(comm, dst);
+        }
+    }
+
+    fn flush_one(&mut self, comm: &mut Comm, dst: usize) {
+        if self.out[dst].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.out[dst]);
+        comm.send(dst, self.tag, batch);
+        self.sent += 1;
+    }
+
+    /// Flush every pending batch (call when out of other work).
+    pub fn flush_all(&mut self, comm: &mut Comm) {
+        for dst in 0..self.out.len() {
+            self.flush_one(comm, dst);
+        }
+    }
+
+    /// Drain all currently available batches: `(source, messages)` pairs.
+    pub fn poll(&mut self, comm: &mut Comm) -> Vec<(usize, Vec<M>)> {
+        let mut got = Vec::new();
+        while let Some((src, batch)) = comm.try_recv::<Vec<M>>(None, self.tag) {
+            self.received += 1;
+            got.push((src, batch));
+        }
+        got
+    }
+
+    /// Messages queued but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+}
+
+/// Safra's termination-detection token algorithm.
+///
+/// Usage: call [`Termination::on_send`] / [`Termination::on_recv`] for
+/// every *basic* (application) message; when locally idle, call
+/// [`Termination::poll`] until it returns `true` on every rank. Between
+/// polls the caller must keep serving incoming basic messages.
+pub struct Termination {
+    /// Basic messages sent minus received by this rank (cumulative).
+    counter: i64,
+    /// Black = received a basic message since last forwarding the token.
+    black: bool,
+    /// Rank 0 only: is a token currently circulating?
+    token_out: bool,
+    done: bool,
+    initiated: bool,
+}
+
+impl Termination {
+    pub fn new() -> Self {
+        Termination {
+            counter: 0,
+            black: false,
+            token_out: false,
+            done: false,
+            initiated: false,
+        }
+    }
+
+    /// Record `n` basic messages sent.
+    pub fn on_send(&mut self, n: u64) {
+        self.counter += n as i64;
+    }
+
+    /// Record `n` basic messages received.
+    pub fn on_recv(&mut self, n: u64) {
+        self.counter -= n as i64;
+        self.black = true;
+    }
+
+    /// Call when locally idle. Services the token; returns `true` once
+    /// global termination has been detected (and broadcast).
+    pub fn poll(&mut self, comm: &mut Comm) -> bool {
+        if self.done {
+            return true;
+        }
+        let (rank, size) = (comm.rank(), comm.size());
+        if size == 1 {
+            self.done = true;
+            return true;
+        }
+        // Termination announcement?
+        if comm.try_recv::<()>(None, DONE_TAG).is_some() {
+            // Forward the announcement down the ring, then stop.
+            let next = (rank + 1) % size;
+            if next != 0 {
+                comm.send(next, DONE_TAG, ());
+            }
+            self.done = true;
+            return true;
+        }
+        // Rank 0 launches the token when idle and none is out.
+        if rank == 0 && !self.token_out {
+            self.token_out = true;
+            self.initiated = true;
+            comm.send(1, TOKEN_TAG, (0i64, 0u8)); // (count, black?)
+            self.black = false;
+            return false;
+        }
+        // Token in hand?
+        if let Some((_, (count, black))) = comm.try_recv::<(i64, u8)>(None, TOKEN_TAG) {
+            if rank == 0 {
+                self.token_out = false;
+                let total = count + self.counter;
+                let any_black = black != 0 || self.black;
+                if !any_black && total == 0 {
+                    // Quiescent: announce termination around the ring.
+                    comm.send(1, DONE_TAG, ());
+                    self.done = true;
+                    return true;
+                }
+                // Retry: token will be relaunched on the next poll.
+                self.black = false;
+            } else {
+                let fwd_count = count + self.counter;
+                let fwd_black = (black != 0 || self.black) as u8;
+                comm.send((rank + 1) % size, TOKEN_TAG, (fwd_count, fwd_black));
+                self.black = false;
+            }
+        }
+        false
+    }
+}
+
+impl Default for Termination {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn batches_flush_at_limit() {
+        run(2, |c| {
+            let mut abm: Abm<u64> = Abm::new(c.size(), 0, 3);
+            if c.rank() == 0 {
+                for i in 0..7u64 {
+                    abm.post(c, 1, i);
+                }
+                assert_eq!(abm.pending(), 1); // 7 = 3 + 3 + 1 pending
+                abm.flush_all(c);
+                assert_eq!(abm.pending(), 0);
+                assert_eq!(abm.sent, 3);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 7 {
+                    for (_, batch) in abm.poll(c) {
+                        got.extend(batch);
+                    }
+                    std::thread::yield_now();
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..7).collect::<Vec<u64>>());
+            }
+        });
+    }
+
+    #[test]
+    fn termination_detects_quiescence_immediately_when_no_traffic() {
+        run(4, |c| {
+            let mut term = Termination::new();
+            let mut iters = 0;
+            while !term.poll(c) {
+                iters += 1;
+                assert!(iters < 100_000, "termination never detected");
+                std::thread::yield_now();
+            }
+        });
+    }
+
+    #[test]
+    fn termination_single_rank() {
+        run(1, |c| {
+            let mut term = Termination::new();
+            assert!(term.poll(c));
+        });
+    }
+
+    #[test]
+    fn termination_after_message_storm() {
+        // Each rank fires a random cascade: receiving a message may spawn
+        // more, with decreasing probability. Termination must only be
+        // declared after all cascades die out, and all sent messages must
+        // be received.
+        let counts = run(4, |c| {
+            let mut rng = SmallRng::seed_from_u64(17 + c.rank() as u64);
+            let mut abm: Abm<u64> = Abm::new(c.size(), 1, 2);
+            let mut term = Termination::new();
+            let mut handled = 0u64;
+            // Seed the storm.
+            for _ in 0..20 {
+                let dst = rng.gen_range(0..c.size());
+                abm.post(c, dst, 8);
+            }
+            abm.flush_all(c);
+            term.on_send(abm.sent);
+            let mut sent_so_far = abm.sent;
+            loop {
+                let batches = abm.poll(c);
+                let mut got_any = false;
+                for (_, batch) in batches {
+                    term.on_recv(1);
+                    got_any = true;
+                    for ttl in batch {
+                        handled += 1;
+                        if ttl > 0 && rng.gen_bool(0.6) {
+                            let dst = rng.gen_range(0..c.size());
+                            abm.post(c, dst, ttl - 1);
+                        }
+                    }
+                }
+                abm.flush_all(c);
+                if abm.sent > sent_so_far {
+                    term.on_send(abm.sent - sent_so_far);
+                    sent_so_far = abm.sent;
+                }
+                if !got_any && term.poll(c) {
+                    break;
+                }
+            }
+            handled
+        });
+        // Every message sent must have been handled somewhere.
+        let total: u64 = counts.iter().sum();
+        assert!(total >= 80, "storm too small: {total}");
+    }
+}

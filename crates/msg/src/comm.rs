@@ -1,0 +1,393 @@
+//! The world, ranks, and point-to-point messaging.
+//!
+//! [`run_with`] spawns one thread per rank; each thread gets a [`Comm`]
+//! wired to the shared fabric. Sends are asynchronous (unbounded channels),
+//! receives block with tag/source matching, and every operation advances
+//! the rank's virtual clock per the machine model.
+
+use crate::machine::Machine;
+use crate::payload::Payload;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::thread;
+
+/// Message tag. User tags should stay below [`Tag::MAX`]`/2`; the library
+/// reserves the top bit for collectives.
+pub type Tag = u64;
+
+/// Envelope bytes charged per message on top of the payload.
+pub const HEADER_BYTES: usize = 32;
+
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: Tag,
+    /// Virtual time the last byte reaches the destination NIC.
+    pub arrival: f64,
+    pub data: Box<dyn Any + Send>,
+}
+
+/// Per-rank communication statistics (virtual-time accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    pub sends: u64,
+    pub recvs: u64,
+    pub bytes_sent: u64,
+    /// Virtual seconds spent in modeled computation.
+    pub compute_s: f64,
+    /// Virtual seconds spent waiting for messages not yet arrived.
+    pub wait_s: f64,
+}
+
+/// One rank's endpoint: point-to-point messaging, virtual clock, and (via
+/// the `collectives` module) collective operations.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    clock: f64,
+    machine: Machine,
+    senders: Vec<Sender<Packet>>,
+    rx: Receiver<Packet>,
+    mailbox: Vec<Packet>,
+    pub(crate) coll_seq: u64,
+    stats: CommStats,
+}
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's virtual clock, seconds since the program started.
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Advance the clock by a modeled computation phase: `flops` floating
+    /// point operations touching `bytes` of DRAM traffic, at the machine's
+    /// default CPU efficiency.
+    pub fn compute(&mut self, flops: f64, bytes: f64) {
+        let eff = self.machine.default_cpu_eff;
+        self.compute_eff(flops, bytes, eff);
+    }
+
+    /// Like [`Comm::compute`] with an explicit fraction-of-peak.
+    pub fn compute_eff(&mut self, flops: f64, bytes: f64, cpu_eff: f64) {
+        let dt = self.machine.node.time(flops, bytes, cpu_eff);
+        self.clock += dt;
+        self.stats.compute_s += dt;
+    }
+
+    /// Advance the clock by a literal duration (e.g. modeled disk I/O).
+    pub fn elapse(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot elapse negative time");
+        self.clock += seconds;
+    }
+
+    /// Send `value` to `dst` with `tag`. Never blocks.
+    pub fn send<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let bytes = value.wire_bytes() + HEADER_BYTES;
+        let profile = self.machine.fabric.profile();
+        self.clock += profile.send_overhead_s;
+        let out = self
+            .machine
+            .fabric
+            .transfer(self.rank as u32, dst as u32, bytes, self.clock);
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let pkt = Packet {
+            src: self.rank,
+            tag,
+            arrival: out.arrival,
+            data: Box::new(value),
+        };
+        // The receiver thread can only have hung up on panic; propagate.
+        self.senders[dst]
+            .send(pkt)
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
+    fn matches(pkt: &Packet, src: Option<usize>, tag: Tag) -> bool {
+        pkt.tag == tag && src.is_none_or(|s| pkt.src == s)
+    }
+
+    fn take_from_mailbox(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {
+        let idx = self
+            .mailbox
+            .iter()
+            .position(|p| Self::matches(p, src, tag))?;
+        Some(self.mailbox.swap_remove(idx))
+    }
+
+    fn accept<T: Payload>(&mut self, pkt: Packet) -> (usize, T) {
+        let profile = self.machine.fabric.profile();
+        let ready = self.clock + profile.recv_overhead_s;
+        let wait = (pkt.arrival - ready).max(0.0);
+        self.stats.wait_s += wait;
+        self.clock = ready + wait;
+        self.stats.recvs += 1;
+        let src = pkt.src;
+        let value = *pkt.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {} from rank {src}",
+                self.rank, pkt.tag
+            )
+        });
+        (src, value)
+    }
+
+    /// Blocking receive matching `(src, tag)`; `src = None` is a wildcard.
+    /// Returns the actual source and the value.
+    pub fn recv<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
+        loop {
+            if let Some(pkt) = self.take_from_mailbox(src, tag) {
+                return self.accept(pkt);
+            }
+            let pkt = self.rx.recv().expect("world disconnected");
+            self.mailbox.push(pkt);
+        }
+    }
+
+    /// Non-blocking receive. Drains the channel into the mailbox, then
+    /// looks for a match.
+    pub fn try_recv<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> Option<(usize, T)> {
+        while let Ok(pkt) = self.rx.try_recv() {
+            self.mailbox.push(pkt);
+        }
+        let pkt = self.take_from_mailbox(src, tag)?;
+        Some(self.accept(pkt))
+    }
+
+    /// Convenience: receive from a specific rank.
+    pub fn recv_from<T: Payload>(&mut self, src: usize, tag: Tag) -> T {
+        self.recv::<T>(Some(src), tag).1
+    }
+}
+
+/// Run an `nranks`-way program on `machine`. Each rank executes `f` on its
+/// own thread; the per-rank return values come back in rank order.
+///
+/// Panics in any rank propagate (the whole world is torn down).
+pub fn run_with<T, F>(machine: Machine, nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    assert!(
+        (machine.fabric.topology().total_ports() as usize) >= nranks,
+        "machine has too few ports for {nranks} ranks"
+    );
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let f = &f;
+    let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let machine = machine.clone();
+            let senders = senders.clone();
+            let h = thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(scope, move || {
+                    let mut comm = Comm {
+                        rank,
+                        size: nranks,
+                        clock: 0.0,
+                        machine,
+                        senders,
+                        rx,
+                        mailbox: Vec::new(),
+                        coll_seq: 0,
+                        stats: CommStats::default(),
+                    };
+                    f(&mut comm)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(v) => out[rank] = Some(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// Run on an ideal crossbar (unit tests, algorithm development).
+pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_with(Machine::ideal(nranks as u32), nranks, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let sums = run(4, |c| {
+            let right = (c.rank() + 1) % c.size();
+            c.send(right, 1, c.rank() as u64);
+            let (src, v) = c.recv::<u64>(None, 1);
+            assert_eq!(src, (c.rank() + c.size() - 1) % c.size());
+            v
+        });
+        assert_eq!(sums, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn wildcard_and_specific_recv() {
+        run(3, |c| {
+            if c.rank() == 0 {
+                let (_, a) = c.recv::<u64>(Some(2), 7);
+                let (_, b) = c.recv::<u64>(Some(1), 7);
+                assert_eq!((a, b), (22, 11));
+            } else {
+                c.send(0, 7, (c.rank() * 11) as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn tags_separate_message_streams() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 50u64);
+                c.send(1, 6, 60u64);
+            } else {
+                // Receive in the reverse order of sending.
+                let b = c.recv_from::<u64>(0, 6);
+                let a = c.recv_from::<u64>(0, 5);
+                assert_eq!((a, b), (50, 60));
+            }
+        });
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_compute_and_messages() {
+        let times = run(2, |c| {
+            c.compute(1.0e9, 0.0); // ~0.4 s at 50% of 5.06 Gflop/s
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0f64; 1000]);
+            } else {
+                let _ = c.recv_from::<Vec<f64>>(0, 1);
+            }
+            c.time()
+        });
+        // Rank 1's clock includes rank 0's compute time (causality).
+        assert!(times[1] >= times[0] * 0.99, "{times:?}");
+        assert!(times[0] > 0.3, "{times:?}");
+    }
+
+    #[test]
+    fn receive_cannot_precede_send_in_virtual_time() {
+        let times = run(2, |c| {
+            if c.rank() == 0 {
+                c.compute(5.0e9, 0.0); // busy a while first
+                c.send(1, 1, 1u64);
+                c.time()
+            } else {
+                let _ = c.recv_from::<u64>(0, 1);
+                c.time()
+            }
+        });
+        assert!(
+            times[1] > times[0],
+            "receiver finished before sender: {times:?}"
+        );
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                assert!(c.try_recv::<u64>(None, 9).is_none());
+                c.send(1, 3, 1u64);
+            } else {
+                // Spin until the message shows up.
+                loop {
+                    if let Some((src, v)) = c.try_recv::<u64>(None, 3) {
+                        assert_eq!((src, v), (0, 1));
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let stats = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1u8; 100]);
+            } else {
+                let _ = c.recv_from::<Vec<u8>>(0, 1);
+            }
+            c.stats()
+        });
+        assert_eq!(stats[0].sends, 1);
+        assert_eq!(stats[0].bytes_sent as usize, 100 + HEADER_BYTES);
+        assert_eq!(stats[1].recvs, 1);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.compute(1e6, 1e6);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_panics() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 1u64);
+            } else {
+                let _ = c.recv_from::<f64>(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too few ports")]
+    fn too_many_ranks_for_machine_panics() {
+        run_with(Machine::ideal(2), 4, |_c| ());
+    }
+
+    #[test]
+    fn self_send_works() {
+        run(1, |c| {
+            c.send(0, 1, 7u64);
+            assert_eq!(c.recv_from::<u64>(0, 1), 7);
+        });
+    }
+}

@@ -1,0 +1,71 @@
+//! The machine a message-passing world runs on.
+//!
+//! A [`Machine`] pairs a per-node performance model (`nodesim`) with a
+//! shared network fabric (`netsim`). Rank *i* of the world is plugged into
+//! port *i* of the fabric, mirroring the Space Simulator's one-NIC-per-node
+//! wiring.
+
+use netsim::{Fabric, LibraryProfile, SwitchFabric};
+use nodesim::NodeModel;
+use std::sync::Arc;
+
+/// Node model + shared fabric for one simulated cluster.
+#[derive(Clone)]
+pub struct Machine {
+    pub node: NodeModel,
+    pub fabric: Arc<Fabric>,
+    /// Default fraction of peak the modeled computation sustains when a
+    /// caller does not specify one.
+    pub default_cpu_eff: f64,
+}
+
+impl Machine {
+    pub fn new(node: NodeModel, fabric: Fabric) -> Self {
+        Machine {
+            node,
+            fabric: Arc::new(fabric),
+            default_cpu_eff: 0.5,
+        }
+    }
+
+    /// The Space Simulator with a given MPI library profile.
+    pub fn space_simulator(profile: LibraryProfile) -> Self {
+        Machine::new(
+            NodeModel::space_simulator(),
+            Fabric::space_simulator(profile),
+        )
+    }
+
+    /// The Space Simulator with LAM 6.5.9 `-O` — the configuration of the
+    /// April 2003 Linpack record.
+    pub fn space_simulator_lam() -> Self {
+        Self::space_simulator(LibraryProfile::lam_homogeneous())
+    }
+
+    /// An idealized machine for unit tests: SS node, ideal crossbar.
+    pub fn ideal(ports: u32) -> Self {
+        Machine::new(
+            NodeModel::space_simulator(),
+            Fabric::new(SwitchFabric::crossbar(ports), LibraryProfile::tcp()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_simulator_machine_has_304_ports() {
+        let m = Machine::space_simulator_lam();
+        assert_eq!(m.fabric.topology().total_ports(), 304);
+        assert!((m.node.peak_flops() - 5.06e9).abs() < 1e7);
+    }
+
+    #[test]
+    fn ideal_machine_is_uncontended() {
+        let m = Machine::ideal(8);
+        let out = m.fabric.transfer(0, 7, 1 << 20, 0.0);
+        assert_eq!(out.queued, 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Contention-aware message transfer over the switch fabric.
+//!
+//! A [`Fabric`] combines a [`SwitchFabric`] topology with a
+//! [`LibraryProfile`] and tracks, per shared resource (module uplinks and
+//! the inter-switch trunk), the virtual time until which the resource is
+//! busy. A transfer's end-to-end time is the library model's latency +
+//! serialization (the NIC is the bottleneck at 779 Mbit/s), plus any
+//! queueing delay accrued while crossing busy backbone segments.
+//!
+//! The busy-until bookkeeping makes aggregate throughput across a shared
+//! segment saturate at the segment's capacity — exactly the behaviour the
+//! paper measures with its hypercube-pairs MPI test ("with 16 processors on
+//! one module sending to 16 processors on another module, the total
+//! throughput was about 6000 Mbits").
+
+use crate::profiles::LibraryProfile;
+use crate::switch::{Resource, SwitchFabric};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Result of scheduling one message through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Virtual time at which the last byte reaches the receiver's NIC.
+    pub arrival: f64,
+    /// Of the total, how much was queueing behind other traffic.
+    pub queued: f64,
+}
+
+/// Aggregate fabric statistics, for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricStats {
+    pub messages: u64,
+    pub bytes: u64,
+    /// Total time spent queued behind shared resources, summed over
+    /// messages (seconds of virtual time).
+    pub queued_s: f64,
+}
+
+struct State {
+    busy_until: HashMap<Resource, f64>,
+    stats: FabricStats,
+}
+
+/// A shared, thread-safe cluster network.
+pub struct Fabric {
+    topology: SwitchFabric,
+    profile: LibraryProfile,
+    state: Mutex<State>,
+}
+
+impl Fabric {
+    pub fn new(topology: SwitchFabric, profile: LibraryProfile) -> Self {
+        Fabric {
+            topology,
+            profile,
+            state: Mutex::new(State {
+                busy_until: HashMap::new(),
+                stats: FabricStats::default(),
+            }),
+        }
+    }
+
+    /// An ideal non-blocking crossbar with the given profile.
+    pub fn ideal(ports: u32, profile: LibraryProfile) -> Self {
+        Fabric::new(SwitchFabric::crossbar(ports), profile)
+    }
+
+    /// The Space Simulator's fabric with the given MPI library.
+    pub fn space_simulator(profile: LibraryProfile) -> Self {
+        Fabric::new(SwitchFabric::space_simulator(), profile)
+    }
+
+    pub fn profile(&self) -> &LibraryProfile {
+        &self.profile
+    }
+
+    pub fn topology(&self) -> &SwitchFabric {
+        &self.topology
+    }
+
+    /// Schedule an `bytes`-byte message from `src` to `dst` departing at
+    /// virtual time `depart`. Thread-safe; updates contention state.
+    pub fn transfer(&self, src: u32, dst: u32, bytes: usize, depart: f64) -> TransferOutcome {
+        if src == dst {
+            // Self-send: local memcpy, modeled as a cheap copy at memory
+            // bandwidth (1.2 GB/s for the XPC node).
+            return TransferOutcome {
+                arrival: depart + 1.0e-6 + bytes as f64 / 1.2e9,
+                queued: 0.0,
+            };
+        }
+        let route = self.topology.route(src, dst);
+        let wire = self.profile.transfer_time(bytes);
+        let mut st = self.state.lock();
+        // Cut-through model: the message's head waits for each busy segment
+        // but does not pay the segment's serialization time itself (the
+        // 779 Mbit/s NIC, charged once via `wire`, is always the narrowest
+        // hop). Each segment is held for bytes/capacity, which is what makes
+        // aggregate throughput saturate at the segment capacity.
+        let mut t = depart;
+        for r in route {
+            let cap = self.topology.capacity(r);
+            if !cap.is_finite() {
+                continue;
+            }
+            let busy = st.busy_until.entry(r).or_insert(0.0);
+            let start = t.max(*busy);
+            let hold = bytes as f64 / cap;
+            *busy = start + hold;
+            t = start;
+        }
+        let queued = t - depart;
+        st.stats.messages += 1;
+        st.stats.bytes += bytes as u64;
+        st.stats.queued_s += queued;
+        TransferOutcome {
+            arrival: depart + queued + wire,
+            queued,
+        }
+    }
+
+    /// Uncontended one-way time for an `n`-byte message (no state update).
+    pub fn point_to_point_time(&self, n: usize) -> f64 {
+        self.profile.transfer_time(n)
+    }
+
+    pub fn stats(&self) -> FabricStats {
+        self.state.lock().stats
+    }
+
+    /// Reset contention state and statistics (e.g. between experiments).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.busy_until.clear();
+        st.stats = FabricStats::default();
+    }
+
+    /// Reproduce the paper's switch-characterization experiment: `pairs`
+    /// simultaneous flows each pushing `bytes_per_flow` from module A to
+    /// module B (or across the trunk when `cross_switch`). Returns the
+    /// aggregate throughput in Mbit/s.
+    pub fn aggregate_pairs_mbits(
+        &self,
+        pairs: u32,
+        bytes_per_flow: usize,
+        cross_switch: bool,
+    ) -> f64 {
+        self.reset();
+        let msg = 64 * 1024;
+        let n_msgs = bytes_per_flow / msg;
+        let dst_base = if cross_switch {
+            // First port of the second chassis.
+            self.topology.switches[0].ports()
+        } else {
+            // First port of the second module on chassis 0.
+            self.topology.switches[0].ports_per_module
+        };
+        let mut finish: f64 = 0.0;
+        // Round-robin across flows so contention interleaves realistically.
+        let mut clocks = vec![0.0f64; pairs as usize];
+        for _ in 0..n_msgs {
+            for p in 0..pairs {
+                let out = self.transfer(p, dst_base + p, msg, clocks[p as usize]);
+                clocks[p as usize] = out.arrival;
+                finish = finish.max(out.arrival);
+            }
+        }
+        let total_bytes = pairs as usize * n_msgs * msg;
+        crate::mbits_per_sec(total_bytes, finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss() -> Fabric {
+        Fabric::space_simulator(LibraryProfile::tcp())
+    }
+
+    #[test]
+    fn single_flow_hits_nic_limit() {
+        let f = ss();
+        // One flow within a module: NIC-limited near 779 Mbit/s.
+        let n = 1 << 20;
+        let out = f.transfer(0, 1, n, 0.0);
+        let mbits = crate::mbits_per_sec(n, out.arrival);
+        assert!(mbits > 700.0 && mbits < 779.0, "got {mbits}");
+        assert_eq!(out.queued, 0.0);
+    }
+
+    #[test]
+    fn sixteen_cross_module_pairs_aggregate_near_6_gbit() {
+        let f = ss();
+        let agg = f.aggregate_pairs_mbits(16, 8 << 20, false);
+        // Paper: "the total throughput was about 6000 Mbits".
+        assert!(agg > 5200.0 && agg < 6600.0, "got {agg}");
+    }
+
+    #[test]
+    fn intra_module_pairs_scale_linearly() {
+        let f = ss();
+        f.reset();
+        // 8 pairs inside one 16-port module: non-blocking, so each flow
+        // runs at NIC speed and the aggregate is ~8x one flow.
+        let n = 1 << 20;
+        let mut finish: f64 = 0.0;
+        for p in 0..8u32 {
+            let out = f.transfer(p, 8 + p, n, 0.0);
+            assert_eq!(out.queued, 0.0);
+            finish = finish.max(out.arrival);
+        }
+        let agg = crate::mbits_per_sec(8 * n, finish);
+        assert!(agg > 5600.0, "got {agg}");
+    }
+
+    #[test]
+    fn trunk_limits_cross_switch_traffic() {
+        let f = ss();
+        // 32 flows from the FastIron 1500 to the FastIron 800 all funnel
+        // through the 8 Gbit trunk; uncontended they would aggregate to
+        // 32 x 779 ≈ 24 900 Mbit/s.
+        let cross_switch = f.aggregate_pairs_mbits(32, 4 << 20, true);
+        assert!(
+            cross_switch > 7000.0 && cross_switch < 8200.0,
+            "got {cross_switch}"
+        );
+    }
+
+    #[test]
+    fn self_send_is_memory_speed() {
+        let f = ss();
+        let out = f.transfer(5, 5, 1 << 20, 0.0);
+        // ~0.9 ms for 1 MB at 1.2 GB/s.
+        assert!(out.arrival < 2.0e-3, "got {}", out.arrival);
+    }
+
+    #[test]
+    fn queueing_is_reported() {
+        let f = ss();
+        // Two flows sharing the same module uplink at the same instant:
+        // the second should see queueing.
+        let n = 1 << 20;
+        let a = f.transfer(0, 16, n, 0.0);
+        let b = f.transfer(1, 17, n, 0.0);
+        assert_eq!(a.queued, 0.0);
+        assert!(b.queued > 0.0);
+        assert!(b.arrival > a.arrival - 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let f = ss();
+        f.transfer(0, 1, 100, 0.0);
+        f.transfer(0, 1, 100, 0.0);
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 200);
+        f.reset();
+        assert_eq!(f.stats().messages, 0);
+    }
+
+    #[test]
+    fn ideal_fabric_never_queues() {
+        let f = Fabric::ideal(512, LibraryProfile::quadrics());
+        for i in 0..100u32 {
+            let out = f.transfer(i, 511 - i, 1 << 16, 0.0);
+            assert_eq!(out.queued, 0.0);
+        }
+    }
+}
+
+impl Fabric {
+    /// The §3.1 experiment verbatim: "a small MPI program which
+    /// simultaneously sends messages between pairs of processors along
+    /// various hypercube edges." Pairs partners differing in bit `dim`
+    /// of the rank; returns aggregate Mbit/s over `ranks` ports.
+    pub fn hypercube_edge_mbits(&self, ranks: u32, dim: u32, bytes_per_flow: usize) -> f64 {
+        assert!(1 << dim < ranks);
+        self.reset();
+        let msg = 64 * 1024;
+        let n_msgs = bytes_per_flow / msg;
+        let mut clocks = vec![0.0f64; ranks as usize];
+        let mut finish: f64 = 0.0;
+        let mut total_bytes = 0usize;
+        for _ in 0..n_msgs {
+            for src in 0..ranks {
+                let dst = src ^ (1 << dim);
+                if dst >= ranks {
+                    continue;
+                }
+                let out = self.transfer(src, dst, msg, clocks[src as usize]);
+                clocks[src as usize] = out.arrival;
+                finish = finish.max(out.arrival);
+                total_bytes += msg;
+            }
+        }
+        crate::mbits_per_sec(total_bytes, finish)
+    }
+}
+
+#[cfg(test)]
+mod hypercube_tests {
+    use super::*;
+
+    #[test]
+    fn low_dims_are_nonblocking_high_dims_hit_the_backplane() {
+        let f = Fabric::space_simulator(LibraryProfile::tcp());
+        // dim 0..3: partners stay within a 16-port module -> aggregate
+        // scales with the number of flows.
+        let low = f.hypercube_edge_mbits(32, 1, 4 << 20);
+        // dim 4: partners are 16 apart -> every flow crosses modules.
+        let high = f.hypercube_edge_mbits(32, 4, 4 << 20);
+        assert!(
+            low > high,
+            "intra-module {low} should beat cross-module {high}"
+        );
+        // 32 flows all crossing one pair of uplinks: capped well below
+        // the non-blocking aggregate.
+        assert!(high < 13_000.0, "got {high}");
+    }
+
+    #[test]
+    fn trunk_dimension_is_the_slowest() {
+        let f = Fabric::space_simulator(LibraryProfile::tcp());
+        // 288 ranks, dim 8 (partners 256 apart): flows from ports
+        // 0..31 pair with 256..287 across the trunk.
+        let trunk_dim = f.hypercube_edge_mbits(288, 8, 2 << 20);
+        let module_dim = f.hypercube_edge_mbits(288, 4, 2 << 20);
+        assert!(
+            trunk_dim < module_dim,
+            "trunk {trunk_dim} vs module {module_dim}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Component failure model calibrated to §2.1 of the paper.
+//!
+//! The paper reports two failure tallies for the 294-node cluster:
+//!
+//! * **burn-in** (installation + first Linpack runs): 3 power supplies,
+//!   6 disk drives, 4 motherboards, 6 DRAM sticks, 1 ethernet card;
+//! * **nine months of operation**: 2 power supplies, 16 disk drives,
+//!   1 motherboard, 3 DRAM sticks, 1 loose fan — plus <10 soft node
+//!   errors and 4 soft switch-port failures (cured by a firmware upgrade).
+//!
+//! Notably *zero CPU-fan failures*: the Shuttle chassis's heat pipe
+//! eliminates the component the authors found most failure-prone in
+//! earlier clusters. We model burn-in as per-component defect
+//! probabilities and operation as per-component-month Poisson rates, both
+//! calibrated so the expected tallies match the paper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The classes of hardware the paper tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentClass {
+    PowerSupply,
+    DiskDrive,
+    Motherboard,
+    DramStick,
+    EthernetCard,
+    CaseFan,
+    SwitchPort,
+}
+
+impl ComponentClass {
+    pub const ALL: [ComponentClass; 7] = [
+        ComponentClass::PowerSupply,
+        ComponentClass::DiskDrive,
+        ComponentClass::Motherboard,
+        ComponentClass::DramStick,
+        ComponentClass::EthernetCard,
+        ComponentClass::CaseFan,
+        ComponentClass::SwitchPort,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComponentClass::PowerSupply => "power supply",
+            ComponentClass::DiskDrive => "disk drive",
+            ComponentClass::Motherboard => "motherboard",
+            ComponentClass::DramStick => "DRAM stick",
+            ComponentClass::EthernetCard => "ethernet card",
+            ComponentClass::CaseFan => "case fan",
+            ComponentClass::SwitchPort => "switch port (soft)",
+        }
+    }
+}
+
+/// Failure counts per component class, in `ComponentClass::ALL` order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureTally {
+    pub counts: [u32; 7],
+}
+
+impl FailureTally {
+    pub fn get(&self, c: ComponentClass) -> u32 {
+        self.counts[ComponentClass::ALL.iter().position(|&x| x == c).unwrap()]
+    }
+
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+/// One component population with its defect and wear-out rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentModel {
+    pub class: ComponentClass,
+    /// How many of this component the cluster contains.
+    pub population: u32,
+    /// Probability a unit is dead-on-arrival / fails during burn-in.
+    pub burn_in_defect_prob: f64,
+    /// Failures per unit-month during steady operation.
+    pub monthly_rate: f64,
+}
+
+/// The full cluster reliability model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    pub components: Vec<ComponentModel>,
+}
+
+impl ReliabilityModel {
+    /// Calibrated to the Space Simulator's §2.1 tallies: 294 nodes,
+    /// 588 DIMMs, a ~300-port switch, and one chassis fan per node
+    /// (the PSU fan; there is no CPU fan).
+    pub fn space_simulator() -> Self {
+        let c = |class, population: u32, burn_in: u32, nine_months: f64| ComponentModel {
+            class,
+            population,
+            burn_in_defect_prob: burn_in as f64 / population as f64,
+            monthly_rate: nine_months / (population as f64 * 9.0),
+        };
+        ReliabilityModel {
+            components: vec![
+                c(ComponentClass::PowerSupply, 294, 3, 2.0),
+                c(ComponentClass::DiskDrive, 294, 6, 16.0),
+                c(ComponentClass::Motherboard, 294, 4, 1.0),
+                c(ComponentClass::DramStick, 588, 6, 3.0),
+                c(ComponentClass::EthernetCard, 294, 1, 0.0),
+                // One loose fan in nine months; no CPU fans exist to fail.
+                c(ComponentClass::CaseFan, 294, 0, 1.0),
+                c(ComponentClass::SwitchPort, 304, 0, 4.0),
+            ],
+        }
+    }
+
+    /// Expected burn-in defects per class (analytic).
+    pub fn expected_burn_in(&self) -> Vec<(ComponentClass, f64)> {
+        self.components
+            .iter()
+            .map(|c| (c.class, c.population as f64 * c.burn_in_defect_prob))
+            .collect()
+    }
+
+    /// Expected failures per class over `months` of operation (analytic).
+    pub fn expected_operational(&self, months: f64) -> Vec<(ComponentClass, f64)> {
+        self.components
+            .iter()
+            .map(|c| (c.class, c.population as f64 * c.monthly_rate * months))
+            .collect()
+    }
+
+    /// Monte-Carlo burn-in: each unit independently defective with its
+    /// class probability.
+    pub fn simulate_burn_in<R: Rng>(&self, rng: &mut R) -> FailureTally {
+        let mut tally = FailureTally::default();
+        for (i, c) in self.components.iter().enumerate() {
+            let mut n = 0;
+            for _ in 0..c.population {
+                if rng.gen::<f64>() < c.burn_in_defect_prob {
+                    n += 1;
+                }
+            }
+            tally.counts[i] = n;
+        }
+        tally
+    }
+
+    /// Monte-Carlo operation for `months`: per-unit Poisson failures,
+    /// sampled as Bernoulli per unit-month (rates are ≪ 1).
+    pub fn simulate_operation<R: Rng>(&self, rng: &mut R, months: u32) -> FailureTally {
+        let mut tally = FailureTally::default();
+        for (i, c) in self.components.iter().enumerate() {
+            let mut n = 0;
+            for _ in 0..c.population {
+                for _ in 0..months {
+                    if rng.gen::<f64>() < c.monthly_rate {
+                        n += 1;
+                    }
+                }
+            }
+            tally.counts[i] = n;
+        }
+        tally
+    }
+
+    /// Fraction of disk failures predictable via SMART monitoring; the
+    /// paper "believe\[s\] that a majority of the drive failures can be
+    /// predicted".
+    pub fn smart_predictable_fraction(&self) -> f64 {
+        0.7
+    }
+
+    /// Cluster-wide availability estimate for `months`, counting the three
+    /// whole-cluster outages the paper reports (one 3-day PDU failure and
+    /// two power outages, ~1 day each assumed).
+    pub fn availability(&self, months: f64) -> f64 {
+        let days = months * 30.44;
+        let outage_days = 3.0 + 1.0 + 1.0;
+        1.0 - outage_days / days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_burn_in_matches_paper() {
+        let m = ReliabilityModel::space_simulator();
+        let expect = m.expected_burn_in();
+        let get = |c| {
+            expect
+                .iter()
+                .find(|(cls, _)| *cls == c)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((get(ComponentClass::PowerSupply) - 3.0).abs() < 1e-9);
+        assert!((get(ComponentClass::DiskDrive) - 6.0).abs() < 1e-9);
+        assert!((get(ComponentClass::Motherboard) - 4.0).abs() < 1e-9);
+        assert!((get(ComponentClass::DramStick) - 6.0).abs() < 1e-9);
+        assert!((get(ComponentClass::EthernetCard) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_nine_month_failures_match_paper() {
+        let m = ReliabilityModel::space_simulator();
+        let expect = m.expected_operational(9.0);
+        let get = |c| {
+            expect
+                .iter()
+                .find(|(cls, _)| *cls == c)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((get(ComponentClass::DiskDrive) - 16.0).abs() < 1e-9);
+        assert!((get(ComponentClass::PowerSupply) - 2.0).abs() < 1e-9);
+        assert!((get(ComponentClass::SwitchPort) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disks_dominate_operational_failures() {
+        let m = ReliabilityModel::space_simulator();
+        let expect = m.expected_operational(9.0);
+        let disk = expect
+            .iter()
+            .find(|(c, _)| *c == ComponentClass::DiskDrive)
+            .unwrap()
+            .1;
+        let others: f64 = expect
+            .iter()
+            .filter(|(c, _)| *c != ComponentClass::DiskDrive)
+            .map(|(_, v)| v)
+            .sum();
+        assert!(disk > others, "disk {disk} vs others {others}");
+    }
+
+    #[test]
+    fn monte_carlo_tracks_expectation() {
+        let m = ReliabilityModel::space_simulator();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 200;
+        let mut total_disk = 0u32;
+        for _ in 0..trials {
+            let t = m.simulate_operation(&mut rng, 9);
+            total_disk += t.get(ComponentClass::DiskDrive);
+        }
+        let mean = total_disk as f64 / trials as f64;
+        // Expectation is 16; allow generous Monte-Carlo slack.
+        assert!((mean - 16.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn no_cpu_fan_failures_at_burn_in() {
+        let m = ReliabilityModel::space_simulator();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = m.simulate_burn_in(&mut rng);
+        assert_eq!(t.get(ComponentClass::CaseFan), 0);
+    }
+
+    #[test]
+    fn availability_is_high_but_not_perfect() {
+        let m = ReliabilityModel::space_simulator();
+        let a = m.availability(9.0);
+        assert!(a > 0.97 && a < 1.0, "got {a}");
+    }
+
+    #[test]
+    fn tally_total_sums_counts() {
+        let t = FailureTally {
+            counts: [1, 2, 3, 0, 0, 1, 0],
+        };
+        assert_eq!(t.total(), 7);
+    }
+}

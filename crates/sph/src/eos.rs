@@ -1,0 +1,140 @@
+//! Equations of state: gamma-law gas and the nuclear-stiffening hybrid
+//! used for core collapse.
+//!
+//! Core collapse proceeds on a soft (Γ ≈ 4/3) effective EOS until the
+//! center reaches nuclear density, where the EOS stiffens sharply
+//! (Γ ≈ 2.5–3) — that stiffening is what halts the collapse and drives
+//! the bounce shock. We use the standard hybrid form: a cold (polytropic)
+//! pressure with a density-dependent exponent plus a thermal gamma-law
+//! part.
+
+/// An equation of state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Eos {
+    /// `P = (γ−1) ρ u`.
+    GammaLaw { gamma: f64 },
+    /// Cold polytrope with stiffening at `rho_nuc` + thermal part:
+    /// `P = K·ρ^Γ(ρ) + (γ_th − 1) ρ u`, Γ = `gamma_soft` below nuclear
+    /// density and `gamma_stiff` above (K adjusted for continuity).
+    Hybrid {
+        k: f64,
+        gamma_soft: f64,
+        gamma_stiff: f64,
+        rho_nuc: f64,
+        gamma_th: f64,
+    },
+}
+
+impl Eos {
+    /// The collapse EOS in code units (G = M = R = 1): soft Γ = 4/3,
+    /// stiff Γ = 2.5 above `rho_nuc`.
+    pub fn collapse(k: f64, rho_nuc: f64) -> Eos {
+        Eos::Hybrid {
+            k,
+            gamma_soft: 4.0 / 3.0,
+            gamma_stiff: 2.5,
+            rho_nuc,
+            gamma_th: 5.0 / 3.0,
+        }
+    }
+
+    /// Pressure and sound speed for density `rho` and specific internal
+    /// energy `u`.
+    pub fn eval(&self, rho: f64, u: f64) -> (f64, f64) {
+        debug_assert!(rho >= 0.0 && u >= 0.0);
+        match *self {
+            Eos::GammaLaw { gamma } => {
+                let p = (gamma - 1.0) * rho * u;
+                let cs = if rho > 0.0 {
+                    (gamma * p / rho).sqrt()
+                } else {
+                    0.0
+                };
+                (p, cs)
+            }
+            Eos::Hybrid {
+                k,
+                gamma_soft,
+                gamma_stiff,
+                rho_nuc,
+                gamma_th,
+            } => {
+                let (kk, gg) = if rho <= rho_nuc {
+                    (k, gamma_soft)
+                } else {
+                    // Continuity at rho_nuc: K₂ = K·ρ_nuc^(Γ₁−Γ₂).
+                    (k * rho_nuc.powf(gamma_soft - gamma_stiff), gamma_stiff)
+                };
+                let p_cold = kk * rho.powf(gg);
+                let p_th = (gamma_th - 1.0) * rho * u;
+                let p = p_cold + p_th;
+                let cs2 = if rho > 0.0 {
+                    gg * p_cold / rho + gamma_th * p_th / rho
+                } else {
+                    0.0
+                };
+                (p, cs2.max(0.0).sqrt())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_law_basics() {
+        let eos = Eos::GammaLaw { gamma: 5.0 / 3.0 };
+        let (p, cs) = eos.eval(2.0, 3.0);
+        assert!((p - 4.0).abs() < 1e-14); // (2/3)·2·3
+        assert!((cs - (5.0 / 3.0 * 4.0 / 2.0_f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn hybrid_is_continuous_at_nuclear_density() {
+        let eos = Eos::collapse(1.0, 100.0);
+        let below = eos.eval(100.0 * (1.0 - 1e-9), 0.0).0;
+        let above = eos.eval(100.0 * (1.0 + 1e-9), 0.0).0;
+        assert!(
+            ((below - above) / below).abs() < 1e-6,
+            "P jumps at rho_nuc: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn stiffening_raises_pressure_growth() {
+        let eos = Eos::collapse(1.0, 100.0);
+        // Logarithmic pressure slope below vs above nuclear density.
+        let slope = |rho: f64| {
+            let (p1, _) = eos.eval(rho, 0.0);
+            let (p2, _) = eos.eval(rho * 1.01, 0.0);
+            (p2 / p1).ln() / 1.01f64.ln()
+        };
+        assert!((slope(10.0) - 4.0 / 3.0).abs() < 0.01);
+        assert!((slope(1000.0) - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn thermal_part_adds_pressure() {
+        let eos = Eos::collapse(1.0, 100.0);
+        let cold = eos.eval(10.0, 0.0).0;
+        let hot = eos.eval(10.0, 5.0).0;
+        assert!(hot > cold);
+        assert!((hot - cold - (2.0 / 3.0) * 10.0 * 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sound_speed_rises_through_bounce_densities() {
+        let eos = Eos::collapse(1.0, 100.0);
+        let cs_low = eos.eval(50.0, 0.0).1;
+        let cs_high = eos.eval(500.0, 0.0).1;
+        assert!(cs_high > cs_low * 2.0);
+    }
+
+    #[test]
+    fn vacuum_is_silent() {
+        let eos = Eos::GammaLaw { gamma: 1.4 };
+        assert_eq!(eos.eval(0.0, 0.0), (0.0, 0.0));
+    }
+}

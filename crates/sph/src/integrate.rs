@@ -1,0 +1,262 @@
+//! CFL-limited leapfrog driver for the SPH equations.
+
+use crate::density::compute_density;
+use crate::eos::Eos;
+use crate::forces::{add_gravity, apply_eos, hydro_forces, Viscosity};
+use crate::neighbors::NeighborTree;
+use crate::neutrino::{neutrino_transport, NeutrinoConfig};
+use crate::particle::SphParticle;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SphConfig {
+    pub eos: Eos,
+    pub viscosity: Viscosity,
+    /// None disables self-gravity.
+    pub gravity_theta: Option<f64>,
+    /// None disables neutrino transport.
+    pub neutrino: Option<NeutrinoConfig>,
+    /// CFL safety factor.
+    pub cfl: f64,
+    /// Hard bounds on the timestep.
+    pub dt_min: f64,
+    pub dt_max: f64,
+}
+
+impl Default for SphConfig {
+    fn default() -> Self {
+        SphConfig {
+            eos: Eos::GammaLaw { gamma: 5.0 / 3.0 },
+            viscosity: Viscosity::default(),
+            gravity_theta: Some(0.6),
+            neutrino: None,
+            cfl: 0.3,
+            dt_min: 1e-9,
+            dt_max: 0.05,
+        }
+    }
+}
+
+/// A running SPH simulation.
+pub struct SphSimulation {
+    pub parts: Vec<SphParticle>,
+    pub cfg: SphConfig,
+    pub time: f64,
+    pub steps: u64,
+}
+
+impl SphSimulation {
+    /// Set up: build the tree, compute densities, EOS and initial forces.
+    pub fn new(mut parts: Vec<SphParticle>, cfg: SphConfig) -> SphSimulation {
+        assert!(!parts.is_empty());
+        Self::compute_rhs(&mut parts, &cfg);
+        SphSimulation {
+            parts,
+            cfg,
+            time: 0.0,
+            steps: 0,
+        }
+    }
+
+    fn compute_rhs(parts: &mut [SphParticle], cfg: &SphConfig) {
+        let nt = NeighborTree::build(parts);
+        compute_density(parts, &nt);
+        apply_eos(parts, &cfg.eos);
+        hydro_forces(parts, &nt, &cfg.viscosity);
+        if let Some(theta) = cfg.gravity_theta {
+            let eps = 0.5 * parts.iter().map(|p| p.h).fold(f64::INFINITY, f64::min);
+            add_gravity(parts, &nt, theta, eps.max(1e-6));
+        }
+        if let Some(nu) = &cfg.neutrino {
+            neutrino_transport(parts, &nt, nu);
+        }
+    }
+
+    /// The CFL timestep: `cfl · min h/(cs + |v| + ε)`.
+    pub fn cfl_dt(&self) -> f64 {
+        let mut dt = self.cfg.dt_max;
+        for p in &self.parts {
+            let signal = p.cs + p.speed() + 1e-12;
+            dt = dt.min(self.cfg.cfl * p.h / signal);
+            // Acceleration limit.
+            let a = (p.acc[0].powi(2) + p.acc[1].powi(2) + p.acc[2].powi(2)).sqrt();
+            if a > 0.0 {
+                dt = dt.min(self.cfg.cfl * (p.h / a).sqrt());
+            }
+        }
+        dt.max(self.cfg.dt_min)
+    }
+
+    /// One KDK leapfrog step; returns the dt taken.
+    pub fn step(&mut self) -> f64 {
+        let dt = self.cfl_dt();
+        // Kick + drift.
+        for p in &mut self.parts {
+            for d in 0..3 {
+                p.vel[d] += 0.5 * dt * p.acc[d];
+                p.pos[d] += dt * p.vel[d];
+            }
+            p.u = (p.u + 0.5 * dt * p.du_dt).max(0.0);
+            p.enu = (p.enu + 0.5 * dt * p.denu_dt).max(0.0);
+        }
+        // New forces.
+        Self::compute_rhs(&mut self.parts, &self.cfg);
+        // Kick.
+        for p in &mut self.parts {
+            for d in 0..3 {
+                p.vel[d] += 0.5 * dt * p.acc[d];
+            }
+            p.u = (p.u + 0.5 * dt * p.du_dt).max(0.0);
+            p.enu = (p.enu + 0.5 * dt * p.denu_dt).max(0.0);
+        }
+        self.time += dt;
+        self.steps += 1;
+        dt
+    }
+
+    /// Run until `t_end` or `max_steps`.
+    pub fn run_until(&mut self, t_end: f64, max_steps: u64) {
+        while self.time < t_end && self.steps < max_steps {
+            self.step();
+        }
+    }
+
+    /// Peak density over particles (bounce diagnostic).
+    pub fn max_density(&self) -> f64 {
+        self.parts.iter().map(|p| p.rho).fold(0.0, f64::max)
+    }
+
+    /// Total (kinetic, thermal, neutrino) energies.
+    pub fn energies(&self) -> (f64, f64, f64) {
+        let mut ke = 0.0;
+        let mut th = 0.0;
+        let mut nu = 0.0;
+        for p in &self.parts {
+            ke += 0.5 * p.mass * p.speed().powi(2);
+            th += p.mass * p.u;
+            nu += p.mass * p.enu;
+        }
+        (ke, th, nu)
+    }
+
+    /// Total angular momentum about the origin.
+    pub fn angular_momentum(&self) -> [f64; 3] {
+        let mut l = [0.0; 3];
+        for p in &self.parts {
+            let j = p.specific_angular_momentum();
+            for d in 0..3 {
+                l[d] += p.mass * j[d];
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn hot_ball(n: usize, u: f64, seed: u64) -> Vec<SphParticle> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let r = rng.gen::<f64>().cbrt();
+                let costh = rng.gen_range(-1.0..1.0f64);
+                let sinth = (1.0 - costh * costh).sqrt();
+                let phi = rng.gen::<f64>() * std::f64::consts::TAU;
+                SphParticle::new(
+                    [r * sinth * phi.cos(), r * sinth * phi.sin(), r * costh],
+                    [0.0; 3],
+                    1.0 / n as f64,
+                    u,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hot_ball_expands_without_gravity() {
+        let cfg = SphConfig {
+            gravity_theta: None,
+            ..Default::default()
+        };
+        let mut sim = SphSimulation::new(hot_ball(400, 5.0, 1), cfg);
+        let r0: f64 = sim.parts.iter().map(|p| p.radius()).sum::<f64>() / 400.0;
+        for _ in 0..10 {
+            sim.step();
+        }
+        let r1: f64 = sim.parts.iter().map(|p| p.radius()).sum::<f64>() / 400.0;
+        assert!(r1 > r0 * 1.02, "no expansion: {r0} → {r1}");
+        // Thermal energy converts to kinetic.
+        let (ke, _, _) = sim.energies();
+        assert!(ke > 0.0);
+    }
+
+    #[test]
+    fn cold_selfgravitating_ball_contracts() {
+        let cfg = SphConfig {
+            eos: Eos::GammaLaw { gamma: 5.0 / 3.0 },
+            ..Default::default()
+        };
+        let mut sim = SphSimulation::new(hot_ball(400, 1e-4, 2), cfg);
+        let r0: f64 = sim.parts.iter().map(|p| p.radius()).sum::<f64>() / 400.0;
+        for _ in 0..10 {
+            sim.step();
+        }
+        let r1: f64 = sim.parts.iter().map(|p| p.radius()).sum::<f64>() / 400.0;
+        assert!(r1 < r0 * 0.99, "no contraction: {r0} → {r1}");
+    }
+
+    #[test]
+    fn angular_momentum_is_conserved() {
+        let mut parts = hot_ball(400, 0.5, 3);
+        // Solid-body rotation about z.
+        for p in &mut parts {
+            let omega = 0.5;
+            p.vel[0] = -omega * p.pos[1];
+            p.vel[1] = omega * p.pos[0];
+        }
+        let mut sim = SphSimulation::new(parts, SphConfig::default());
+        let l0 = sim.angular_momentum();
+        for _ in 0..10 {
+            sim.step();
+        }
+        let l1 = sim.angular_momentum();
+        assert!(
+            (l1[2] - l0[2]).abs() < 0.02 * l0[2].abs(),
+            "Lz {} → {}",
+            l0[2],
+            l1[2]
+        );
+    }
+
+    #[test]
+    fn timestep_respects_bounds() {
+        let cfg = SphConfig::default();
+        let sim = SphSimulation::new(hot_ball(200, 1.0, 4), cfg);
+        let dt = sim.cfl_dt();
+        assert!(dt >= cfg.dt_min && dt <= cfg.dt_max);
+    }
+
+    #[test]
+    fn internal_energy_stays_nonnegative() {
+        let cfg = SphConfig {
+            neutrino: Some(crate::neutrino::NeutrinoConfig {
+                emit0: 100.0, // violent cooling
+                ..Default::default()
+            }),
+            gravity_theta: None,
+            ..Default::default()
+        };
+        let mut sim = SphSimulation::new(hot_ball(200, 0.5, 5), cfg);
+        for _ in 0..5 {
+            sim.step();
+        }
+        for p in &sim.parts {
+            assert!(p.u >= 0.0 && p.enu >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The cubic-spline (M4) smoothing kernel (Monaghan & Lattanzio 1985).
+//!
+//! `W(r, h) = σ/h³ · { 1 − 1.5q² + 0.75q³        0 ≤ q ≤ 1
+//!                     0.25 (2 − q)³              1 < q ≤ 2
+//!                     0                          q > 2 }`
+//! with `q = r/h` and `σ = 1/π`. Support radius `2h`.
+
+use std::f64::consts::PI;
+
+/// Kernel support radius in units of `h`.
+pub const SUPPORT: f64 = 2.0;
+
+/// W(r, h).
+#[inline]
+pub fn w(r: f64, h: f64) -> f64 {
+    debug_assert!(r >= 0.0 && h > 0.0);
+    let q = r / h;
+    let sigma = 1.0 / (PI * h * h * h);
+    if q <= 1.0 {
+        sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q)
+    } else if q <= 2.0 {
+        let t = 2.0 - q;
+        sigma * 0.25 * t * t * t
+    } else {
+        0.0
+    }
+}
+
+/// dW/dr (scalar radial derivative; the vector gradient is
+/// `dW/dr · r̂`).
+#[inline]
+pub fn dw_dr(r: f64, h: f64) -> f64 {
+    debug_assert!(r >= 0.0 && h > 0.0);
+    let q = r / h;
+    let sigma = 1.0 / (PI * h * h * h * h);
+    if q <= 1.0 {
+        sigma * (-3.0 * q + 2.25 * q * q)
+    } else if q <= 2.0 {
+        let t = 2.0 - q;
+        sigma * (-0.75 * t * t)
+    } else {
+        0.0
+    }
+}
+
+/// ∇W as a vector for separation `dx = r_i − r_j`.
+#[inline]
+pub fn grad_w(dx: [f64; 3], h: f64) -> [f64; 3] {
+    let r = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
+    if r < 1e-12 * h {
+        return [0.0; 3];
+    }
+    let g = dw_dr(r, h) / r;
+    [g * dx[0], g * dx[1], g * dx[2]]
+}
+
+/// |∇W|/r — the Brookshaw factor used by the SPH diffusion operator.
+#[inline]
+pub fn brookshaw_f(r: f64, h: f64) -> f64 {
+    if r < 1e-12 * h {
+        return 0.0;
+    }
+    -dw_dr(r, h) / r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_integrates_to_one() {
+        // ∫ W 4πr² dr over [0, 2h].
+        let h = 0.7;
+        let n = 40_000;
+        let dr = SUPPORT * h / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            total += w(r, h) * 4.0 * PI * r * r * dr;
+        }
+        assert!((total - 1.0).abs() < 1e-6, "∫W dV = {total}");
+    }
+
+    #[test]
+    fn compact_support() {
+        assert_eq!(w(2.0001, 1.0), 0.0);
+        assert!(w(1.9999, 1.0) > 0.0);
+        assert_eq!(dw_dr(2.1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_is_monotone_decreasing() {
+        let h = 1.0;
+        let mut last = w(0.0, h);
+        for i in 1..100 {
+            let r = 2.0 * i as f64 / 100.0;
+            let v = w(r, h);
+            assert!(v <= last + 1e-15, "W not monotone at r={r}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 0.9;
+        for &r in &[0.1, 0.5, 0.9, 1.2, 1.7] {
+            let eps = 1e-7;
+            let fd = (w(r + eps, h) - w(r - eps, h)) / (2.0 * eps);
+            let an = dw_dr(r, h);
+            assert!(
+                (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                "r={r}: {fd} vs {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_points_along_separation() {
+        let g = grad_w([0.5, 0.0, 0.0], 1.0);
+        assert!(g[0] < 0.0); // kernel decreases away from center
+        assert_eq!(g[1], 0.0);
+        assert_eq!(g[2], 0.0);
+        // Antisymmetry.
+        let g2 = grad_w([-0.5, 0.0, 0.0], 1.0);
+        assert_eq!(g[0], -g2[0]);
+    }
+
+    #[test]
+    fn zero_separation_is_safe() {
+        assert_eq!(grad_w([0.0; 3], 1.0), [0.0; 3]);
+        assert_eq!(brookshaw_f(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn brookshaw_factor_is_positive_inside_support() {
+        for &r in &[0.2, 0.8, 1.5] {
+            assert!(brookshaw_f(r, 1.0) > 0.0, "F({r}) not positive");
+        }
+    }
+}

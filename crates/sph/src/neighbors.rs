@@ -1,0 +1,153 @@
+//! Neighbour search over the `hot` oct-tree.
+//!
+//! The supernova code reuses the N-body tree for range queries: a ball
+//! query descends only cells whose bounding cube overlaps the search
+//! sphere.
+
+use crate::particle::SphParticle;
+use hot::tree::{Body, Tree, NO_CELL};
+
+/// A neighbour-search structure over a snapshot of particle positions.
+/// `Body::id` stores the particle index.
+pub struct NeighborTree {
+    tree: Tree,
+}
+
+impl NeighborTree {
+    pub fn build(particles: &[SphParticle]) -> NeighborTree {
+        let bodies: Vec<Body> = particles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Body {
+                pos: p.pos,
+                vel: [0.0; 3],
+                mass: p.mass,
+                id: i as u64,
+                work: 1.0,
+            })
+            .collect();
+        NeighborTree {
+            tree: Tree::build(bodies, 16),
+        }
+    }
+
+    /// Also expose the underlying tree (for gravity).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Indices (into the original particle slice) of all particles within
+    /// `radius` of `center`, including the particle at the center itself.
+    pub fn ball(&self, center: [f64; 3], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let mut stack = vec![0i32];
+        while let Some(ci) = stack.pop() {
+            let cell = self.tree.cell(ci);
+            // Cube/sphere overlap test.
+            let mut d2 = 0.0;
+            for d in 0..3 {
+                let gap = (center[d] - cell.center[d]).abs() - cell.half;
+                if gap > 0.0 {
+                    d2 += gap * gap;
+                }
+            }
+            if d2 > r2 {
+                continue;
+            }
+            if cell.is_leaf {
+                for b in self.tree.leaf_bodies(cell) {
+                    let dx = b.pos[0] - center[0];
+                    let dy = b.pos[1] - center[1];
+                    let dz = b.pos[2] - center[2];
+                    if dx * dx + dy * dy + dz * dz <= r2 {
+                        out.push(b.id as usize);
+                    }
+                }
+            } else {
+                for &ch in &cell.children {
+                    if ch != NO_CELL {
+                        stack.push(ch);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_particles(n: usize, seed: u64) -> Vec<SphParticle> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                SphParticle::new(
+                    [
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ],
+                    [0.0; 3],
+                    1.0,
+                    0.0,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_ball(parts: &[SphParticle], c: [f64; 3], r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let dx = p.pos[0] - c[0];
+                let dy = p.pos[1] - c[1];
+                let dz = p.pos[2] - c[2];
+                dx * dx + dy * dy + dz * dz <= r * r
+            })
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn ball_query_matches_brute_force() {
+        let parts = random_particles(500, 3);
+        let nt = NeighborTree::build(&parts);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let c = [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ];
+            let r = rng.gen_range(0.05..0.8);
+            let mut got = nt.ball(c, r);
+            got.sort_unstable();
+            let want = brute_ball(&parts, c, r);
+            assert_eq!(got, want, "center {c:?} radius {r}");
+        }
+    }
+
+    #[test]
+    fn empty_ball_far_away() {
+        let parts = random_particles(100, 5);
+        let nt = NeighborTree::build(&parts);
+        assert!(nt.ball([100.0, 100.0, 100.0], 0.5).is_empty());
+    }
+
+    #[test]
+    fn ball_includes_center_particle() {
+        let parts = random_particles(100, 6);
+        let nt = NeighborTree::build(&parts);
+        let got = nt.ball(parts[42].pos, 0.01);
+        assert!(got.contains(&42));
+    }
+}

@@ -1,0 +1,99 @@
+//! The SPH particle state.
+
+/// One smoothed particle. Units are code units (G = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphParticle {
+    pub pos: [f64; 3],
+    pub vel: [f64; 3],
+    pub mass: f64,
+    pub id: u64,
+    /// Smoothing length (kernel support is 2h).
+    pub h: f64,
+    /// Mass density from the SPH sum.
+    pub rho: f64,
+    /// Specific internal (thermal) energy.
+    pub u: f64,
+    /// Pressure and sound speed from the EOS.
+    pub pres: f64,
+    pub cs: f64,
+    /// Hydrodynamic + gravitational acceleration.
+    pub acc: [f64; 3],
+    /// du/dt from PdV work, shocks and neutrino coupling.
+    pub du_dt: f64,
+    /// Specific neutrino energy (grey FLD variable).
+    pub enu: f64,
+    pub denu_dt: f64,
+}
+
+impl SphParticle {
+    pub fn new(pos: [f64; 3], vel: [f64; 3], mass: f64, u: f64, id: u64) -> SphParticle {
+        SphParticle {
+            pos,
+            vel,
+            mass,
+            id,
+            h: 0.1,
+            rho: 0.0,
+            u,
+            pres: 0.0,
+            cs: 0.0,
+            acc: [0.0; 3],
+            du_dt: 0.0,
+            enu: 0.0,
+            denu_dt: 0.0,
+        }
+    }
+
+    pub fn speed(&self) -> f64 {
+        (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2]).sqrt()
+    }
+
+    pub fn radius(&self) -> f64 {
+        (self.pos[0] * self.pos[0] + self.pos[1] * self.pos[1] + self.pos[2] * self.pos[2]).sqrt()
+    }
+
+    /// Specific angular momentum vector r × v.
+    pub fn specific_angular_momentum(&self) -> [f64; 3] {
+        let (r, v) = (self.pos, self.vel);
+        [
+            r[1] * v[2] - r[2] * v[1],
+            r[2] * v[0] - r[0] * v[2],
+            r[0] * v[1] - r[1] * v[0],
+        ]
+    }
+
+    /// Polar angle from the rotation (z) axis, in radians `[0, π/2]`
+    /// (folded about the equator).
+    pub fn polar_angle(&self) -> f64 {
+        let r = self.radius();
+        if r == 0.0 {
+            return 0.0;
+        }
+        (self.pos[2].abs() / r).acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angular_momentum_of_circular_orbit() {
+        let mut p = SphParticle::new([1.0, 0.0, 0.0], [0.0, 2.0, 0.0], 1.0, 0.0, 0);
+        let j = p.specific_angular_momentum();
+        assert_eq!(j, [0.0, 0.0, 2.0]);
+        p.vel = [0.0, 0.0, 1.0];
+        assert_eq!(p.specific_angular_momentum(), [0.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn polar_angle_conventions() {
+        let pole = SphParticle::new([0.0, 0.0, 1.0], [0.0; 3], 1.0, 0.0, 0);
+        assert!(pole.polar_angle() < 1e-12);
+        let equator = SphParticle::new([1.0, 0.0, 0.0], [0.0; 3], 1.0, 0.0, 0);
+        assert!((equator.polar_angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // Southern hemisphere folds to the same angle.
+        let south = SphParticle::new([0.0, 0.0, -1.0], [0.0; 3], 1.0, 0.0, 0);
+        assert!(south.polar_angle() < 1e-12);
+    }
+}

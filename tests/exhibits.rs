@@ -1,0 +1,135 @@
+//! Integration: every table and figure regenerates with the paper's
+//! shape. This is the per-exhibit index of EXPERIMENTS.md as a test.
+
+use space_simulator::cluster::{io, linpack_run, npb_run, top500, treecode_run};
+use space_simulator::netsim::LibraryProfile;
+use space_simulator::nodesim::cpu_models;
+use space_simulator::nodesim::roofline::{table2_rows, ClockConfig};
+use space_simulator::nodesim::{Bom, ReliabilityModel};
+
+#[test]
+fn table1_and_7_price_arithmetic() {
+    assert!((Bom::space_simulator().total() - 483_855.0).abs() < 1.0);
+    assert!((Bom::loki().total() - 51_379.0).abs() < 1.0);
+}
+
+#[test]
+fn table2_slow_mem_column_reproduces() {
+    let paper: &[(&str, f64)] = &[
+        ("copy", 761.8),
+        ("triad", 748.9),
+        ("MG", 231.4),
+        ("Linpack", 2.865),
+    ];
+    let rows = table2_rows();
+    for (name, val) in paper {
+        let row = rows.iter().find(|r| r.name == *name).unwrap();
+        let model = row.score(ClockConfig::SLOW_MEM);
+        assert!(
+            ((model - val) / val).abs() < 0.02,
+            "{name}: {model} vs {val}"
+        );
+    }
+}
+
+#[test]
+fn table2_slow_cpu_predictions_are_close() {
+    // Slow-CPU is a *prediction* (calibrated only on slow-mem).
+    let paper: &[(&str, f64)] = &[
+        ("copy", 1143.4),
+        ("SP", 200.1),
+        ("CG", 273.9),
+        ("Linpack", 2.602),
+    ];
+    let rows = table2_rows();
+    for (name, val) in paper {
+        let row = rows.iter().find(|r| r.name == *name).unwrap();
+        let model = row.score(ClockConfig::SLOW_CPU);
+        // The two-term model predicts the slow-CPU column within 15%
+        // (CG, with its latency-bound component, is the worst fit).
+        assert!(
+            ((model - val) / val).abs() < 0.15,
+            "{name}: {model} vs {val}"
+        );
+    }
+}
+
+#[test]
+fn table3_and_4_shapes() {
+    // ASCI Q wins everything except FT at 64 procs.
+    for (name, ss, q) in npb_run::table3() {
+        if name == "FT" {
+            assert!(ss > q);
+        } else {
+            assert!(q > ss * 0.95, "{name}");
+        }
+    }
+    // Class D totals exceed class C totals for the same benchmarks.
+    let t3 = npb_run::table3();
+    for (name, ss_d, _) in npb_run::table4() {
+        let ss_c = t3.iter().find(|r| r.0 == name).unwrap().1;
+        assert!(ss_d > ss_c, "{name}: D {ss_d} <= C {ss_c}");
+    }
+}
+
+#[test]
+fn table5_models_within_3_percent() {
+    for (cpu, (name, libm, karp)) in cpu_models::table5_cpus()
+        .iter()
+        .zip(cpu_models::table5_paper_values())
+    {
+        assert_eq!(cpu.name, name);
+        assert!((cpu.libm_mflops() - libm).abs() / libm < 0.03);
+        assert!((cpu.karp_mflops() - karp).abs() / karp < 0.03);
+    }
+}
+
+#[test]
+fn table6_all_rows_within_factor_two() {
+    for (name, _, total, _, paper_total, _) in treecode_run::table6() {
+        let r = total / paper_total;
+        assert!(r > 0.45 && r < 2.2, "{name}: {r}");
+    }
+}
+
+#[test]
+fn figure2_curve_features() {
+    let tcp = LibraryProfile::tcp();
+    assert!(tcp.throughput_mbits(16 << 20) > 770.0);
+    let m1 = LibraryProfile::mpich1();
+    let m2 = LibraryProfile::mpich2();
+    assert!(m1.throughput_mbits(4 << 20) < 0.7 * m2.throughput_mbits(4 << 20));
+}
+
+#[test]
+fn figure3_milestones() {
+    let oct = linpack_run::october_2002();
+    let apr = linpack_run::april_2003();
+    assert!((oct - 665.1).abs() / 665.1 < 0.03);
+    assert!((apr - 757.1).abs() / 757.1 < 0.06);
+    assert_eq!(top500::rank(top500::List::Nov2002, 665.1), 85);
+    assert_eq!(top500::rank(top500::List::Jun2003, 757.1), 88);
+    assert!(top500::dollars_per_mflops(483_855.0, 757.1) < 1.0);
+}
+
+#[test]
+fn figure7_accounting() {
+    let run = io::ProductionRun::figure7();
+    assert!((run.average_gflops() - 112.0).abs() < 5.0);
+    assert!((run.average_io_mbps() - 417.0).abs() < 1.0);
+    assert!((io::IoModel::space_simulator(250).peak_rate() - 7e9).abs() < 5e8);
+}
+
+#[test]
+fn reliability_expectations_match_section_2_1() {
+    let m = ReliabilityModel::space_simulator();
+    let total_burn: f64 = m.expected_burn_in().iter().map(|(_, v)| v).sum();
+    assert!((total_burn - 20.0).abs() < 0.01); // 3+6+4+6+1
+    let disks = m
+        .expected_operational(9.0)
+        .iter()
+        .find(|(c, _)| matches!(c, space_simulator::nodesim::ComponentClass::DiskDrive))
+        .unwrap()
+        .1;
+    assert!((disks - 16.0).abs() < 0.01);
+}

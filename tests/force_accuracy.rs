@@ -1,0 +1,93 @@
+//! Integration: tree forces against direct summation across particle
+//! models, MACs and accuracy settings.
+
+use space_simulator::hot::direct::direct_accelerations;
+use space_simulator::hot::gravity::{Accel, GravityConfig, MacKind};
+use space_simulator::hot::models::{cold_sphere, plummer, uniform_cube};
+use space_simulator::hot::traverse::tree_accelerations;
+use space_simulator::hot::tree::{Body, Tree};
+
+fn rms(tree_acc: &[Accel], exact: &[Accel]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, e) in tree_acc.iter().zip(exact) {
+        for d in 0..3 {
+            num += (t.acc[d] - e.acc[d]).powi(2);
+        }
+        den += e.acc[0].powi(2) + e.acc[1].powi(2) + e.acc[2].powi(2);
+    }
+    (num / den).sqrt()
+}
+
+fn check(bodies: Vec<Body>, mac: MacKind, theta: f64, tol: f64) {
+    let tree = Tree::build(bodies, 8);
+    let cfg = GravityConfig {
+        theta,
+        eps: 0.01,
+        mac,
+        ..Default::default()
+    };
+    let (acc, _) = tree_accelerations(&tree, &cfg);
+    let exact = direct_accelerations(&tree.bodies, cfg.eps);
+    let err = rms(&acc, &exact);
+    assert!(err < tol, "{mac:?} theta={theta}: rms {err} > {tol}");
+}
+
+#[test]
+fn plummer_sphere_both_macs() {
+    check(plummer(600, 1), MacKind::BarnesHut, 0.6, 3e-3);
+    check(plummer(600, 1), MacKind::BmaxMac, 0.6, 3e-3);
+}
+
+#[test]
+fn uniform_cube_both_macs() {
+    check(uniform_cube(600, 2), MacKind::BarnesHut, 0.6, 3e-3);
+    check(uniform_cube(600, 2), MacKind::BmaxMac, 0.6, 3e-3);
+}
+
+#[test]
+fn cold_sphere_tight_theta() {
+    check(cold_sphere(500, 3), MacKind::BarnesHut, 0.3, 3e-4);
+}
+
+#[test]
+fn potential_energy_matches_direct() {
+    let bodies = plummer(500, 5);
+    let tree = Tree::build(bodies, 8);
+    let cfg = GravityConfig {
+        theta: 0.4,
+        eps: 0.01,
+        ..Default::default()
+    };
+    let (acc, _) = tree_accelerations(&tree, &cfg);
+    let exact = direct_accelerations(&tree.bodies, cfg.eps);
+    let w_tree: f64 = tree
+        .bodies
+        .iter()
+        .zip(&acc)
+        .map(|(b, a)| 0.5 * b.mass * a.pot)
+        .sum();
+    let w_exact: f64 = tree
+        .bodies
+        .iter()
+        .zip(&exact)
+        .map(|(b, a)| 0.5 * b.mass * a.pot)
+        .sum();
+    assert!(
+        ((w_tree - w_exact) / w_exact).abs() < 1e-3,
+        "tree W {w_tree} vs exact {w_exact}"
+    );
+}
+
+#[test]
+fn clustered_distribution_stays_accurate() {
+    // Two well-separated Plummer spheres: stresses the MAC's handling
+    // of large empty regions.
+    let mut bodies = plummer(300, 7);
+    for mut b in plummer(300, 8) {
+        b.pos[0] += 20.0;
+        b.id += 10_000;
+        bodies.push(b);
+    }
+    check(bodies, MacKind::BarnesHut, 0.6, 3e-3);
+}

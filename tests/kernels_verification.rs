@@ -1,0 +1,106 @@
+//! Integration: the benchmark kernels verify like their NPB/HPL
+//! originals.
+
+use space_simulator::kernels::cg::{cg_solve, npb_cg, Csr};
+use space_simulator::kernels::ft::ft_benchmark;
+use space_simulator::kernels::hpl::{distributed_lu_solve, hpl_residual, lu_factor, lu_solve, Mat};
+use space_simulator::kernels::is::{distributed_sort, generate_keys};
+use space_simulator::kernels::mg::{solve, Grid};
+use space_simulator::msg;
+
+#[test]
+fn hpl_verification_passes_like_the_real_benchmark() {
+    // HPL declares a run valid when the scaled residual is below a
+    // threshold (~16).
+    for n in [64usize, 100, 150] {
+        let a = Mat::random(n, n as u64 * 3 + 1);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let x = lu_solve(&lu_factor(a.clone(), 32), &b);
+        let res = hpl_residual(&a, &x, &b);
+        assert!(res < 16.0, "n={n}: residual {res}");
+    }
+}
+
+#[test]
+fn distributed_hpl_matches_serial_through_message_passing() {
+    let n = 40;
+    let a = Mat::random(n, 5);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+    let serial = lu_solve(&lu_factor(a.clone(), 4), &b);
+    let results = msg::run(3, |c| distributed_lu_solve(c, &a, &b, 4));
+    for x in results {
+        for (u, v) in x.iter().zip(&serial) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+}
+
+#[test]
+fn ft_checksums_are_stable_and_the_field_decays() {
+    let a = ft_benchmark(16, 16, 8, 3, 314_159_265);
+    let b = ft_benchmark(16, 16, 8, 3, 314_159_265);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 3);
+}
+
+#[test]
+fn cg_eigenvalue_estimate_is_stable_across_seeds() {
+    let shift = 15.0;
+    let z1 = npb_cg(&Csr::random_spd(200, 8, shift, 1), shift, 5, 25);
+    let z2 = npb_cg(&Csr::random_spd(200, 8, shift, 2), shift, 5, 25);
+    // Both estimates should land near 2*shift (diag-dominant limit).
+    for z in [z1, z2] {
+        assert!((z - 2.0 * shift).abs() < 0.35 * shift, "zeta {z}");
+    }
+}
+
+#[test]
+fn cg_solves_to_machine_precision_given_iterations() {
+    let a = Csr::random_spd(120, 6, 25.0, 9);
+    let b = vec![1.0; 120];
+    let (x, _, res) = cg_solve(&a, &b, 200, 1e-12);
+    assert!(res < 1e-10);
+    let mut ax = vec![0.0; 120];
+    a.matvec(&x, &mut ax);
+    for (axi, bi) in ax.iter().zip(&b) {
+        assert!((axi - bi).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn mg_converges_on_random_smooth_rhs() {
+    let n = 16;
+    let mut f = Grid::zeros(n);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                f.set(
+                    x,
+                    y,
+                    z,
+                    (std::f64::consts::TAU * x as f64 / n as f64).sin()
+                        + 0.5 * (std::f64::consts::TAU * y as f64 / n as f64).cos(),
+                );
+            }
+        }
+    }
+    let (_, res) = solve(&f, 8);
+    assert!(res < 1e-4, "residual {res}");
+}
+
+#[test]
+fn distributed_is_sorts_a_million_keys() {
+    let all = generate_keys(1 << 20, 1 << 16, 5);
+    let shards = msg::run(4, |c| {
+        let mine: Vec<u32> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % c.size() == c.rank())
+            .map(|(_, k)| *k)
+            .collect();
+        distributed_sort(c, mine, 1 << 16)
+    });
+    let merged: Vec<u32> = shards.into_iter().flatten().collect();
+    assert_eq!(merged.len(), 1 << 20);
+    assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+}
