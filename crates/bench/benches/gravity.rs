@@ -2,9 +2,9 @@
 //! plus the tree walk itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hot::gravity::GravityConfig;
+use hot::gravity::{self, Accel, GravityConfig};
 use hot::models::plummer;
-use hot::traverse::tree_accelerations;
+use hot::traverse::{accel_on_scalar, group_accelerations, tree_accelerations, TraverseStats};
 use hot::tree::Tree;
 use kernels::gravity_kernel::KernelBench;
 use std::hint::black_box;
@@ -21,23 +21,84 @@ fn kernel_variants(c: &mut Criterion) {
     g.finish();
 }
 
-fn tree_walk(c: &mut Criterion) {
+/// Scalar p2p loop vs the SoA span kernels on one long interaction list
+/// — the micro-kernel half of the walk-vectorization story.
+fn span_kernels(c: &mut Criterion) {
+    let n = 4096usize;
+    let bodies = plummer(n, 3);
+    let xs: Vec<f64> = bodies.iter().map(|b| b.pos[0]).collect();
+    let ys: Vec<f64> = bodies.iter().map(|b| b.pos[1]).collect();
+    let zs: Vec<f64> = bodies.iter().map(|b| b.pos[2]).collect();
+    let ms: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+    let tp = [3.0, -2.0, 1.0];
+    let eps2 = 1e-4;
+    let mut g = c.benchmark_group("span_kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("p2p_scalar", |b| {
+        b.iter(|| {
+            let mut out = Accel::default();
+            for i in 0..n {
+                gravity::p2p(tp, bodies[i].pos, ms[i], eps2, &mut out);
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("p2p_span", |b| {
+        b.iter(|| {
+            let mut out = Accel::default();
+            gravity::p2p_span(tp, &xs, &ys, &zs, &ms, eps2, &mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("p2p_span_karp", |b| {
+        b.iter(|| {
+            let mut out = Accel::default();
+            gravity::p2p_span_karp(tp, &xs, &ys, &zs, &ms, eps2, &mut out);
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+/// The walk-strategy axis: per-body scalar walk (seed), per-body SoA
+/// walk, and the group walk over the SoA ilist engine — throughput in
+/// interactions/s so the ablation exhibit and this bench agree.
+fn walk_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_walk");
     g.sample_size(10);
     for n in [2_000usize, 8_000] {
-        let tree = Tree::build(plummer(n, 5), 8);
+        let tree = Tree::build(plummer(n, 5), 16);
         let cfg = GravityConfig {
             theta: 0.6,
             eps: 0.01,
             ..Default::default()
         };
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+        // Throughput in interactions, measured once per variant.
+        let per_body_int = tree_accelerations(&tree, &cfg).1.interactions();
+        g.throughput(Throughput::Elements(per_body_int));
+        g.bench_with_input(BenchmarkId::new("per_body_scalar", n), &tree, |b, t| {
+            b.iter(|| {
+                let mut stats = TraverseStats::default();
+                let mut acc = Vec::with_capacity(t.bodies.len());
+                for i in 0..t.bodies.len() {
+                    let (a, s) = accel_on_scalar(t, i, &cfg);
+                    acc.push(a);
+                    stats.add(&s);
+                }
+                black_box((acc, stats))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("per_body_span", n), &tree, |b, t| {
             b.iter(|| black_box(tree_accelerations(t, &cfg)))
+        });
+        let group_int = group_accelerations(&tree, &cfg).1.interactions();
+        g.throughput(Throughput::Elements(group_int));
+        g.bench_with_input(BenchmarkId::new("group_span", n), &tree, |b, t| {
+            b.iter(|| black_box(group_accelerations(t, &cfg)))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, kernel_variants, tree_walk);
+criterion_group!(benches, kernel_variants, span_kernels, walk_strategies);
 criterion_main!(benches);

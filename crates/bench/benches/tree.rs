@@ -10,13 +10,50 @@ use std::hint::black_box;
 fn tree_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_build");
     g.sample_size(10);
-    for n in [5_000usize, 20_000] {
+    // 5k stays on the serial key+sort path; 20k and 100k cross the
+    // parallel threshold (PAR_BUILD_MIN) in Tree::build_in.
+    for n in [5_000usize, 20_000, 100_000] {
         let bodies = plummer(n, 7);
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &bodies, |b, bd| {
             b.iter(|| black_box(Tree::build(bd.clone(), 8)))
         });
     }
+    g.finish();
+}
+
+/// The phase the parallel build accelerates in isolation: Morton key
+/// computation + stable sort, serial vs rayon. Both orders are
+/// identical (stable sorts), so this is a pure-throughput comparison.
+fn key_sort(c: &mut Criterion) {
+    use hot::morton::BBox;
+    use rayon::prelude::*;
+    let n = 100_000usize;
+    let bodies = plummer(n, 11);
+    let bbox = BBox::enclosing(bodies.iter().map(|b| b.pos));
+    let mut g = c.benchmark_group("key_sort");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut keyed: Vec<(hot::Key, [f64; 3])> = bodies
+                .iter()
+                .map(|bd| (bbox.key_of(bd.pos), bd.pos))
+                .collect();
+            keyed.sort_by_key(|&(k, _)| k);
+            black_box(keyed)
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            let mut keyed: Vec<(hot::Key, [f64; 3])> = bodies
+                .par_iter()
+                .map(|bd| (bbox.key_of(bd.pos), bd.pos))
+                .collect();
+            keyed.par_sort_by_key(|&(k, _)| k);
+            black_box(keyed)
+        })
+    });
     g.finish();
 }
 
@@ -54,5 +91,5 @@ fn hash_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, tree_build, hash_lookup);
+criterion_group!(benches, tree_build, key_sort, hash_lookup);
 criterion_main!(benches);

@@ -109,9 +109,12 @@ fn main() {
     }
     println!();
 
-    // 6. Group walks vs per-body walks.
+    // 6. Walk strategy on a 100k Plummer model: the seed's per-body
+    // scalar walk, the per-body SoA walk, and the group walk over the
+    // SoA interaction-list engine — each with its interactions/s so the
+    // group+SoA speedup is a reproducible number.
     {
-        let bodies = plummer(10_000, 23);
+        let bodies = plummer(100_000, 23);
         let tree = Tree::build(bodies, 16);
         let cfg = GravityConfig {
             theta: 0.6,
@@ -119,17 +122,37 @@ fn main() {
             ..Default::default()
         };
         let t = Instant::now();
+        let mut s0 = hot::traverse::TraverseStats::default();
+        let mut scalar_acc = Vec::with_capacity(tree.bodies.len());
+        for i in 0..tree.bodies.len() {
+            let (a, s) = hot::traverse::accel_on_scalar(&tree, i, &cfg);
+            scalar_acc.push(a);
+            s0.add(&s);
+        }
+        let per_body_scalar = t.elapsed().as_secs_f64();
+        std::hint::black_box(&scalar_acc);
+        let t = Instant::now();
         let (_, s1) = tree_accelerations(&tree, &cfg);
         let per_body = t.elapsed().as_secs_f64();
         let t = Instant::now();
         let (_, s2) = hot::traverse::group_accelerations(&tree, &cfg);
         let grouped = t.elapsed().as_secs_f64();
+        let rate = |ints: u64, secs: f64| ints as f64 / secs / 1e6;
         println!(
-            "[6] walks on 10k bodies: per-body {:.0} ms ({} opens) vs grouped {:.0} ms ({} opens)",
+            "[6] walks on 100k bodies (interactions/s):\n    per-body scalar {:.0} ms, {} ints, {:.1} M/s ({} opens)\n    per-body SoA    {:.0} ms, {} ints, {:.1} M/s ({} opens)\n    group SoA       {:.0} ms, {} ints, {:.1} M/s ({} opens)\n    group+SoA speedup over per-body scalar: x{:.2}",
+            per_body_scalar * 1e3,
+            s0.interactions(),
+            rate(s0.interactions(), per_body_scalar),
+            s0.opened,
             per_body * 1e3,
+            s1.interactions(),
+            rate(s1.interactions(), per_body),
             s1.opened,
             grouped * 1e3,
-            s2.opened
+            s2.interactions(),
+            rate(s2.interactions(), grouped),
+            s2.opened,
+            rate(s2.interactions(), grouped) / rate(s0.interactions(), per_body_scalar)
         );
     }
 

@@ -407,6 +407,346 @@ pub fn p2p_batch4(tp: [f64; 3], sp: &[[f64; 3]; 4], sm: &[f64; 4], eps2: f64, ou
     out.pot += pot;
 }
 
+/// Lane width of the unrolled span kernels. Eight independent
+/// interaction chains keep a modern FMA pipeline full and give the
+/// autovectorizer 512 bits of f64 to play with.
+pub const SPAN_LANES: usize = 8;
+
+/// P2P over a structure-of-arrays span of sources: `xs/ys/zs/ms` are
+/// parallel slices gathered by the interaction-list engine
+/// ([`crate::ilist`]). Eight-wide unrolled with `f64::mul_add`; the
+/// remainder runs through the same lane accumulators so results do not
+/// depend on how the span length decomposes into chunks.
+pub fn p2p_span(
+    tp: [f64; 3],
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    eps2: f64,
+    out: &mut Accel,
+) {
+    let n = xs.len();
+    debug_assert!(ys.len() == n && zs.len() == n && ms.len() == n);
+    const W: usize = SPAN_LANES;
+    let mut ax = [0.0f64; W];
+    let mut ay = [0.0f64; W];
+    let mut az = [0.0f64; W];
+    let mut ph = [0.0f64; W];
+    let chunks = n / W;
+    for c in 0..chunks {
+        let o = c * W;
+        let x: &[f64; W] = xs[o..o + W].try_into().unwrap();
+        let y: &[f64; W] = ys[o..o + W].try_into().unwrap();
+        let z: &[f64; W] = zs[o..o + W].try_into().unwrap();
+        let m: &[f64; W] = ms[o..o + W].try_into().unwrap();
+        for l in 0..W {
+            let dx = x[l] - tp[0];
+            let dy = y[l] - tp[1];
+            let dz = z[l] - tp[2];
+            let r2 = dx.mul_add(dx, dy.mul_add(dy, dz.mul_add(dz, eps2)));
+            let rinv = 1.0 / r2.sqrt();
+            let mr3 = m[l] * (rinv * rinv * rinv);
+            ax[l] = dx.mul_add(mr3, ax[l]);
+            ay[l] = dy.mul_add(mr3, ay[l]);
+            az[l] = dz.mul_add(mr3, az[l]);
+            ph[l] = m[l].mul_add(-rinv, ph[l]);
+        }
+    }
+    for i in chunks * W..n {
+        let l = i - chunks * W;
+        let dx = xs[i] - tp[0];
+        let dy = ys[i] - tp[1];
+        let dz = zs[i] - tp[2];
+        let r2 = dx.mul_add(dx, dy.mul_add(dy, dz.mul_add(dz, eps2)));
+        let rinv = 1.0 / r2.sqrt();
+        let mr3 = ms[i] * (rinv * rinv * rinv);
+        ax[l] = dx.mul_add(mr3, ax[l]);
+        ay[l] = dy.mul_add(mr3, ay[l]);
+        az[l] = dz.mul_add(mr3, az[l]);
+        ph[l] = ms[i].mul_add(-rinv, ph[l]);
+    }
+    out.acc[0] += ax.iter().sum::<f64>();
+    out.acc[1] += ay.iter().sum::<f64>();
+    out.acc[2] += az.iter().sum::<f64>();
+    out.pot += ph.iter().sum::<f64>();
+}
+
+/// [`p2p_span`] with the Karp reciprocal square root — the Table 5
+/// "Karp" column applied to a whole interaction span.
+pub fn p2p_span_karp(
+    tp: [f64; 3],
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    eps2: f64,
+    out: &mut Accel,
+) {
+    let n = xs.len();
+    debug_assert!(ys.len() == n && zs.len() == n && ms.len() == n);
+    const W: usize = SPAN_LANES;
+    let mut ax = [0.0f64; W];
+    let mut ay = [0.0f64; W];
+    let mut az = [0.0f64; W];
+    let mut ph = [0.0f64; W];
+    let chunks = n / W;
+    for c in 0..chunks {
+        let o = c * W;
+        let x: &[f64; W] = xs[o..o + W].try_into().unwrap();
+        let y: &[f64; W] = ys[o..o + W].try_into().unwrap();
+        let z: &[f64; W] = zs[o..o + W].try_into().unwrap();
+        let m: &[f64; W] = ms[o..o + W].try_into().unwrap();
+        let mut dx = [0.0f64; W];
+        let mut dy = [0.0f64; W];
+        let mut dz = [0.0f64; W];
+        let mut rinv = [0.0f64; W];
+        for l in 0..W {
+            dx[l] = x[l] - tp[0];
+            dy[l] = y[l] - tp[1];
+            dz[l] = z[l] - tp[2];
+            let r2 = dx[l].mul_add(dx[l], dy[l].mul_add(dy[l], dz[l].mul_add(dz[l], eps2)));
+            rinv[l] = karp_rsqrt(r2);
+        }
+        for l in 0..W {
+            let mr3 = m[l] * (rinv[l] * rinv[l] * rinv[l]);
+            ax[l] = dx[l].mul_add(mr3, ax[l]);
+            ay[l] = dy[l].mul_add(mr3, ay[l]);
+            az[l] = dz[l].mul_add(mr3, az[l]);
+            ph[l] = m[l].mul_add(-rinv[l], ph[l]);
+        }
+    }
+    for i in chunks * W..n {
+        let l = i - chunks * W;
+        let dx = xs[i] - tp[0];
+        let dy = ys[i] - tp[1];
+        let dz = zs[i] - tp[2];
+        let r2 = dx.mul_add(dx, dy.mul_add(dy, dz.mul_add(dz, eps2)));
+        let rinv = karp_rsqrt(r2);
+        let mr3 = ms[i] * (rinv * rinv * rinv);
+        ax[l] = dx.mul_add(mr3, ax[l]);
+        ay[l] = dy.mul_add(mr3, ay[l]);
+        az[l] = dz.mul_add(mr3, az[l]);
+        ph[l] = ms[i].mul_add(-rinv, ph[l]);
+    }
+    out.acc[0] += ax.iter().sum::<f64>();
+    out.acc[1] += ay.iter().sum::<f64>();
+    out.acc[2] += az.iter().sum::<f64>();
+    out.pot += ph.iter().sum::<f64>();
+}
+
+/// M2P over a structure-of-arrays span of accepted cells. `q` holds the
+/// six traceless-quadrupole component spans in [`crate::multipole`]
+/// order `[Qxx, Qyy, Qzz, Qxy, Qxz, Qyz]`. With `quadrupole == false`
+/// the monopole term is exactly [`p2p_span`] of the cell centers of
+/// mass, so it delegates there.
+#[allow(clippy::too_many_arguments)]
+pub fn m2p_span(
+    tp: [f64; 3],
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    q: [&[f64]; 6],
+    eps2: f64,
+    quadrupole: bool,
+    out: &mut Accel,
+) {
+    if !quadrupole {
+        p2p_span(tp, xs, ys, zs, ms, eps2, out);
+        return;
+    }
+    let n = xs.len();
+    debug_assert!(ys.len() == n && zs.len() == n && ms.len() == n);
+    debug_assert!(q.iter().all(|qc| qc.len() == n));
+    const W: usize = SPAN_LANES;
+    let mut ax = [0.0f64; W];
+    let mut ay = [0.0f64; W];
+    let mut az = [0.0f64; W];
+    let mut ph = [0.0f64; W];
+    let chunks = n / W;
+    for c in 0..chunks {
+        let o = c * W;
+        // Fixed-size chunk views (like p2p_span): without them every
+        // q[j][i] below carries its own bounds check, which blocks
+        // vectorization of the whole lane loop.
+        let x: &[f64; W] = xs[o..o + W].try_into().unwrap();
+        let y: &[f64; W] = ys[o..o + W].try_into().unwrap();
+        let z: &[f64; W] = zs[o..o + W].try_into().unwrap();
+        let m: &[f64; W] = ms[o..o + W].try_into().unwrap();
+        let q0: &[f64; W] = q[0][o..o + W].try_into().unwrap();
+        let q1: &[f64; W] = q[1][o..o + W].try_into().unwrap();
+        let q2: &[f64; W] = q[2][o..o + W].try_into().unwrap();
+        let q3: &[f64; W] = q[3][o..o + W].try_into().unwrap();
+        let q4: &[f64; W] = q[4][o..o + W].try_into().unwrap();
+        let q5: &[f64; W] = q[5][o..o + W].try_into().unwrap();
+        for l in 0..W {
+            let dx = x[l] - tp[0];
+            let dy = y[l] - tp[1];
+            let dz = z[l] - tp[2];
+            let r2 = dx.mul_add(dx, dy.mul_add(dy, dz.mul_add(dz, eps2)));
+            let rinv = 1.0 / r2.sqrt();
+            let rinv2 = rinv * rinv;
+            let rinv3 = rinv * rinv2;
+            let mr3 = m[l] * rinv3;
+            let qr0 = q4[l].mul_add(dz, q3[l].mul_add(dy, q0[l] * dx));
+            let qr1 = q5[l].mul_add(dz, q1[l].mul_add(dy, q3[l] * dx));
+            let qr2 = q2[l].mul_add(dz, q5[l].mul_add(dy, q4[l] * dx));
+            let rqr = qr2.mul_add(dz, qr1.mul_add(dy, qr0 * dx));
+            let rinv5 = rinv3 * rinv2;
+            let rinv7 = rinv5 * rinv2;
+            let c25 = 2.5 * rqr * rinv7;
+            ax[l] += dx.mul_add(mr3, dx.mul_add(c25, -qr0 * rinv5));
+            ay[l] += dy.mul_add(mr3, dy.mul_add(c25, -qr1 * rinv5));
+            az[l] += dz.mul_add(mr3, dz.mul_add(c25, -qr2 * rinv5));
+            ph[l] -= m[l].mul_add(rinv, 0.5 * rqr * rinv5);
+        }
+    }
+    for i in chunks * W..n {
+        let l = i - chunks * W;
+        let dx = xs[i] - tp[0];
+        let dy = ys[i] - tp[1];
+        let dz = zs[i] - tp[2];
+        let r2 = dx.mul_add(dx, dy.mul_add(dy, dz.mul_add(dz, eps2)));
+        let rinv = 1.0 / r2.sqrt();
+        let rinv2 = rinv * rinv;
+        let rinv3 = rinv * rinv2;
+        let mr3 = ms[i] * rinv3;
+        let qr0 = q[4][i].mul_add(dz, q[3][i].mul_add(dy, q[0][i] * dx));
+        let qr1 = q[5][i].mul_add(dz, q[1][i].mul_add(dy, q[3][i] * dx));
+        let qr2 = q[2][i].mul_add(dz, q[5][i].mul_add(dy, q[4][i] * dx));
+        let rqr = qr2.mul_add(dz, qr1.mul_add(dy, qr0 * dx));
+        let rinv5 = rinv3 * rinv2;
+        let rinv7 = rinv5 * rinv2;
+        let c25 = 2.5 * rqr * rinv7;
+        ax[l] += dx.mul_add(mr3, dx.mul_add(c25, -qr0 * rinv5));
+        ay[l] += dy.mul_add(mr3, dy.mul_add(c25, -qr1 * rinv5));
+        az[l] += dz.mul_add(mr3, dz.mul_add(c25, -qr2 * rinv5));
+        ph[l] -= ms[i].mul_add(rinv, 0.5 * rqr * rinv5);
+    }
+    out.acc[0] += ax.iter().sum::<f64>();
+    out.acc[1] += ay.iter().sum::<f64>();
+    out.acc[2] += az.iter().sum::<f64>();
+    out.pot += ph.iter().sum::<f64>();
+}
+
+#[cfg(test)]
+mod span_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Sources in [1,2)³ with a target in [−1,0)³ keep every separation
+    /// ≥ 1, so the comparison is free of cancellation blow-ups while the
+    /// span length (0..40) sweeps empty, sub-chunk, exact-chunk, and
+    /// remainder cases for both the 8-lane and 4-lane kernels.
+    fn span_inputs() -> impl Strategy<Value = ([f64; 3], Vec<([f64; 3], f64, [f64; 6])>, f64)> {
+        (
+            [-1.0..0.0f64, -1.0..0.0, -1.0..0.0],
+            prop::collection::vec(
+                (
+                    [1.0..2.0f64, 1.0..2.0, 1.0..2.0],
+                    0.1..10.0f64,
+                    [
+                        -1.0..1.0f64,
+                        -1.0..1.0,
+                        -1.0..1.0,
+                        -1.0..1.0,
+                        -1.0..1.0,
+                        -1.0..1.0,
+                    ],
+                ),
+                0..40,
+            ),
+            0.0..0.1f64,
+        )
+    }
+
+    fn split_soa(src: &[([f64; 3], f64, [f64; 6])]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            src.iter().map(|s| s.0[0]).collect(),
+            src.iter().map(|s| s.0[1]).collect(),
+            src.iter().map(|s| s.0[2]).collect(),
+            src.iter().map(|s| s.1).collect(),
+        )
+    }
+
+    fn assert_close(a: &Accel, b: &Accel) -> Result<(), TestCaseError> {
+        let scale = b.norm() + b.pot.abs() + 1e-30;
+        for d in 0..3 {
+            prop_assert!(
+                (a.acc[d] - b.acc[d]).abs() <= 1e-12 * scale,
+                "acc[{d}]: {} vs {}",
+                a.acc[d],
+                b.acc[d]
+            );
+        }
+        prop_assert!((a.pot - b.pot).abs() <= 1e-12 * scale);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn p2p_span_matches_scalar_sum((tp, src, eps2) in span_inputs()) {
+            let (xs, ys, zs, ms) = split_soa(&src);
+            let mut span = Accel::default();
+            p2p_span(tp, &xs, &ys, &zs, &ms, eps2, &mut span);
+            let mut scalar = Accel::default();
+            for s in &src {
+                p2p(tp, s.0, s.1, eps2, &mut scalar);
+            }
+            assert_close(&span, &scalar)?;
+        }
+
+        #[test]
+        fn p2p_span_karp_matches_scalar_karp_sum((tp, src, eps2) in span_inputs()) {
+            let (xs, ys, zs, ms) = split_soa(&src);
+            let mut span = Accel::default();
+            p2p_span_karp(tp, &xs, &ys, &zs, &ms, eps2, &mut span);
+            let mut scalar = Accel::default();
+            for s in &src {
+                p2p_karp(tp, s.0, s.1, eps2, &mut scalar);
+            }
+            assert_close(&span, &scalar)?;
+        }
+
+        #[test]
+        fn m2p_span_matches_scalar_sum(
+            (tp, src, eps2) in span_inputs(),
+            quadrupole in proptest::bool::ANY,
+        ) {
+            let (xs, ys, zs, ms) = split_soa(&src);
+            let q: Vec<Vec<f64>> = (0..6)
+                .map(|c| src.iter().map(|s| s.2[c]).collect())
+                .collect();
+            let mut span = Accel::default();
+            m2p_span(
+                tp,
+                &xs,
+                &ys,
+                &zs,
+                &ms,
+                [&q[0], &q[1], &q[2], &q[3], &q[4], &q[5]],
+                eps2,
+                quadrupole,
+                &mut span,
+            );
+            let mut scalar = Accel::default();
+            for s in &src {
+                let mom = Multipole {
+                    mass: s.1,
+                    com: s.0,
+                    quad: s.2,
+                    bmax: 0.0,
+                };
+                m2p(tp, &mom, eps2, quadrupole, &mut scalar);
+            }
+            assert_close(&span, &scalar)?;
+        }
+    }
+}
+
 #[cfg(test)]
 mod batch_tests {
     use super::*;

@@ -1,0 +1,399 @@
+//! Structure-of-arrays interaction-list engine — the HOT "walk
+//! vectorization" (§4.2).
+//!
+//! The tree walk's job is to *decide* which cells and bodies interact
+//! with a target; the flop/s the paper reports come from *evaluating*
+//! those decisions as long contiguous spans. This module separates the
+//! two: a walk gathers every accepted multipole and every leaf body
+//! into reusable thread-local SoA scratch buffers (flat `x/y/z/m`
+//! arrays plus the six quadrupole component spans), and the chunked
+//! slice kernels [`crate::gravity::p2p_span`] / [`crate::gravity::m2p_span`]
+//! then stream through them with unrolled, `mul_add`-based inner loops.
+//!
+//! The scratch is allocation-free in steady state: buffers are
+//! truncated, never dropped, so after a warm-up pass the walk performs
+//! no heap allocation per body or per group. A debug counter
+//! ([`IlistScratch::alloc_events`]) records every capacity growth so
+//! tests can assert exactly that.
+
+use crate::gravity::{self, Accel, GravityConfig};
+use crate::mac::Mac;
+use crate::traverse::TraverseStats;
+use crate::tree::{Cell, CellIdx, Tree, NO_CELL};
+use std::cell::RefCell;
+
+/// Reusable SoA gather buffers for one walk target (a body or a group).
+#[derive(Default)]
+pub struct IlistScratch {
+    /// Accepted-cell centers of mass and masses.
+    pub cx: Vec<f64>,
+    pub cy: Vec<f64>,
+    pub cz: Vec<f64>,
+    pub cm: Vec<f64>,
+    /// Accepted-cell quadrupole components `[Qxx, Qyy, Qzz, Qxy, Qxz, Qyz]`.
+    pub cq: [Vec<f64>; 6],
+    /// Gathered leaf-body positions and masses.
+    pub bx: Vec<f64>,
+    pub by: Vec<f64>,
+    pub bz: Vec<f64>,
+    pub bm: Vec<f64>,
+    /// Traversal stack (reused across walks).
+    pub stack: Vec<CellIdx>,
+    /// Leaf cells whose bodies need index-aware handling (the group's
+    /// own leaf in a group walk).
+    own_leaf: Option<CellIdx>,
+    /// Number of buffer reallocations since the last reset.
+    alloc_events: u64,
+}
+
+#[inline]
+fn push_tracked<T>(v: &mut Vec<T>, allocs: &mut u64, x: T) {
+    if v.len() == v.capacity() {
+        *allocs += 1;
+    }
+    v.push(x);
+}
+
+impl IlistScratch {
+    pub fn new() -> IlistScratch {
+        IlistScratch::default()
+    }
+
+    /// Empty the gathered lists, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.cx.clear();
+        self.cy.clear();
+        self.cz.clear();
+        self.cm.clear();
+        for q in &mut self.cq {
+            q.clear();
+        }
+        self.bx.clear();
+        self.by.clear();
+        self.bz.clear();
+        self.bm.clear();
+        self.stack.clear();
+        self.own_leaf = None;
+    }
+
+    /// Buffer reallocations since construction or the last
+    /// [`reset_alloc_events`](IlistScratch::reset_alloc_events) —
+    /// zero once the scratch has warmed up.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    pub fn reset_alloc_events(&mut self) {
+        self.alloc_events = 0;
+    }
+
+    /// Number of accepted cells currently gathered.
+    pub fn n_cells(&self) -> usize {
+        self.cm.len()
+    }
+
+    /// Number of leaf bodies currently gathered.
+    pub fn n_bodies(&self) -> usize {
+        self.bm.len()
+    }
+
+    /// Append an accepted multipole, with its center of mass at `com`
+    /// (callers apply periodic image shifts before pushing). This is
+    /// what the distributed walk uses for ghost cells, which carry
+    /// moments but no local [`Cell`].
+    #[inline]
+    pub fn push_mom(&mut self, com: [f64; 3], mom: &crate::multipole::Multipole) {
+        let a = &mut self.alloc_events;
+        push_tracked(&mut self.cx, a, com[0]);
+        push_tracked(&mut self.cy, a, com[1]);
+        push_tracked(&mut self.cz, a, com[2]);
+        push_tracked(&mut self.cm, a, mom.mass);
+        for (q, &m) in self.cq.iter_mut().zip(&mom.quad) {
+            push_tracked(q, a, m);
+        }
+    }
+
+    /// Append an accepted cell's moments.
+    #[inline]
+    pub fn push_cell(&mut self, com: [f64; 3], cell: &Cell) {
+        let mom = cell.mom;
+        self.push_mom(com, &mom);
+    }
+
+    /// Append one leaf body.
+    #[inline]
+    pub fn push_body(&mut self, pos: [f64; 3], mass: f64) {
+        let a = &mut self.alloc_events;
+        push_tracked(&mut self.bx, a, pos[0]);
+        push_tracked(&mut self.by, a, pos[1]);
+        push_tracked(&mut self.bz, a, pos[2]);
+        push_tracked(&mut self.bm, a, mass);
+    }
+
+    /// Evaluate the gathered spans on a target at `tp`, adding into
+    /// `out`. Returns `(m2p, p2p)` interaction counts.
+    pub fn eval(&self, tp: [f64; 3], eps2: f64, quadrupole: bool, out: &mut Accel) -> (u64, u64) {
+        gravity::m2p_span(
+            tp,
+            &self.cx,
+            &self.cy,
+            &self.cz,
+            &self.cm,
+            [
+                &self.cq[0],
+                &self.cq[1],
+                &self.cq[2],
+                &self.cq[3],
+                &self.cq[4],
+                &self.cq[5],
+            ],
+            eps2,
+            quadrupole,
+            out,
+        );
+        gravity::p2p_span(tp, &self.bx, &self.by, &self.bz, &self.bm, eps2, out);
+        (self.n_cells() as u64, self.n_bodies() as u64)
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<IlistScratch> = RefCell::new(IlistScratch::new());
+}
+
+/// Run `f` with this thread's reusable scratch. Rayon worker threads
+/// each keep their own, so parallel walks never contend or allocate.
+pub fn with_scratch<R>(f: impl FnOnce(&mut IlistScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Per-body walk: gather the interaction list for the body at index `i`
+/// of `tree.bodies` into `sc`, then evaluate it with the span kernels.
+/// Exactly the same accept/open decisions as the scalar reference walk
+/// (`traverse::accel_on_scalar`), so force errors are identical; only
+/// the evaluation order changes.
+pub fn accel_on_with(
+    tree: &Tree,
+    i: usize,
+    cfg: &GravityConfig,
+    sc: &mut IlistScratch,
+) -> (Accel, TraverseStats) {
+    let pos = tree.bodies[i].pos;
+    let mac = Mac::new(cfg.mac, cfg.theta);
+    let eps2 = cfg.eps * cfg.eps;
+    let mut stats = TraverseStats::default();
+    sc.clear();
+    push_tracked(&mut sc.stack, &mut sc.alloc_events, 0);
+    while let Some(ci) = sc.stack.pop() {
+        let cell = tree.cell(ci);
+        if cell.nbody == 0 {
+            continue;
+        }
+        // Periodic runs interact with the nearest image of each cell.
+        let com = match cfg.periodic {
+            Some(l) => gravity::nearest_image(pos, cell.mom.com, l),
+            None => cell.mom.com,
+        };
+        let mut mom = cell.mom;
+        mom.com = com;
+        if mac.accept_raw(cell.side(), &mom, pos) {
+            sc.push_cell(com, cell);
+        } else if cell.is_leaf {
+            let first = cell.first_body as usize;
+            for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
+                if first + j == i {
+                    continue; // no self-interaction
+                }
+                let sp = match cfg.periodic {
+                    Some(l) => gravity::nearest_image(pos, b.pos, l),
+                    None => b.pos,
+                };
+                sc.push_body(sp, b.mass);
+            }
+        } else {
+            stats.opened += 1;
+            for &ch in &cell.children {
+                if ch != NO_CELL {
+                    push_tracked(&mut sc.stack, &mut sc.alloc_events, ch);
+                }
+            }
+        }
+    }
+    let mut out = Accel::default();
+    let (m2p, p2p) = sc.eval(pos, eps2, cfg.quadrupole, &mut out);
+    stats.m2p += m2p;
+    stats.p2p += p2p;
+    (out, stats)
+}
+
+/// Group walk: gather one shared interaction list for the leaf cell
+/// `gi` (the group) into `sc`. The MAC is applied conservatively to the
+/// point of the group's bounding sphere nearest each candidate cell, so
+/// the list is valid for every body of the group. The group's own leaf
+/// is *not* gathered (its pairs need self-exclusion); it is recorded
+/// and handled by [`eval_group`]. Returns the number of cells opened.
+///
+/// Periodic boxes are not supported here — callers fall back to the
+/// per-body walk (see `traverse::group_accelerations`).
+pub fn gather_group(tree: &Tree, gi: CellIdx, cfg: &GravityConfig, sc: &mut IlistScratch) -> u64 {
+    debug_assert!(cfg.periodic.is_none(), "group walks are non-periodic");
+    let group = tree.cell(gi);
+    let gc = group.mom.com;
+    let rg = group.mom.bmax;
+    let mut opened = 0u64;
+    sc.clear();
+    sc.own_leaf = Some(gi);
+    push_tracked(&mut sc.stack, &mut sc.alloc_events, 0);
+    while let Some(ci) = sc.stack.pop() {
+        let cell = tree.cell(ci);
+        if cell.nbody == 0 {
+            continue;
+        }
+        // Worst-case target: the group-sphere point nearest the cell.
+        // Shrink the distance by rg before testing.
+        let d = {
+            let dx = gc[0] - cell.mom.com[0];
+            let dy = gc[1] - cell.mom.com[1];
+            let dz = gc[2] - cell.mom.com[2];
+            (dx * dx + dy * dy + dz * dz).sqrt()
+        };
+        let worst = (d - rg).max(0.0);
+        let crit = match cfg.mac {
+            gravity::MacKind::BarnesHut => cell.side() / cfg.theta,
+            gravity::MacKind::BmaxMac => 2.0 * cell.mom.bmax / cfg.theta,
+        };
+        if worst > cell.mom.bmax && worst > crit {
+            sc.push_cell(cell.mom.com, cell);
+        } else if cell.is_leaf {
+            if ci != gi {
+                for b in tree.leaf_bodies(cell) {
+                    sc.push_body(b.pos, b.mass);
+                }
+            }
+        } else {
+            opened += 1;
+            for &ch in &cell.children {
+                if ch != NO_CELL {
+                    push_tracked(&mut sc.stack, &mut sc.alloc_events, ch);
+                }
+            }
+        }
+    }
+    opened
+}
+
+/// Evaluate a gathered group list (from [`gather_group`]) for every
+/// body of the group, writing accelerations into `out` (one slot per
+/// group body, in tree order). Intra-group pairs run through the scalar
+/// kernel with self-exclusion; everything else streams through the
+/// span kernels.
+pub fn eval_group(
+    tree: &Tree,
+    gi: CellIdx,
+    cfg: &GravityConfig,
+    sc: &IlistScratch,
+    out: &mut [Accel],
+) -> TraverseStats {
+    debug_assert_eq!(sc.own_leaf, Some(gi), "scratch holds a different group");
+    let group = tree.cell(gi);
+    let eps2 = cfg.eps * cfg.eps;
+    let own = tree.leaf_bodies(group);
+    debug_assert_eq!(out.len(), own.len());
+    let mut stats = TraverseStats::default();
+    for (bi, body) in own.iter().enumerate() {
+        let pos = body.pos;
+        let mut a = Accel::default();
+        let (m2p, p2p) = sc.eval(pos, eps2, cfg.quadrupole, &mut a);
+        for (j, b) in own.iter().enumerate() {
+            if j != bi {
+                gravity::p2p(pos, b.pos, b.mass, eps2, &mut a);
+            }
+        }
+        stats.m2p += m2p;
+        stats.p2p += p2p + (own.len() as u64 - 1);
+        out[bi] = a;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::plummer;
+    use crate::tree::Tree;
+
+    fn leaves_of(tree: &Tree) -> Vec<CellIdx> {
+        (0..tree.cells.len() as CellIdx)
+            .filter(|&ci| tree.cell(ci).is_leaf && tree.cell(ci).nbody > 0)
+            .collect()
+    }
+
+    #[test]
+    fn steady_state_group_walk_is_allocation_free() {
+        let tree = Tree::build(plummer(2_000, 91), 16);
+        let cfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let leaves = leaves_of(&tree);
+        let mut sc = IlistScratch::new();
+        let mut out = vec![Accel::default(); tree.leaf_max];
+        // Warm-up pass: buffers grow to their steady-state capacity.
+        for &gi in &leaves {
+            gather_group(&tree, gi, &cfg, &mut sc);
+            let nb = tree.cell(gi).nbody as usize;
+            eval_group(&tree, gi, &cfg, &sc, &mut out[..nb]);
+        }
+        assert!(sc.alloc_events() > 0, "warm-up must have allocated");
+        // Steady state: zero heap growth across a full second pass.
+        sc.reset_alloc_events();
+        for &gi in &leaves {
+            gather_group(&tree, gi, &cfg, &mut sc);
+            let nb = tree.cell(gi).nbody as usize;
+            eval_group(&tree, gi, &cfg, &sc, &mut out[..nb]);
+        }
+        assert_eq!(sc.alloc_events(), 0, "steady-state walk allocated");
+    }
+
+    #[test]
+    fn steady_state_body_walk_is_allocation_free() {
+        let tree = Tree::build(plummer(1_000, 17), 8);
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let mut sc = IlistScratch::new();
+        for i in 0..tree.bodies.len() {
+            accel_on_with(&tree, i, &cfg, &mut sc);
+        }
+        sc.reset_alloc_events();
+        for i in 0..tree.bodies.len() {
+            accel_on_with(&tree, i, &cfg, &mut sc);
+        }
+        assert_eq!(sc.alloc_events(), 0, "steady-state walk allocated");
+    }
+
+    #[test]
+    fn group_list_covers_all_mass_exactly_once() {
+        // For any group, accepted cells + gathered bodies + the group's
+        // own bodies partition the total mass.
+        let tree = Tree::build(plummer(700, 3), 16);
+        let cfg = GravityConfig {
+            theta: 0.7,
+            eps: 0.01,
+            ..Default::default()
+        };
+        let total = tree.total_mass();
+        let mut sc = IlistScratch::new();
+        for gi in leaves_of(&tree) {
+            gather_group(&tree, gi, &cfg, &mut sc);
+            let own: f64 = tree.leaf_bodies(tree.cell(gi)).iter().map(|b| b.mass).sum();
+            let listed: f64 = sc.cm.iter().sum::<f64>() + sc.bm.iter().sum::<f64>() + own;
+            assert!(
+                (listed - total).abs() < 1e-9 * total,
+                "group {gi}: {listed} vs {total}"
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! those errors are measured against.
 
 use crate::gravity::{Accel, GravityConfig};
-use crate::traverse::{tree_accelerations, TraverseStats};
+use crate::traverse::{group_accelerations, TraverseStats};
 use crate::tree::{Body, Tree};
 
 /// A running N-body simulation with a global timestep.
@@ -26,7 +26,10 @@ impl Simulation {
     pub fn new(bodies: Vec<Body>, cfg: GravityConfig, dt: f64) -> Simulation {
         assert!(dt > 0.0);
         let tree = Tree::build(bodies, cfg.leaf_max);
-        let (accel, stats) = tree_accelerations(&tree, &cfg);
+        // The group walk (SoA interaction-list engine) is the default
+        // force path; it falls back to the per-body walk on periodic
+        // configurations.
+        let (accel, stats) = group_accelerations(&tree, &cfg);
         Simulation {
             bodies: tree.bodies,
             cfg,
@@ -51,7 +54,7 @@ impl Simulation {
         }
         // New forces at the drifted positions.
         let tree = Tree::build(std::mem::take(&mut self.bodies), self.cfg.leaf_max);
-        let (accel, stats) = tree_accelerations(&tree, &self.cfg);
+        let (accel, stats) = group_accelerations(&tree, &self.cfg);
         self.bodies = tree.bodies;
         self.accel = accel;
         self.stats.add(&stats);
@@ -76,7 +79,7 @@ impl Simulation {
     /// potential (recomputed through a fresh traversal).
     pub fn energy(&mut self) -> (f64, f64) {
         let tree = Tree::build(std::mem::take(&mut self.bodies), self.cfg.leaf_max);
-        let (accel, _) = tree_accelerations(&tree, &self.cfg);
+        let (accel, _) = group_accelerations(&tree, &self.cfg);
         let kinetic: f64 = tree
             .bodies
             .iter()

@@ -36,6 +36,7 @@ pub mod direct;
 pub mod domain;
 pub mod gravity;
 pub mod hash;
+pub mod ilist;
 pub mod integrate;
 pub mod mac;
 pub mod models;

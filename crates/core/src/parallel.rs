@@ -152,6 +152,10 @@ struct Engine<'a> {
     rep_bodies: Abm<BodyPart>,
     /// Interactions accumulated since the last virtual-time charge.
     uncharged: u64,
+    /// Batches already reported to the termination counter; lets
+    /// [`Engine::flush`] account for batches auto-flushed by a full
+    /// [`Abm::post`] between explicit flushes.
+    reported_sent: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -178,6 +182,7 @@ impl<'a> Engine<'a> {
             req_bodies: Abm::new(comm.size(), 3, cfg.batch),
             rep_bodies: Abm::new(comm.size(), 4, cfg.batch * 4),
             uncharged: 0,
+            reported_sent: 0,
         }
     }
 
@@ -408,6 +413,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Advance one walk until it completes or suspends.
+    ///
+    /// Accepted multipoles and leaf bodies are gathered into the
+    /// thread-local SoA scratch ([`crate::ilist`]) and evaluated as
+    /// spans when the walk exits (completion or suspension) — the same
+    /// engine the single-address-space walks use. Flushing at every
+    /// suspension point keeps the scratch free for other walks that run
+    /// while this one waits on remote data.
     fn run_walk(&mut self, comm: &mut Comm, walks: &mut [Walk], walk_id: u32) -> StepOutcome {
         let leaf_max = self.cfg.gravity.leaf_max;
         let quadrupole = self.cfg.gravity.quadrupole;
@@ -416,104 +428,113 @@ impl<'a> Engine<'a> {
         let pos = tree.bodies[w.body as usize].pos;
         let my_id = tree.bodies[w.body as usize].id;
 
-        while let Some(key) = w.stack.pop() {
-            if self.decomp.purely_local(key, self.rank) {
-                // Entirely ours: use the local tree (or the raw body range
-                // when the local tree didn't subdivide this far).
-                if let Some(idx) = tree.map.get(key) {
-                    let cell = &tree.cells[idx as usize];
-                    if cell.nbody == 0 {
-                        continue;
-                    }
-                    if self.mac.accept(cell, pos) {
-                        gravity::m2p(pos, &cell.mom, self.eps2, quadrupole, &mut w.out);
-                        w.m2p += 1;
-                    } else if cell.is_leaf {
-                        let first = cell.first_body as usize;
-                        for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
-                            if first + j == w.body as usize {
+        let outcome = crate::ilist::with_scratch(|sc| {
+            sc.clear();
+            while let Some(key) = w.stack.pop() {
+                if self.decomp.purely_local(key, self.rank) {
+                    // Entirely ours: use the local tree (or the raw body range
+                    // when the local tree didn't subdivide this far).
+                    if let Some(idx) = tree.map.get(key) {
+                        let cell = &tree.cells[idx as usize];
+                        if cell.nbody == 0 {
+                            continue;
+                        }
+                        if self.mac.accept(cell, pos) {
+                            sc.push_cell(cell.mom.com, cell);
+                            w.m2p += 1;
+                        } else if cell.is_leaf {
+                            let first = cell.first_body as usize;
+                            for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
+                                if first + j == w.body as usize {
+                                    continue;
+                                }
+                                sc.push_body(b.pos, b.mass);
+                                w.p2p += 1;
+                            }
+                        } else {
+                            for &ch in &cell.children {
+                                if ch != crate::tree::NO_CELL {
+                                    w.stack.push(tree.cells[ch as usize].key);
+                                }
+                            }
+                        }
+                    } else {
+                        // No local cell: p2p over the (small) raw range.
+                        let (a, b) = {
+                            let (lo, hi) = key.key_range();
+                            let a = tree.keys.partition_point(|k| k.0 < lo.0);
+                            let b = tree.keys.partition_point(|k| k.0 <= hi.0);
+                            (a, b)
+                        };
+                        for j in a..b {
+                            if j == w.body as usize {
                                 continue;
                             }
-                            gravity::p2p(pos, b.pos, b.mass, self.eps2, &mut w.out);
+                            let bd = &tree.bodies[j];
+                            sc.push_body(bd.pos, bd.mass);
+                            w.p2p += 1;
+                        }
+                    }
+                    continue;
+                }
+
+                // Shared or remote cell: use the ghost store.
+                let Some(g) = self.ghost.get(&key.0) else {
+                    panic!("walk reached key {key:?} with no ghost entry");
+                };
+                let g = g.clone();
+                if g.nbody == 0 {
+                    continue;
+                }
+                let side = if key == Key::ROOT {
+                    f64::INFINITY
+                } else {
+                    2.0 * self.decomp.bbox.cell_geometry(key).1
+                };
+                if key != Key::ROOT && self.mac.accept_raw(side, &g.mom, pos) {
+                    sc.push_mom(g.mom.com, &g.mom);
+                    w.m2p += 1;
+                } else if g.nbody as usize <= leaf_max || key.level() == MAX_LEVEL {
+                    if let Some(parts) = self.ghost_bodies.get(&key.0) {
+                        for p in parts {
+                            if p.id == my_id {
+                                continue;
+                            }
+                            sc.push_body(p.pos, p.mass);
                             w.p2p += 1;
                         }
                     } else {
-                        for &ch in &cell.children {
-                            if ch != crate::tree::NO_CELL {
-                                w.stack.push(tree.cells[ch as usize].key);
-                            }
-                        }
-                    }
-                } else {
-                    // No local cell: p2p over the (small) raw range.
-                    let (a, b) = {
-                        let (lo, hi) = key.key_range();
-                        let a = tree.keys.partition_point(|k| k.0 < lo.0);
-                        let b = tree.keys.partition_point(|k| k.0 <= hi.0);
-                        (a, b)
-                    };
-                    for j in a..b {
-                        if j == w.body as usize {
+                        w.stack.push(key);
+                        let wid = walk_id;
+                        self.request_bodies(comm, key, wid);
+                        if self.ghost_bodies.contains_key(&key.0) {
+                            // Satisfied locally without any remote owner.
                             continue;
                         }
-                        let bd = &tree.bodies[j];
-                        gravity::p2p(pos, bd.pos, bd.mass, self.eps2, &mut w.out);
-                        w.p2p += 1;
+                        sc.eval(pos, self.eps2, quadrupole, &mut w.out);
+                        return StepOutcome::Suspended;
                     }
-                }
-                continue;
-            }
-
-            // Shared or remote cell: use the ghost store.
-            let Some(g) = self.ghost.get(&key.0) else {
-                panic!("walk reached key {key:?} with no ghost entry");
-            };
-            let g = g.clone();
-            if g.nbody == 0 {
-                continue;
-            }
-            let side = if key == Key::ROOT {
-                f64::INFINITY
-            } else {
-                2.0 * self.decomp.bbox.cell_geometry(key).1
-            };
-            if key != Key::ROOT && self.mac.accept_raw(side, &g.mom, pos) {
-                gravity::m2p(pos, &g.mom, self.eps2, quadrupole, &mut w.out);
-                w.m2p += 1;
-            } else if g.nbody as usize <= leaf_max || key.level() == MAX_LEVEL {
-                if let Some(parts) = self.ghost_bodies.get(&key.0) {
-                    for p in parts {
-                        if p.id == my_id {
-                            continue;
-                        }
-                        gravity::p2p(pos, p.pos, p.mass, self.eps2, &mut w.out);
-                        w.p2p += 1;
+                } else if let Some(kids) = self.ghost_children.get(&key.0) {
+                    for k in kids {
+                        w.stack.push(*k);
                     }
                 } else {
                     w.stack.push(key);
-                    let wid = walk_id;
-                    self.request_bodies(comm, key, wid);
-                    if self.ghost_bodies.contains_key(&key.0) {
-                        // Satisfied locally without any remote owner.
+                    self.request_children(comm, key, walk_id);
+                    if self.ghost_children.contains_key(&key.0) {
                         continue;
                     }
+                    sc.eval(pos, self.eps2, quadrupole, &mut w.out);
                     return StepOutcome::Suspended;
                 }
-            } else if let Some(kids) = self.ghost_children.get(&key.0) {
-                for k in kids {
-                    w.stack.push(*k);
-                }
-            } else {
-                w.stack.push(key);
-                self.request_children(comm, key, walk_id);
-                if self.ghost_children.contains_key(&key.0) {
-                    continue;
-                }
-                return StepOutcome::Suspended;
             }
+            sc.eval(pos, self.eps2, quadrupole, &mut w.out);
+            StepOutcome::Complete
+        });
+        if matches!(outcome, StepOutcome::Complete) {
+            self.uncharged += w.p2p + w.m2p;
         }
-        self.uncharged += w.p2p + w.m2p;
-        StepOutcome::Complete
+        outcome
     }
 
     /// Charge accumulated interactions to the virtual clock.
@@ -533,19 +554,20 @@ impl<'a> Engine<'a> {
     }
 
     fn flush(&mut self, comm: &mut Comm, term: &mut Termination) {
-        let before = self.req_children.sent
-            + self.rep_children.sent
-            + self.req_bodies.sent
-            + self.rep_bodies.sent;
         self.req_children.flush_all(comm);
         self.rep_children.flush_all(comm);
         self.req_bodies.flush_all(comm);
         self.rep_bodies.flush_all(comm);
-        let after = self.req_children.sent
+        // Report against the cumulative counters, not a before/after delta
+        // around the flush calls: batches that auto-flushed when a post
+        // filled them would otherwise never reach the Safra counter and
+        // termination could never be detected (total stuck below zero).
+        let total = self.req_children.sent
             + self.rep_children.sent
             + self.req_bodies.sent
             + self.rep_bodies.sent;
-        term.on_send(after - before);
+        term.on_send(total - self.reported_sent);
+        self.reported_sent = total;
     }
 }
 
@@ -616,12 +638,17 @@ pub fn parallel_accelerations(
                 StepOutcome::Suspended => {
                     if !cfg.latency_hiding {
                         // Ablation mode: spin until this walk can resume.
-                        engine.flush(comm, &mut term);
+                        // Flush every iteration, not just on entry: serving
+                        // another rank's request posts reply parts into a
+                        // batch that only auto-flushes when full, and if
+                        // every rank parks here waiting on someone else's
+                        // unflushed batch the whole world livelocks.
                         loop {
                             let (wake, received) = engine.service(comm);
                             if received > 0 {
                                 term.on_recv(received);
                             }
+                            engine.flush(comm, &mut term);
                             if !wake.is_empty() {
                                 for w in wake {
                                     active.push_front(w);

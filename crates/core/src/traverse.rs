@@ -6,8 +6,9 @@
 //! walks and request traffic for distributed trees.
 
 use crate::gravity::{self, Accel, GravityConfig};
+use crate::ilist;
 use crate::mac::Mac;
-use crate::tree::{Tree, NO_CELL};
+use crate::tree::{CellIdx, Tree, NO_CELL};
 use rayon::prelude::*;
 
 /// Interaction counts from one traversal (per the whole body set).
@@ -19,6 +20,9 @@ pub struct TraverseStats {
     pub m2p: u64,
     /// Cells opened.
     pub opened: u64,
+    /// Set when [`group_accelerations`] could not use the group walk
+    /// (periodic box) and fell back to the per-body walk.
+    pub group_fallback: bool,
 }
 
 impl TraverseStats {
@@ -26,6 +30,7 @@ impl TraverseStats {
         self.p2p += o.p2p;
         self.m2p += o.m2p;
         self.opened += o.opened;
+        self.group_fallback |= o.group_fallback;
     }
 
     /// Total flops by the paper's counting convention.
@@ -45,7 +50,18 @@ impl TraverseStats {
 }
 
 /// Acceleration on the body at index `i` of `tree.bodies`.
+///
+/// Gathers the body's interaction list into this thread's reusable SoA
+/// scratch ([`crate::ilist`]) and evaluates it with the chunked span
+/// kernels — no per-body heap allocation, vectorizable inner loops.
 pub fn accel_on(tree: &Tree, i: usize, cfg: &GravityConfig) -> (Accel, TraverseStats) {
+    ilist::with_scratch(|sc| ilist::accel_on_with(tree, i, cfg, sc))
+}
+
+/// The seed's scalar per-body walk, kept as the reference the SoA
+/// engine is benchmarked and property-tested against (and as the
+/// fallback nothing depends on being fast).
+pub fn accel_on_scalar(tree: &Tree, i: usize, cfg: &GravityConfig) -> (Accel, TraverseStats) {
     let pos = tree.bodies[i].pos;
     let mac = Mac::new(cfg.mac, cfg.theta);
     let eps2 = cfg.eps * cfg.eps;
@@ -100,90 +116,49 @@ pub fn accel_on(tree: &Tree, i: usize, cfg: &GravityConfig) -> (Accel, TraverseS
 /// the per-body walk at the same θ, while the tree-descent overhead is
 /// amortized over the group — the classic HOT "walk vectorization".
 pub fn group_accelerations(tree: &Tree, cfg: &GravityConfig) -> (Vec<Accel>, TraverseStats) {
-    assert!(
-        cfg.periodic.is_none(),
-        "group walks do not support periodic boxes yet"
-    );
-    let eps2 = cfg.eps * cfg.eps;
-    let leaves: Vec<i32> = (0..tree.cells.len() as i32)
+    if cfg.periodic.is_some() {
+        // The conservative group MAC has no nearest-image form yet:
+        // different bodies of one group can interact with different
+        // images of the same cell. Fall back to the per-body periodic
+        // walk and flag it, instead of panicking on periodic configs.
+        let (accels, mut stats) = tree_accelerations(tree, cfg);
+        stats.group_fallback = true;
+        return (accels, stats);
+    }
+    // Leaves come out of the DFS build in body order, so the output
+    // array splits into per-group chunks without any reshuffling.
+    let leaves: Vec<CellIdx> = (0..tree.cells.len() as CellIdx)
         .filter(|&ci| tree.cell(ci).is_leaf && tree.cell(ci).nbody > 0)
         .collect();
-    let results: Vec<(i32, Vec<Accel>, TraverseStats)> = leaves
-        .par_iter()
-        .map(|&gi| {
-            let group = tree.cell(gi);
-            let gc = group.mom.com;
-            let rg = group.mom.bmax;
-            let mut stats = TraverseStats::default();
-            // Build the interaction list.
-            let mut accept_list: Vec<i32> = Vec::new();
-            let mut leaf_list: Vec<i32> = Vec::new();
-            let mut stack = vec![0i32];
-            while let Some(ci) = stack.pop() {
-                let cell = tree.cell(ci);
-                if cell.nbody == 0 {
-                    continue;
-                }
-                // Worst-case target: the group-sphere point nearest the
-                // cell. Shrink the distance by rg before testing.
-                let d = {
-                    let dx = gc[0] - cell.mom.com[0];
-                    let dy = gc[1] - cell.mom.com[1];
-                    let dz = gc[2] - cell.mom.com[2];
-                    (dx * dx + dy * dy + dz * dz).sqrt()
-                };
-                let worst = (d - rg).max(0.0);
-                let crit = match cfg.mac {
-                    gravity::MacKind::BarnesHut => cell.side() / cfg.theta,
-                    gravity::MacKind::BmaxMac => 2.0 * cell.mom.bmax / cfg.theta,
-                };
-                if worst > cell.mom.bmax && worst > crit {
-                    accept_list.push(ci);
-                } else if cell.is_leaf {
-                    leaf_list.push(ci);
-                } else {
-                    stats.opened += 1;
-                    for &ch in &cell.children {
-                        if ch != NO_CELL {
-                            stack.push(ch);
-                        }
-                    }
-                }
-            }
-            // Apply the shared list to every body of the group.
-            let first = group.first_body as usize;
-            let nb = group.nbody as usize;
-            let mut out = vec![Accel::default(); nb];
-            for (bi, body) in tree.bodies[first..first + nb].iter().enumerate() {
-                let pos = body.pos;
-                for &ci in &accept_list {
-                    gravity::m2p(pos, &tree.cell(ci).mom, eps2, cfg.quadrupole, &mut out[bi]);
-                    stats.m2p += 1;
-                }
-                for &ci in &leaf_list {
-                    let src = tree.cell(ci);
-                    let sfirst = src.first_body as usize;
-                    for (j, b) in tree.leaf_bodies(src).iter().enumerate() {
-                        if sfirst + j == first + bi {
-                            continue;
-                        }
-                        gravity::p2p(pos, b.pos, b.mass, eps2, &mut out[bi]);
-                        stats.p2p += 1;
-                    }
-                }
-            }
-            (gi, out, stats)
-        })
-        .collect();
     let mut accels = vec![Accel::default(); tree.bodies.len()];
-    let mut stats = TraverseStats::default();
-    for (gi, out, s) in results {
-        let first = tree.cell(gi).first_body as usize;
-        for (bi, a) in out.into_iter().enumerate() {
-            accels[first + bi] = a;
-        }
-        stats.add(&s);
+    let mut chunks: Vec<(CellIdx, &mut [Accel])> = Vec::with_capacity(leaves.len());
+    let mut rest = accels.as_mut_slice();
+    for &gi in &leaves {
+        let cell = tree.cell(gi);
+        debug_assert_eq!(
+            cell.first_body as usize,
+            tree.bodies.len() - rest.len(),
+            "leaves not in body order"
+        );
+        let (chunk, tail) = rest.split_at_mut(cell.nbody as usize);
+        chunks.push((gi, chunk));
+        rest = tail;
     }
+    debug_assert!(rest.is_empty(), "leaves do not partition the bodies");
+    let stats = chunks
+        .par_iter_mut()
+        .map(|(gi, out)| {
+            ilist::with_scratch(|sc| {
+                let opened = ilist::gather_group(tree, *gi, cfg, sc);
+                let mut s = ilist::eval_group(tree, *gi, cfg, sc, out);
+                s.opened = opened;
+                s
+            })
+        })
+        .reduce(TraverseStats::default, |mut a, b| {
+            a.add(&b);
+            a
+        });
     (accels, stats)
 }
 
@@ -472,6 +447,66 @@ mod tests {
             s2.opened,
             s1.opened
         );
+    }
+
+    #[test]
+    fn soa_walk_matches_scalar_walk() {
+        // The ilist engine re-orders the arithmetic (spans, mul_add);
+        // it must still agree with the seed scalar walk to ~1e-12 and
+        // produce identical interaction counts.
+        let bodies = plummer(400, 17);
+        let tree = Tree::build(bodies, 8);
+        for quadrupole in [false, true] {
+            let cfg = GravityConfig {
+                theta: 0.6,
+                eps: 0.01,
+                quadrupole,
+                ..Default::default()
+            };
+            for i in (0..tree.bodies.len()).step_by(7) {
+                let (a, s) = accel_on(&tree, i, &cfg);
+                let (b, t) = accel_on_scalar(&tree, i, &cfg);
+                assert_eq!((s.p2p, s.m2p), (t.p2p, t.m2p), "body {i}");
+                let scale = b.norm().max(1e-300);
+                for d in 0..3 {
+                    assert!(
+                        (a.acc[d] - b.acc[d]).abs() <= 1e-12 * scale,
+                        "body {i} dim {d}: {} vs {}",
+                        a.acc[d],
+                        b.acc[d]
+                    );
+                }
+                assert!((a.pot - b.pot).abs() <= 1e-12 * b.pot.abs().max(1e-300));
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_group_walk_falls_back_instead_of_panicking() {
+        use crate::models::uniform_cube;
+        let bodies = uniform_cube(200, 5);
+        let tree = Tree::build_in(
+            bodies,
+            crate::morton::BBox {
+                center: [0.5; 3],
+                half: 0.5,
+            },
+            8,
+        );
+        let cfg = GravityConfig {
+            theta: 0.5,
+            eps: 0.01,
+            periodic: Some(1.0),
+            ..Default::default()
+        };
+        let (grouped, gs) = group_accelerations(&tree, &cfg);
+        assert!(gs.group_fallback, "fallback flag not set");
+        let (per_body, ps) = tree_accelerations(&tree, &cfg);
+        assert!(!ps.group_fallback);
+        for (a, b) in grouped.iter().zip(&per_body) {
+            assert_eq!(a.acc, b.acc);
+            assert_eq!(a.pot, b.pot);
+        }
     }
 
     #[test]

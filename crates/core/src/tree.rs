@@ -9,6 +9,14 @@
 use crate::hash::KeyMap;
 use crate::morton::{BBox, Key, MAX_LEVEL};
 use crate::multipole::Multipole;
+use rayon::prelude::*;
+
+/// Below this body count the serial key+sort path wins; above it the
+/// keys are computed with a parallel map and sorted with a parallel
+/// *stable* sort, which produces the same body order as the serial
+/// stable sort (equal keys keep input order), so builds stay
+/// deterministic and thread-count independent.
+const PAR_BUILD_MIN: usize = 8192;
 
 /// One simulation particle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,12 +95,25 @@ impl Tree {
     }
 
     /// Build with an externally supplied (e.g. global) bounding box.
-    pub fn build_in(mut bodies: Vec<Body>, bbox: BBox, leaf_max: usize) -> Tree {
+    pub fn build_in(bodies: Vec<Body>, bbox: BBox, leaf_max: usize) -> Tree {
         assert!(leaf_max >= 1);
         assert!(!bodies.is_empty(), "cannot build a tree over no bodies");
-        let mut keyed: Vec<(Key, Body)> =
-            bodies.drain(..).map(|b| (bbox.key_of(b.pos), b)).collect();
-        keyed.sort_by_key(|&(k, _)| k);
+        let mut keyed: Vec<(Key, Body)> = if bodies.len() >= PAR_BUILD_MIN {
+            bodies
+                .into_par_iter()
+                .map(|b| (bbox.key_of(b.pos), b))
+                .collect()
+        } else {
+            bodies
+                .into_iter()
+                .map(|b| (bbox.key_of(b.pos), b))
+                .collect()
+        };
+        if keyed.len() >= PAR_BUILD_MIN {
+            keyed.par_sort_by_key(|&(k, _)| k);
+        } else {
+            keyed.sort_by_key(|&(k, _)| k);
+        }
         let keys: Vec<Key> = keyed.iter().map(|&(k, _)| k).collect();
         let bodies: Vec<Body> = keyed.into_iter().map(|(_, b)| b).collect();
 
@@ -349,6 +370,36 @@ mod tests {
     #[should_panic(expected = "empty set")]
     fn empty_build_panics() {
         Tree::build(Vec::new(), 8);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic_and_matches_serial_order() {
+        // Cross the PAR_BUILD_MIN threshold and include duplicated
+        // positions (equal keys) so stability matters: the parallel
+        // stable sort must reproduce the serial stable sort's order.
+        let mut bodies = random_bodies(PAR_BUILD_MIN + 500, 9);
+        for i in 0..400 {
+            let p = bodies[i].pos;
+            bodies[PAR_BUILD_MIN + i].pos = p; // exact duplicates
+        }
+        let par = Tree::build(bodies.clone(), 8);
+        assert!(par.bodies.len() >= PAR_BUILD_MIN);
+        // Serial reference: the pre-parallel build algorithm.
+        let bbox = par.bbox;
+        let mut keyed: Vec<(Key, Body)> = bodies.iter().map(|&b| (bbox.key_of(b.pos), b)).collect();
+        keyed.sort_by_key(|&(k, _)| k);
+        for (i, (k, b)) in keyed.iter().enumerate() {
+            assert_eq!(*k, par.keys[i], "key order differs at {i}");
+            assert_eq!(b.id, par.bodies[i].id, "body order differs at {i}");
+        }
+        // And a second parallel build is bitwise-identical.
+        let par2 = Tree::build(bodies, 8);
+        assert_eq!(par.keys, par2.keys);
+        assert!(par
+            .bodies
+            .iter()
+            .zip(&par2.bodies)
+            .all(|(a, b)| a.id == b.id && a.pos == b.pos));
     }
 
     proptest! {

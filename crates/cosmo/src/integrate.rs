@@ -187,7 +187,9 @@ impl BoxSimulation {
             },
             self.cfg.leaf_max,
         );
-        let (acc, stats) = hot::traverse::tree_accelerations(&tree, &self.cfg);
+        // group_accelerations detects the periodic config and falls back
+        // to the per-body minimum-image walk (stats.group_fallback).
+        let (acc, stats) = hot::traverse::group_accelerations(&tree, &self.cfg);
         self.bodies = tree.bodies;
         self.stats.add(&stats);
         acc

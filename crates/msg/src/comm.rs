@@ -128,7 +128,11 @@ impl Comm {
             .mailbox
             .iter()
             .position(|p| Self::matches(p, src, tag))?;
-        Some(self.mailbox.swap_remove(idx))
+        // Plain remove, not swap_remove: the mailbox must stay in arrival
+        // order or a (src, tag) stream with three or more queued packets
+        // gets reordered, breaking protocols that rely on FIFO delivery
+        // (e.g. the treecode's part/terminator reply streams).
+        Some(self.mailbox.remove(idx))
     }
 
     fn accept<T: Payload>(&mut self, pkt: Packet) -> (usize, T) {
@@ -283,6 +287,27 @@ mod tests {
                 let b = c.recv_from::<u64>(0, 6);
                 let a = c.recv_from::<u64>(0, 5);
                 assert_eq!((a, b), (50, 60));
+            }
+        });
+    }
+
+    #[test]
+    fn queued_same_tag_messages_keep_send_order() {
+        // Force several same-(src, tag) packets to sit in the mailbox at
+        // once: the sync message on tag 9 is sent last, so by FIFO the
+        // three tag-8 packets are already queued when it is received.
+        // They must then come back in send order (swap_remove in the
+        // mailbox would replay them as 1, 3, 2).
+        run(2, |c| {
+            if c.rank() == 0 {
+                for v in 1..=3u64 {
+                    c.send(1, 8, v);
+                }
+                c.send(1, 9, 0u64);
+            } else {
+                let _ = c.recv_from::<u64>(0, 9);
+                let got: Vec<u64> = (0..3).map(|_| c.recv_from::<u64>(0, 8)).collect();
+                assert_eq!(got, vec![1, 2, 3]);
             }
         });
     }

@@ -3,61 +3,87 @@
 use crate::kernel;
 use crate::neighbors::NeighborTree;
 use crate::particle::SphParticle;
+use rayon::prelude::*;
 
 /// Target neighbour count for the adaptive h iteration.
 pub const N_NGB: usize = 40;
 /// Accepted band around the target.
 pub const N_NGB_TOL: usize = 10;
 
-/// Adapt each particle's `h` so its neighbour count (within 2h) lands in
-/// `N_NGB ± N_NGB_TOL`, then compute ρ_i = Σ m_j W(r_ij, h_i).
-pub fn compute_density(parts: &mut [SphParticle], nt: &NeighborTree) {
-    for i in 0..parts.len() {
-        let pos = parts[i].pos;
-        let mut h = parts[i].h.max(1e-6);
-        // Multiplicative search for a bracketing h, then bisect.
-        let count = |h: f64| nt.ball(pos, kernel::SUPPORT * h).len();
-        let mut n = count(h);
-        let mut iter = 0;
-        while n < N_NGB - N_NGB_TOL && iter < 60 {
-            h *= 1.26;
-            n = count(h);
-            iter += 1;
-        }
-        while n > N_NGB + N_NGB_TOL && iter < 60 {
-            h /= 1.26;
-            n = count(h);
-            iter += 1;
-        }
-        // A couple of bisection refinements if still outside the band.
-        if !(N_NGB - N_NGB_TOL..=N_NGB + N_NGB_TOL).contains(&n) {
-            let (mut lo, mut hi) = (h / 1.3, h * 1.3);
-            for _ in 0..20 {
-                let mid = 0.5 * (lo + hi);
-                let c = count(mid);
-                if c < N_NGB {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-                h = mid;
-                if (N_NGB - N_NGB_TOL..=N_NGB + N_NGB_TOL).contains(&c) {
-                    break;
-                }
+/// Adapt one particle's `h` so its neighbour count (within `SUPPORT·h`)
+/// lands in `N_NGB ± N_NGB_TOL`. Multiplicative search for a bracketing
+/// h, then bisect. Reads only positions, so it is safe per-particle in
+/// parallel and independent of evaluation order.
+fn adapt_h(nt: &NeighborTree, pos: [f64; 3], h0: f64) -> f64 {
+    let mut h = h0.max(1e-6);
+    let count = |h: f64| nt.ball_count(pos, kernel::SUPPORT * h);
+    let mut n = count(h);
+    let mut iter = 0;
+    while n < N_NGB - N_NGB_TOL && iter < 60 {
+        h *= 1.26;
+        n = count(h);
+        iter += 1;
+    }
+    while n > N_NGB + N_NGB_TOL && iter < 60 {
+        h /= 1.26;
+        n = count(h);
+        iter += 1;
+    }
+    // A couple of bisection refinements if still outside the band.
+    if !(N_NGB - N_NGB_TOL..=N_NGB + N_NGB_TOL).contains(&n) {
+        let (mut lo, mut hi) = (h / 1.3, h * 1.3);
+        for _ in 0..20 {
+            let mid = 0.5 * (lo + hi);
+            let c = count(mid);
+            if c < N_NGB {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            h = mid;
+            if (N_NGB - N_NGB_TOL..=N_NGB + N_NGB_TOL).contains(&c) {
+                break;
             }
         }
-        parts[i].h = h;
-        // Density sum.
-        let mut rho = 0.0;
-        for j in nt.ball(pos, kernel::SUPPORT * h) {
-            let pj = &parts[j];
-            let dx = pos[0] - pj.pos[0];
-            let dy = pos[1] - pj.pos[1];
-            let dz = pos[2] - pj.pos[2];
-            let r = (dx * dx + dy * dy + dz * dz).sqrt();
-            rho += pj.mass * kernel::w(r, h);
-        }
-        parts[i].rho = rho;
+    }
+    h
+}
+
+/// Adapt each particle's `h` so its neighbour count (within `SUPPORT·h`)
+/// lands in `N_NGB ± N_NGB_TOL`, then compute ρ_i = Σ m_j W(r_ij, h_i).
+///
+/// Both phases run parallel over particles; each particle reads only
+/// neighbour positions/masses (never `h`/`rho` of others), so the result
+/// is identical to the serial sweep and bitwise stable across runs. The
+/// neighbour queries are the non-allocating visitor/count variants, so
+/// the steady-state sweep does no per-particle heap allocation.
+pub fn compute_density(parts: &mut [SphParticle], nt: &NeighborTree) {
+    // Phase 1: adaptive h.
+    let snap: &[SphParticle] = parts;
+    let hs: Vec<f64> = snap.par_iter().map(|p| adapt_h(nt, p.pos, p.h)).collect();
+    for (p, h) in parts.iter_mut().zip(&hs) {
+        p.h = *h;
+    }
+    // Phase 2: density summation at the adapted h.
+    let snap: &[SphParticle] = parts;
+    let rhos: Vec<f64> = snap
+        .par_iter()
+        .map(|pi| {
+            let pos = pi.pos;
+            let mut rho = 0.0;
+            nt.ball_visit(pos, kernel::SUPPORT * pi.h, |j| {
+                let pj = &snap[j];
+                let dx = pos[0] - pj.pos[0];
+                let dy = pos[1] - pj.pos[1];
+                let dz = pos[2] - pj.pos[2];
+                let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                rho += pj.mass * kernel::w(r, pi.h);
+            });
+            rho
+        })
+        .collect();
+    for (p, rho) in parts.iter_mut().zip(&rhos) {
+        p.rho = *rho;
     }
 }
 

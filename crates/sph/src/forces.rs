@@ -8,6 +8,7 @@ use crate::neighbors::NeighborTree;
 use crate::particle::SphParticle;
 use hot::gravity::GravityConfig;
 use hot::traverse;
+use rayon::prelude::*;
 
 /// Artificial viscosity parameters (Monaghan 1992).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,65 +37,75 @@ pub fn apply_eos(parts: &mut [SphParticle], eos: &Eos) {
 
 /// Compute hydrodynamic accelerations and du/dt (symmetric form, mean
 /// smoothing length, Monaghan Π viscosity). Resets `acc`/`du_dt` first.
+///
+/// Gather formulation, parallel over particles: each particle sums the
+/// contribution of every interacting pair from its own side, with no
+/// writes to other particles' accumulators. Momentum conservation is
+/// still exact because the pair term is computed bitwise-antisymmetric
+/// on the two sides: `grad_w` is exactly odd in floating point (every
+/// component of `dx` only flips sign, and products of two flipped signs
+/// are exact), and the symmetric `coef` is invariant under swapping i/j
+/// (commutative sums of identical rounded terms).
 pub fn hydro_forces(parts: &mut [SphParticle], nt: &NeighborTree, visc: &Viscosity) {
-    let n = parts.len();
-    let mut acc = vec![[0.0f64; 3]; n];
-    let mut dudt = vec![0.0f64; n];
     // Candidate radius SUPPORT·(h_i + h_max)/2 guarantees every pair with
-    // r < SUPPORT·h̄ is discovered from the lower-index side, making the
-    // pair set independent of particle ordering.
+    // r < SUPPORT·h̄ is discovered from both sides, making the pair set
+    // independent of particle ordering.
     let h_max = parts.iter().map(|p| p.h).fold(0.0f64, f64::max);
-    for i in 0..n {
-        let pi = parts[i];
-        if pi.rho <= 0.0 {
-            continue;
-        }
-        let neigh = nt.ball(pi.pos, kernel::SUPPORT * 0.5 * (pi.h + h_max));
-        for &j in &neigh {
-            if j <= i {
-                continue; // each pair once, applied antisymmetrically
+    let snap: &[SphParticle] = parts;
+    let sums: Vec<([f64; 3], f64)> = snap
+        .par_iter()
+        .enumerate()
+        .map(|(i, pi)| {
+            let mut acc = [0.0f64; 3];
+            let mut dudt = 0.0f64;
+            if pi.rho <= 0.0 {
+                return (acc, dudt);
             }
-            let pj = parts[j];
-            if pj.rho <= 0.0 {
-                continue;
-            }
-            let dx = [
-                pi.pos[0] - pj.pos[0],
-                pi.pos[1] - pj.pos[1],
-                pi.pos[2] - pj.pos[2],
-            ];
-            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-            let hbar = 0.5 * (pi.h + pj.h);
-            if r2 >= (kernel::SUPPORT * hbar).powi(2) || r2 == 0.0 {
-                continue;
-            }
-            let dv = [
-                pi.vel[0] - pj.vel[0],
-                pi.vel[1] - pj.vel[1],
-                pi.vel[2] - pj.vel[2],
-            ];
-            let vdotr = dv[0] * dx[0] + dv[1] * dx[1] + dv[2] * dx[2];
-            // Monaghan viscosity: only for approaching pairs.
-            let pi_visc = if vdotr < 0.0 {
-                let mu = hbar * vdotr / (r2 + 0.01 * hbar * hbar);
-                let cbar = 0.5 * (pi.cs + pj.cs);
-                let rhobar = 0.5 * (pi.rho + pj.rho);
-                (-visc.alpha * cbar * mu + visc.beta * mu * mu) / rhobar
-            } else {
-                0.0
-            };
-            let gw = kernel::grad_w(dx, hbar);
-            let coef = pi.pres / (pi.rho * pi.rho) + pj.pres / (pj.rho * pj.rho) + pi_visc;
-            for d in 0..3 {
-                acc[i][d] -= pj.mass * coef * gw[d];
-                acc[j][d] += pi.mass * coef * gw[d];
-            }
-            let gdotv = gw[0] * dv[0] + gw[1] * dv[1] + gw[2] * dv[2];
-            dudt[i] += 0.5 * pj.mass * coef * gdotv;
-            dudt[j] += 0.5 * pi.mass * coef * gdotv;
-        }
-    }
-    for (p, (a, du)) in parts.iter_mut().zip(acc.into_iter().zip(dudt)) {
+            nt.ball_visit(pi.pos, kernel::SUPPORT * 0.5 * (pi.h + h_max), |j| {
+                if j == i {
+                    return; // no self-interaction
+                }
+                let pj = &snap[j];
+                if pj.rho <= 0.0 {
+                    return;
+                }
+                let dx = [
+                    pi.pos[0] - pj.pos[0],
+                    pi.pos[1] - pj.pos[1],
+                    pi.pos[2] - pj.pos[2],
+                ];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                let hbar = 0.5 * (pi.h + pj.h);
+                if r2 >= (kernel::SUPPORT * hbar).powi(2) || r2 == 0.0 {
+                    return;
+                }
+                let dv = [
+                    pi.vel[0] - pj.vel[0],
+                    pi.vel[1] - pj.vel[1],
+                    pi.vel[2] - pj.vel[2],
+                ];
+                let vdotr = dv[0] * dx[0] + dv[1] * dx[1] + dv[2] * dx[2];
+                // Monaghan viscosity: only for approaching pairs.
+                let pi_visc = if vdotr < 0.0 {
+                    let mu = hbar * vdotr / (r2 + 0.01 * hbar * hbar);
+                    let cbar = 0.5 * (pi.cs + pj.cs);
+                    let rhobar = 0.5 * (pi.rho + pj.rho);
+                    (-visc.alpha * cbar * mu + visc.beta * mu * mu) / rhobar
+                } else {
+                    0.0
+                };
+                let gw = kernel::grad_w(dx, hbar);
+                let coef = pi.pres / (pi.rho * pi.rho) + pj.pres / (pj.rho * pj.rho) + pi_visc;
+                for d in 0..3 {
+                    acc[d] -= pj.mass * coef * gw[d];
+                }
+                let gdotv = gw[0] * dv[0] + gw[1] * dv[1] + gw[2] * dv[2];
+                dudt += 0.5 * pj.mass * coef * gdotv;
+            });
+            (acc, dudt)
+        })
+        .collect();
+    for (p, (a, du)) in parts.iter_mut().zip(sums) {
         p.acc = a;
         p.du_dt = du;
     }

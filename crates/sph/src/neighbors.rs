@@ -5,7 +5,15 @@
 //! sphere.
 
 use crate::particle::SphParticle;
-use hot::tree::{Body, Tree, NO_CELL};
+use hot::tree::{Body, CellIdx, Tree, NO_CELL};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable traversal stack: ball queries run once per particle per
+    /// adaptive-h iteration, so a fresh `Vec` per call would dominate
+    /// the allocator profile of `compute_density`.
+    static BALL_STACK: RefCell<Vec<CellIdx>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A neighbour-search structure over a snapshot of particle positions.
 /// `Body::id` stores the particle index.
@@ -36,42 +44,73 @@ impl NeighborTree {
         &self.tree
     }
 
+    /// Visit (in a deterministic, query-independent order) every particle
+    /// within `radius` of `center`, including the one at the center. This
+    /// is the allocation-free primitive the other queries wrap: the
+    /// traversal stack is a reusable thread-local, and matches are handed
+    /// to `visit` instead of being collected.
+    ///
+    /// `visit` must not itself issue a ball query (the thread-local stack
+    /// is borrowed for the duration of the walk).
+    pub fn ball_visit<F: FnMut(usize)>(&self, center: [f64; 3], radius: f64, mut visit: F) {
+        let r2 = radius * radius;
+        BALL_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.clear();
+            stack.push(0);
+            while let Some(ci) = stack.pop() {
+                let cell = self.tree.cell(ci);
+                // Cube/sphere overlap test.
+                let mut d2 = 0.0;
+                for d in 0..3 {
+                    let gap = (center[d] - cell.center[d]).abs() - cell.half;
+                    if gap > 0.0 {
+                        d2 += gap * gap;
+                    }
+                }
+                if d2 > r2 {
+                    continue;
+                }
+                if cell.is_leaf {
+                    for b in self.tree.leaf_bodies(cell) {
+                        let dx = b.pos[0] - center[0];
+                        let dy = b.pos[1] - center[1];
+                        let dz = b.pos[2] - center[2];
+                        if dx * dx + dy * dy + dz * dz <= r2 {
+                            visit(b.id as usize);
+                        }
+                    }
+                } else {
+                    for &ch in &cell.children {
+                        if ch != NO_CELL {
+                            stack.push(ch);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Number of particles within `radius` of `center` — what the
+    /// adaptive-h iteration needs, without materializing the index list.
+    pub fn ball_count(&self, center: [f64; 3], radius: f64) -> usize {
+        let mut n = 0;
+        self.ball_visit(center, radius, |_| n += 1);
+        n
+    }
+
+    /// Collect the ball into a caller-owned buffer (cleared first), so a
+    /// loop over particles can reuse one allocation.
+    pub fn ball_into(&self, center: [f64; 3], radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        self.ball_visit(center, radius, |i| out.push(i));
+    }
+
     /// Indices (into the original particle slice) of all particles within
     /// `radius` of `center`, including the particle at the center itself.
     pub fn ball(&self, center: [f64; 3], radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
-        let r2 = radius * radius;
-        let mut stack = vec![0i32];
-        while let Some(ci) = stack.pop() {
-            let cell = self.tree.cell(ci);
-            // Cube/sphere overlap test.
-            let mut d2 = 0.0;
-            for d in 0..3 {
-                let gap = (center[d] - cell.center[d]).abs() - cell.half;
-                if gap > 0.0 {
-                    d2 += gap * gap;
-                }
-            }
-            if d2 > r2 {
-                continue;
-            }
-            if cell.is_leaf {
-                for b in self.tree.leaf_bodies(cell) {
-                    let dx = b.pos[0] - center[0];
-                    let dy = b.pos[1] - center[1];
-                    let dz = b.pos[2] - center[2];
-                    if dx * dx + dy * dy + dz * dz <= r2 {
-                        out.push(b.id as usize);
-                    }
-                }
-            } else {
-                for &ch in &cell.children {
-                    if ch != NO_CELL {
-                        stack.push(ch);
-                    }
-                }
-            }
-        }
+        self.ball_into(center, radius, &mut out);
         out
     }
 }
@@ -133,6 +172,29 @@ mod tests {
             got.sort_unstable();
             let want = brute_ball(&parts, c, r);
             assert_eq!(got, want, "center {c:?} radius {r}");
+        }
+    }
+
+    #[test]
+    fn visitor_count_and_collect_agree() {
+        let parts = random_particles(400, 7);
+        let nt = NeighborTree::build(&parts);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut buf = Vec::new();
+        for _ in 0..20 {
+            let c = [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ];
+            let r = rng.gen_range(0.05..0.8);
+            let owned = nt.ball(c, r);
+            assert_eq!(nt.ball_count(c, r), owned.len());
+            nt.ball_into(c, r, &mut buf);
+            assert_eq!(buf, owned, "ball_into order differs");
+            let mut visited = Vec::new();
+            nt.ball_visit(c, r, |i| visited.push(i));
+            assert_eq!(visited, owned, "visitor order differs");
         }
     }
 
