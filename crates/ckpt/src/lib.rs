@@ -1,0 +1,405 @@
+//! Deterministic binary checkpoints for the simulated integrators.
+//!
+//! The checkpoint/restart story of §2.1 — run production science *through*
+//! hardware failures — needs integrator state that can round-trip
+//! bit-for-bit: a restored SPH run must continue exactly where the lost
+//! one left off, or restart-equivalence tests cannot distinguish "recovered"
+//! from "silently diverged". `f64` therefore travels as its raw IEEE-754
+//! bits (little-endian), never through decimal formatting.
+//!
+//! The format is deliberately tiny and dependency-free:
+//!
+//! ```text
+//! magic "SSCKPT01" | payload bytes | crc32(payload) as u32 LE
+//! ```
+//!
+//! with every value encoded by its [`Pack`] implementation (fixed-width
+//! little-endian scalars, `u64` length-prefixed sequences). A truncated or
+//! bit-flipped file fails [`load`] with a typed [`CkptError`] instead of
+//! yielding corrupt physics.
+
+use std::fmt;
+
+/// File magic: "SSCKPT" + 2-digit format version.
+pub const MAGIC: [u8; 8] = *b"SSCKPT01";
+
+/// Why a checkpoint failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Fewer bytes than the header/payload requires.
+    Truncated,
+    /// Magic/version bytes do not match [`MAGIC`].
+    BadMagic,
+    /// Payload checksum mismatch (bit rot, torn write).
+    BadCrc { stored: u32, computed: u32 },
+    /// A decoded discriminant or flag byte is out of range.
+    BadEncoding(&'static str),
+    /// Payload decoded cleanly but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CkptError::BadCrc { stored, computed } => {
+                write!(f, "checkpoint crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CkptError::BadEncoding(what) => write!(f, "invalid encoding for {what}"),
+            CkptError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven; the table is built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE polynomial, as used by Ethernet/zip).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Cursor over a checkpoint payload being decoded.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// A value with a deterministic binary encoding.
+pub trait Pack {
+    fn pack(&self, out: &mut Vec<u8>);
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError>
+    where
+        Self: Sized;
+}
+
+macro_rules! scalar_pack {
+    ($($t:ty),*) => {$(
+        impl Pack for $t {
+            fn pack(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+                let b = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+scalar_pack!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Pack for f64 {
+    fn pack(&self, out: &mut Vec<u8>) {
+        // Raw bits: NaN payloads, signed zeros and subnormals all survive,
+        // which is what makes restart equivalence *bit-for-bit*.
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(f64::from_bits(u64::unpack(r)?))
+    }
+}
+
+impl Pack for f32 {
+    fn pack(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(f32::from_bits(u32::unpack(r)?))
+    }
+}
+
+impl Pack for usize {
+    /// Always 8 bytes on the wire, independent of platform width.
+    fn pack(&self, out: &mut Vec<u8>) {
+        (*self as u64).pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        let v = u64::unpack(r)?;
+        usize::try_from(v).map_err(|_| CkptError::BadEncoding("usize"))
+    }
+}
+
+impl Pack for bool {
+    fn pack(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        match u8::unpack(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CkptError::BadEncoding("bool")),
+        }
+    }
+}
+
+impl<T: Pack, const N: usize> Pack for [T; N] {
+    fn pack(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.pack(out);
+        }
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        let mut tmp = Vec::with_capacity(N);
+        for _ in 0..N {
+            tmp.push(T::unpack(r)?);
+        }
+        tmp.try_into()
+            .map_err(|_| CkptError::BadEncoding("fixed array"))
+    }
+}
+
+impl<T: Pack> Pack for Vec<T> {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.len().pack(out);
+        for v in self {
+            v.pack(out);
+        }
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        let n = usize::unpack(r)?;
+        // Sanity bound: no element is smaller than a byte, so a length
+        // beyond the remaining bytes is corrupt, not just big.
+        if n > r.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::unpack(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Pack> Pack for Option<T> {
+    fn pack(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.pack(out);
+            }
+        }
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        match u8::unpack(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpack(r)?)),
+            _ => Err(CkptError::BadEncoding("Option")),
+        }
+    }
+}
+
+impl Pack for String {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.len().pack(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        let n = usize::unpack(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CkptError::BadEncoding("String"))
+    }
+}
+
+impl<A: Pack, B: Pack> Pack for (A, B) {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.0.pack(out);
+        self.1.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok((A::unpack(r)?, B::unpack(r)?))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack> Pack for (A, B, C) {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.0.pack(out);
+        self.1.pack(out);
+        self.2.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok((A::unpack(r)?, B::unpack(r)?, C::unpack(r)?))
+    }
+}
+
+/// Encode `value` as a framed checkpoint: magic, payload, payload crc32.
+pub fn save<T: Pack>(value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    value.pack(&mut out);
+    let crc = crc32(&out[MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a framed checkpoint produced by [`save`].
+pub fn load<T: Pack>(bytes: &[u8]) -> Result<T, CkptError> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(CkptError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let payload = &bytes[MAGIC.len()..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CkptError::BadCrc { stored, computed });
+    }
+    let mut r = Reader::new(payload);
+    let v = T::unpack(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(CkptError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pack + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = save(&v);
+        let back: T = load(&bytes).expect("roundtrip");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-123i64);
+        roundtrip(usize::MAX as u64);
+        roundtrip(true);
+        roundtrip(3.141592653589793f64);
+        roundtrip(1.0e-300f64);
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        for v in [
+            0.0f64,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            1.0 + f64::EPSILON,
+        ] {
+            let bytes = save(&v);
+            let back: f64 = load(&bytes).expect("roundtrip");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        // NaN payload bits survive too.
+        let nan = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let back: f64 = load(&save(&nan)).expect("roundtrip");
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip(vec![1.0f64, -2.5, 3.75]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some([1.0f64, 2.0, 3.0]));
+        roundtrip(None::<u64>);
+        roundtrip(("label".to_string(), 42u64, vec![true, false]));
+        roundtrip(vec![(1u64, 2.0f64), (3, 4.0)]);
+    }
+
+    #[test]
+    fn crc_detects_bit_flips() {
+        let bytes = save(&vec![1.0f64; 16]);
+        for flip in [MAGIC.len(), MAGIC.len() + 7, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x10;
+            match load::<Vec<f64>>(&bad) {
+                Err(CkptError::BadCrc { .. }) => {}
+                other => panic!("flip at {flip}: expected BadCrc, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_truncation_rejected() {
+        let bytes = save(&7u64);
+        assert_eq!(load::<u64>(&bytes[..4]), Err(CkptError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(load::<u64>(&bad), Err(CkptError::BadMagic));
+        // Payload shorter than the type needs.
+        let short = save(&1u32);
+        assert_eq!(load::<u64>(&short), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let long = save(&(1u64, 2u64));
+        assert_eq!(load::<u64>(&long), Err(CkptError::TrailingBytes(8)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncation_not_oom() {
+        // A corrupt length prefix must fail cleanly before allocation.
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        (u64::MAX).pack(&mut out);
+        let crc = crc32(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(load::<Vec<f64>>(&out), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = vec![[1.0f64, 2.0, 3.0]; 5];
+        assert_eq!(save(&v), save(&v.clone()));
+    }
+}

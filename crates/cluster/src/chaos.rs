@@ -1,0 +1,483 @@
+//! Run production physics *through* hardware failures (§2.1).
+//!
+//! The paper's operating argument is that a 294-node commodity cluster
+//! is productive not because nothing breaks — Table 1 budgets for DIMMs,
+//! fans, power supplies and switch ports dying — but because the system
+//! *recovers*: soft errors are retried by the transport, dead nodes are
+//! rebooted, and the job restarts from its last checkpoint. This module
+//! closes that loop on the simulated machine: a distributed treecode
+//! stepping loop runs under an injected [`FaultPlan`], commits periodic
+//! [`ckpt`] snapshots to stable storage (charged at the Figure 7 local-
+//! disk I/O rate), and when the world dies the harness restores the last
+//! commit and re-runs — accounting every virtual second lost to the
+//! crash and every one spent rebooting and re-reading the checkpoint.
+//!
+//! The physics is replicated across ranks (every rank integrates the
+//! full body set) but each rank *owns* one stripe of the acceleration
+//! array: after the force phase the stripes are allgathered and every
+//! replica overwrites its own values with the received ones. Delivery
+//! integrity is therefore load-bearing — a dropped, duplicated or
+//! corrupted stripe that the reliable transport failed to repair would
+//! diverge the replicas and change the answer. "Same physics as the
+//! fault-free run" really does certify the recovery machinery.
+
+use crate::io::IoModel;
+use ckpt::{CkptError, Pack};
+use hot::gravity::{Accel, GravityConfig};
+use hot::traverse::group_accelerations;
+use hot::tree::{Body, Tree};
+use msg::{run_with_faults, FaultPlan, Machine, WorldOutcome};
+use std::sync::Mutex;
+
+/// Knobs of the checkpoint/restart loop (times are virtual seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Steps between checkpoint commits.
+    pub checkpoint_every: u64,
+    /// Reboot + relaunch dead time charged on every restart, on top of
+    /// re-reading the checkpoint. A node power-cycle plus job relaunch
+    /// on the real machine is minutes; the default keeps test runs short
+    /// while staying much larger than a step time.
+    pub restart_penalty_s: f64,
+    /// Give up after this many attempts (a plan can be lethal, e.g. a
+    /// crash scheduled before the first commit plus a zero horizon).
+    pub max_attempts: usize,
+    /// Fraction of peak the force kernel sustains (virtual-time model).
+    pub cpu_eff: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            checkpoint_every: 4,
+            restart_penalty_s: 5.0,
+            max_attempts: 8,
+            cpu_eff: 790.0 / 5060.0, // P4/gcc gravity micro-kernel
+        }
+    }
+}
+
+/// What the run-through-failures harness measured.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// World launches (1 = no restart was needed).
+    pub attempts: usize,
+    /// Restarts after a crash (`attempts - 1` when the run completed).
+    pub restarts: usize,
+    /// Whether the job finished within `max_attempts`.
+    pub completed: bool,
+    /// Absolute virtual time at job completion (includes all lost work
+    /// and restart overhead).
+    pub final_vtime: f64,
+    /// Virtual seconds of computed-but-uncommitted work destroyed by
+    /// crashes (crash time minus last commit, summed over restarts).
+    pub lost_vtime: f64,
+    /// Virtual seconds spent rebooting and restoring checkpoints.
+    pub restart_overhead_s: f64,
+    /// `1 - (lost + overhead) / final_vtime`: the fraction of the
+    /// cluster-time the job paid for that produced kept physics.
+    pub availability: f64,
+    /// Checkpoint commits that reached stable storage.
+    pub commits: u64,
+    /// Size of one checkpoint on disk.
+    pub checkpoint_bytes: usize,
+    /// Injected-fault and recovery traffic, summed over ranks of the
+    /// final (successful) attempt.
+    pub drops: u64,
+    pub corruptions: u64,
+    pub duplicates: u64,
+    pub reorders: u64,
+    pub retransmits: u64,
+    pub acks: u64,
+}
+
+/// Integrator state at a step boundary, as committed to stable storage.
+struct State {
+    step: u64,
+    time: f64,
+    bodies: Vec<Body>,
+    accel: Vec<Accel>,
+}
+
+fn encode_state(step: u64, time: f64, bodies: &[Body], accel: &[Accel]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + bodies.len() * 96);
+    out.extend_from_slice(&ckpt::MAGIC);
+    step.pack(&mut out);
+    time.pack(&mut out);
+    // Same wire shape as `Vec<T>::pack` (length prefix + elements),
+    // without cloning the arrays.
+    bodies.len().pack(&mut out);
+    for b in bodies {
+        b.pack(&mut out);
+    }
+    accel.len().pack(&mut out);
+    for a in accel {
+        a.pack(&mut out);
+    }
+    let crc = ckpt::crc32(&out[ckpt::MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_state(bytes: &[u8]) -> Result<State, CkptError> {
+    let ((step, time), (bodies, accel)): ((u64, f64), (Vec<Body>, Vec<Accel>)) =
+        ckpt::load(bytes)?;
+    if bodies.len() != accel.len() {
+        return Err(CkptError::BadEncoding("accel/bodies length mismatch"));
+    }
+    Ok(State {
+        step,
+        time,
+        bodies,
+        accel,
+    })
+}
+
+/// The index range of the acceleration stripe rank `r` owns.
+fn stripe(n: usize, size: usize, r: usize) -> std::ops::Range<usize> {
+    (r * n / size)..((r + 1) * n / size)
+}
+
+/// Run an `nranks`-way treecode for `steps` KDK steps of `dt` under the
+/// given fault plan, checkpointing and restarting as needed. Returns the
+/// final bodies and the recovery ledger.
+pub fn run_treecode(
+    machine: &Machine,
+    nranks: usize,
+    plan: &FaultPlan,
+    chaos: &ChaosConfig,
+    bodies: Vec<Body>,
+    cfg: &GravityConfig,
+    steps: u64,
+    dt: f64,
+) -> (Vec<Body>, ChaosReport) {
+    assert!(nranks >= 1 && steps >= 1 && dt > 0.0);
+    let io = IoModel::space_simulator(nranks as u32);
+    // Initial forces, then the step-0 "checkpoint" is the ICs themselves.
+    let tree = Tree::build(bodies, cfg.leaf_max);
+    let (accel, _) = group_accelerations(&tree, cfg);
+    let mut committed = (0u64, 0.0f64, encode_state(0, 0.0, &tree.bodies, &accel));
+
+    let mut report = ChaosReport {
+        checkpoint_bytes: committed.2.len(),
+        ..Default::default()
+    };
+    let mut clock0 = 0.0;
+
+    while report.attempts < chaos.max_attempts {
+        report.attempts += 1;
+        // Stable storage for commits made during this attempt: rank 0
+        // writes `(step, commit vtime, bytes)` outside the faulted world,
+        // so a later crash cannot claw a commit back.
+        let store: Mutex<Option<(u64, f64, Vec<u8>)>> = Mutex::new(None);
+        let start_bytes = &committed.2;
+        let outcome = run_with_faults(machine.clone(), nranks, plan, clock0, |comm| {
+            let State {
+                mut step,
+                mut time,
+                mut bodies,
+                mut accel,
+            } = decode_state(start_bytes).expect("stable storage is uncorrupted");
+            let n = bodies.len();
+            let size = comm.size();
+            while step < steps {
+                // Kick (half) + drift, identically on every replica.
+                for (b, a) in bodies.iter_mut().zip(&accel) {
+                    for d in 0..3 {
+                        b.vel[d] += 0.5 * dt * a.acc[d];
+                        b.pos[d] += dt * b.vel[d];
+                    }
+                }
+                // Force phase. Tree::build is deterministic, so all
+                // replicas reorder their arrays identically; the clock is
+                // charged 1/size of the work — the simulated machine runs
+                // the force phase in parallel even though this in-memory
+                // replica evaluates every stripe.
+                let tree = Tree::build(std::mem::take(&mut bodies), cfg.leaf_max);
+                let (full, stats) = group_accelerations(&tree, cfg);
+                bodies = tree.bodies;
+                let share = 1.0 / size as f64;
+                comm.compute_eff(
+                    stats.flops(cfg.quadrupole) * share,
+                    (n * std::mem::size_of::<Body>()) as f64 * share,
+                    chaos.cpu_eff,
+                );
+                // Exchange acceleration stripes and adopt the *received*
+                // values, so transport integrity decides the physics.
+                let mine: Vec<[f64; 4]> = full[stripe(n, size, comm.rank())]
+                    .iter()
+                    .map(|a| [a.acc[0], a.acc[1], a.acc[2], a.pot])
+                    .collect();
+                let stripes = comm.allgather(mine);
+                for (r, part) in stripes.iter().enumerate() {
+                    let range = stripe(n, size, r);
+                    assert_eq!(part.len(), range.len(), "stripe {r} truncated");
+                    for (a, v) in accel[range].iter_mut().zip(part) {
+                        *a = Accel {
+                            acc: [v[0], v[1], v[2]],
+                            pot: v[3],
+                        };
+                    }
+                }
+                // Kick (half).
+                for (b, a) in bodies.iter_mut().zip(&accel) {
+                    for d in 0..3 {
+                        b.vel[d] += 0.5 * dt * a.acc[d];
+                    }
+                }
+                step += 1;
+                time += dt;
+                if step % chaos.checkpoint_every == 0 || step == steps {
+                    // Every rank writes its share of the snapshot to
+                    // local disk (Figure 7's parallel I/O path), then the
+                    // barrier makes the commit atomic-at-a-step.
+                    let bytes = encode_state(step, time, &bodies, &accel);
+                    comm.elapse(io.snapshot_time(bytes.len() as f64 / size as f64));
+                    comm.barrier();
+                    if comm.rank() == 0 {
+                        *store.lock().unwrap() = Some((step, comm.time(), bytes));
+                    }
+                }
+            }
+            let final_bodies = if comm.rank() == 0 { bodies } else { Vec::new() };
+            (final_bodies, comm.time(), comm.stats())
+        });
+        // Commits outlive the attempt that made them.
+        if let Some((step, vtime, bytes)) = store.into_inner().unwrap() {
+            if step > committed.0 {
+                report.commits += 1;
+                report.checkpoint_bytes = bytes.len();
+                committed = (step, vtime, bytes);
+            }
+        }
+        match outcome {
+            WorldOutcome::Completed(results) => {
+                report.completed = true;
+                let mut final_bodies = Vec::new();
+                for (bodies, t, stats) in results {
+                    if !bodies.is_empty() {
+                        final_bodies = bodies;
+                    }
+                    report.final_vtime = report.final_vtime.max(t);
+                    report.drops += stats.fault.drops;
+                    report.corruptions += stats.fault.corruptions;
+                    report.duplicates += stats.fault.duplicates;
+                    report.reorders += stats.fault.reorders;
+                    report.retransmits += stats.fault.retransmits;
+                    report.acks += stats.fault.acks;
+                }
+                report.availability = if report.final_vtime > 0.0 {
+                    1.0 - (report.lost_vtime + report.restart_overhead_s) / report.final_vtime
+                } else {
+                    1.0
+                };
+                return (final_bodies, report);
+            }
+            WorldOutcome::Crashed { at, .. } => {
+                report.restarts += 1;
+                // Work since the last commit is gone; reboot, re-read the
+                // checkpoint, and resume the virtual clock past all of it.
+                report.lost_vtime += (at - committed.1).max(0.0);
+                let restore_s =
+                    chaos.restart_penalty_s + io.snapshot_time(committed.2.len() as f64);
+                report.restart_overhead_s += restore_s;
+                clock0 = at + restore_s;
+            }
+        }
+    }
+    report.completed = false;
+    report.final_vtime = clock0;
+    report.availability = 0.0;
+    (Vec::new(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::MachineSpec;
+    use hot::models::plummer;
+
+    fn ss_machine() -> Machine {
+        Machine::space_simulator(MachineSpec::space_simulator().profile)
+    }
+
+    fn test_cfg() -> GravityConfig {
+        GravityConfig {
+            theta: 0.6,
+            eps: 0.05,
+            ..Default::default()
+        }
+    }
+
+    fn max_pos_delta(a: &[Body], b: &[Body]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        let mut worst = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id);
+            for d in 0..3 {
+                worst = worst.max((x.pos[d] - y.pos[d]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn fault_free_chaos_run_is_clean() {
+        let (bodies, report) = run_treecode(
+            &ss_machine(),
+            4,
+            &FaultPlan::none(1),
+            &ChaosConfig::default(),
+            plummer(300, 42),
+            &test_cfg(),
+            6,
+            0.01,
+        );
+        assert!(report.completed);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.lost_vtime, 0.0);
+        // No injections, no loss, no recovery work — but the reliable
+        // transport still acks every data packet it carries.
+        let injected = report.drops
+            + report.corruptions
+            + report.duplicates
+            + report.reorders
+            + report.retransmits;
+        assert_eq!(injected, 0);
+        assert!(report.acks > 0);
+        assert!((report.availability - 1.0).abs() < 1e-12);
+        assert_eq!(bodies.len(), 300);
+        assert!(report.final_vtime > 0.0);
+    }
+
+    /// The PR's acceptance run: a 16-rank treecode under paper-calibrated
+    /// fault rates plus a guaranteed mid-run crash completes via
+    /// retransmit + checkpoint/restart and produces the same physics as
+    /// the fault-free run.
+    #[test]
+    fn treecode_16_ranks_survives_paper_faults_with_same_physics() {
+        let machine = ss_machine();
+        let cfg = test_cfg();
+        let ics = plummer(480, 7);
+        let steps = 6;
+        let chaos = ChaosConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let (clean_bodies, clean) = run_treecode(
+            &machine,
+            16,
+            &FaultPlan::none(3),
+            &chaos,
+            ics.clone(),
+            &cfg,
+            steps,
+            0.01,
+        );
+        assert!(clean.completed && clean.restarts == 0);
+
+        // §2.1 rates, accelerated so the short virtual horizon sees real
+        // soft-error pressure, plus one crash that is certain to land
+        // mid-run (the calibrated per-rank crash draw is probabilistic).
+        let mut plan = FaultPlan::paper_calibrated(
+            &nodesim::ReliabilityModel::space_simulator(),
+            16,
+            clean.final_vtime,
+            60.0,
+            11,
+        );
+        plan.crashes.retain(|c| c.at > 0.2 * clean.final_vtime);
+        let drop_p = plan.drop.max(0.08);
+        plan = plan.with_drop(drop_p);
+        plan = plan.with_crash(5, 0.6 * clean.final_vtime);
+
+        let (bodies, report) = run_treecode(
+            &machine, 16, &plan, &chaos, ics, &cfg, steps, 0.01,
+        );
+        assert!(report.completed, "chaos run failed: {report:?}");
+        assert!(report.restarts >= 1, "crash never fired: {report:?}");
+        assert!(report.retransmits > 0 && report.drops > 0, "{report:?}");
+        assert!(report.commits >= 1);
+        assert!(report.lost_vtime > 0.0 && report.restart_overhead_s > 0.0);
+        assert!(report.availability > 0.0 && report.availability < 1.0);
+        assert!(report.final_vtime > clean.final_vtime);
+        // Replicated state + exactly-once delivery + bit-exact
+        // checkpoints: the recovered physics is the fault-free physics.
+        let delta = max_pos_delta(&clean_bodies, &bodies);
+        assert!(delta < 1e-12, "physics diverged by {delta}");
+    }
+
+    #[test]
+    fn lethal_plan_reports_failure_instead_of_hanging() {
+        // Crash immediately on every attempt: repeated deaths before the
+        // first commit must exhaust max_attempts, not loop forever. The
+        // crash repeats because each restart's clock0 includes only the
+        // restart penalty — with an attacker scheduling crashes faster
+        // than the penalty, the job cannot make progress.
+        let chaos = ChaosConfig {
+            max_attempts: 3,
+            restart_penalty_s: 0.0,
+            ..Default::default()
+        };
+        let mut plan = FaultPlan::none(5);
+        for k in 0..2000 {
+            plan = plan.with_crash(1, (k + 1) as f64 * 5e-3);
+        }
+        let (_, report) = run_treecode(
+            &ss_machine(),
+            4,
+            &plan,
+            &chaos,
+            plummer(200, 9),
+            &test_cfg(),
+            200,
+            0.01,
+        );
+        assert!(!report.completed);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.availability, 0.0);
+    }
+
+    #[test]
+    fn checkpoints_shrink_lost_time() {
+        // More frequent commits → less work destroyed per crash.
+        let machine = ss_machine();
+        let cfg = test_cfg();
+        let ics = plummer(250, 13);
+        // Baseline on the *cheapest* timeline (one end-of-run commit), so
+        // the crash time below lands mid-run for both configurations —
+        // the per-step variant only runs longer.
+        let (_, clean) = run_treecode(
+            &machine,
+            4,
+            &FaultPlan::none(17),
+            &ChaosConfig {
+                checkpoint_every: 8,
+                ..Default::default()
+            },
+            ics.clone(),
+            &cfg,
+            8,
+            0.01,
+        );
+        let crash_at = 0.6 * clean.final_vtime;
+        let mut lost = Vec::new();
+        for every in [8u64, 1] {
+            let chaos = ChaosConfig {
+                checkpoint_every: every,
+                ..Default::default()
+            };
+            let plan = FaultPlan::none(17).with_crash(2, crash_at);
+            let (_, report) =
+                run_treecode(&machine, 4, &plan, &chaos, ics.clone(), &cfg, 8, 0.01);
+            assert!(report.completed, "every={every}: {report:?}");
+            assert_eq!(report.restarts, 1);
+            lost.push(report.lost_vtime);
+        }
+        assert!(
+            lost[1] < lost[0],
+            "per-step checkpoints should lose less than end-only: {lost:?}"
+        );
+    }
+}

@@ -25,6 +25,7 @@
 // iterator-adapter rewrites clippy suggests obscure that.
 #![allow(clippy::needless_range_loop)]
 
+pub mod chaos;
 pub mod io;
 pub mod linpack_run;
 pub mod machines;

@@ -32,6 +32,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod boundary;
+pub mod checkpoint;
 pub mod direct;
 pub mod domain;
 pub mod gravity;

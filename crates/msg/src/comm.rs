@@ -4,12 +4,24 @@
 //! wired to the shared fabric. Sends are asynchronous (unbounded channels),
 //! receives block with tag/source matching, and every operation advances
 //! the rank's virtual clock per the machine model.
+//!
+//! Worlds started through [`crate::fault::run_with_faults`] additionally
+//! carry a reliable-delivery transport (sequence numbers, cumulative acks,
+//! timeout/retransmit with exponential backoff) underneath the tag-matched
+//! interface, so application protocols survive the injected packet loss,
+//! corruption, duplication and reordering of a [`crate::fault::FaultPlan`].
+//! Fault-free worlds skip that machinery entirely: the `fault` field is
+//! `None` and every call takes the original code path.
 
+use crate::fault::{FaultCtx, RankCrash, WorldAborted};
 use crate::machine::Machine;
-use crate::payload::Payload;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::any::Any;
+use crate::payload::{AnyPayload, Payload};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::panic::panic_any;
+use std::sync::atomic::Ordering;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Message tag. User tags should stay below [`Tag::MAX`]`/2`; the library
 /// reserves the top bit for collectives.
@@ -18,12 +30,62 @@ pub type Tag = u64;
 /// Envelope bytes charged per message on top of the payload.
 pub const HEADER_BYTES: usize = 32;
 
+/// Real time a fault-mode rank blocks on its channel between transport
+/// timer checks (retransmits must fire even when no message ever comes).
+const POLL_WALL: Duration = Duration::from_micros(100);
+
+/// What a packet is at the transport level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireKind {
+    /// Best-effort message on a fault-free world (the default path).
+    Raw,
+    /// Sequenced payload on the reliable transport.
+    Data { seq: u64 },
+    /// Cumulative acknowledgement: every `Data` with `seq < upto` sent to
+    /// the rank issuing this ack has been delivered or buffered there.
+    Ack { upto: u64 },
+}
+
 pub(crate) struct Packet {
     pub src: usize,
     pub tag: Tag,
     /// Virtual time the last byte reaches the destination NIC.
     pub arrival: f64,
-    pub data: Box<dyn Any + Send>,
+    pub kind: WireKind,
+    /// Injected bit errors; the receiver's CRC check discards the packet.
+    pub corrupt: bool,
+    pub data: Box<dyn AnyPayload>,
+}
+
+impl Packet {
+    pub(crate) fn clone_pkt(&self) -> Packet {
+        Packet {
+            src: self.src,
+            tag: self.tag,
+            arrival: self.arrival,
+            kind: self.kind,
+            corrupt: self.corrupt,
+            data: self.data.clone_box(),
+        }
+    }
+}
+
+/// Transport-level fault and recovery counters (all zero on fault-free
+/// worlds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Messages eaten by injected loss or a dead switch port.
+    pub drops: u64,
+    /// Messages delivered with injected bit errors (discarded by CRC).
+    pub corruptions: u64,
+    /// Extra copies delivered by injected duplication.
+    pub duplicates: u64,
+    /// Messages held back to force out-of-order arrival.
+    pub reorders: u64,
+    /// Retransmissions fired by the ack-timeout machinery.
+    pub retransmits: u64,
+    /// Acknowledgement packets sent.
+    pub acks: u64,
 }
 
 /// Per-rank communication statistics (virtual-time accounting).
@@ -36,7 +98,41 @@ pub struct CommStats {
     pub compute_s: f64,
     /// Virtual seconds spent waiting for messages not yet arrived.
     pub wait_s: f64,
+    /// Reliable-transport counters (zero unless faults are injected).
+    pub fault: FaultStats,
 }
+
+/// Returned by [`Comm::recv_timeout`]: no matching message arrived within
+/// the real-time budget. Carries a snapshot of what *is* queued, so a
+/// protocol bug reads as "waiting on tag 6, mailbox holds tag 5" at a
+/// glance instead of a hung CI job.
+#[derive(Debug, Clone)]
+pub struct MailboxTimeout {
+    pub rank: usize,
+    pub wanted_src: Option<usize>,
+    pub wanted_tag: Tag,
+    /// `(src, tag, arrival)` of every queued-but-unmatched packet.
+    pub mailbox: Vec<(usize, Tag, f64)>,
+}
+
+impl fmt::Display for MailboxTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {}: timed out waiting for (src {:?}, tag {}); mailbox holds {} packet(s)",
+            self.rank,
+            self.wanted_src,
+            self.wanted_tag,
+            self.mailbox.len()
+        )?;
+        for (src, tag, arrival) in &self.mailbox {
+            write!(f, "\n  src {src} tag {tag} arrival {arrival:.6e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MailboxTimeout {}
 
 /// One rank's endpoint: point-to-point messaging, virtual clock, and (via
 /// the `collectives` module) collective operations.
@@ -50,9 +146,35 @@ pub struct Comm {
     mailbox: Vec<Packet>,
     pub(crate) coll_seq: u64,
     stats: CommStats,
+    /// Reliable transport + fault injection; `None` on fault-free worlds.
+    pub(crate) fault: Option<Box<FaultCtx>>,
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn construct(
+        rank: usize,
+        size: usize,
+        clock0: f64,
+        machine: Machine,
+        senders: Vec<Sender<Packet>>,
+        rx: Receiver<Packet>,
+        fault: Option<Box<FaultCtx>>,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            clock: clock0,
+            machine,
+            senders,
+            rx,
+            mailbox: Vec::new(),
+            coll_seq: 0,
+            stats: CommStats::default(),
+            fault,
+        }
+    }
+
     pub fn rank(&self) -> usize {
         self.rank
     }
@@ -87,18 +209,40 @@ impl Comm {
         let dt = self.machine.node.time(flops, bytes, cpu_eff);
         self.clock += dt;
         self.stats.compute_s += dt;
+        self.check_liveness();
     }
 
     /// Advance the clock by a literal duration (e.g. modeled disk I/O).
     pub fn elapse(&mut self, seconds: f64) {
         assert!(seconds >= 0.0, "cannot elapse negative time");
         self.clock += seconds;
+        self.check_liveness();
+    }
+
+    /// Panic (tearing this rank down) if its scheduled crash time has
+    /// passed, or if another rank already died and the world is aborting.
+    /// A no-op on fault-free worlds.
+    pub(crate) fn check_liveness(&mut self) {
+        let Some(ctx) = &self.fault else { return };
+        if self.clock >= ctx.crash_at {
+            ctx.abort.store(true, Ordering::SeqCst);
+            panic_any(RankCrash {
+                rank: self.rank,
+                at: self.clock,
+            });
+        }
+        if ctx.abort.load(Ordering::Relaxed) {
+            panic_any(WorldAborted);
+        }
     }
 
     /// Send `value` to `dst` with `tag`. Never blocks.
     pub fn send<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         let bytes = value.wire_bytes() + HEADER_BYTES;
+        if self.fault.is_some() {
+            return self.send_reliable(dst, tag, Box::new(value), bytes);
+        }
         let profile = self.machine.fabric.profile();
         self.clock += profile.send_overhead_s;
         let out = self
@@ -111,6 +255,8 @@ impl Comm {
             src: self.rank,
             tag,
             arrival: out.arrival,
+            kind: WireKind::Raw,
+            corrupt: false,
             data: Box::new(value),
         };
         // The receiver thread can only have hung up on panic; propagate.
@@ -142,11 +288,11 @@ impl Comm {
         self.stats.wait_s += wait;
         self.clock = ready + wait;
         self.stats.recvs += 1;
-        let src = pkt.src;
-        let value = *pkt.data.downcast::<T>().unwrap_or_else(|_| {
+        let (src, tag) = (pkt.src, pkt.tag);
+        let value = *pkt.data.into_any().downcast::<T>().unwrap_or_else(|_| {
             panic!(
-                "rank {}: type mismatch receiving tag {} from rank {src}",
-                self.rank, pkt.tag
+                "rank {}: type mismatch receiving tag {tag} from rank {src}",
+                self.rank
             )
         });
         (src, value)
@@ -155,6 +301,9 @@ impl Comm {
     /// Blocking receive matching `(src, tag)`; `src = None` is a wildcard.
     /// Returns the actual source and the value.
     pub fn recv<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
+        if self.fault.is_some() {
+            return self.recv_fault(src, tag);
+        }
         loop {
             if let Some(pkt) = self.take_from_mailbox(src, tag) {
                 return self.accept(pkt);
@@ -164,9 +313,60 @@ impl Comm {
         }
     }
 
+    /// Fault-mode blocking receive: polls so that retransmit timers keep
+    /// firing and a dead world is noticed instead of blocking forever.
+    fn recv_fault<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
+        loop {
+            self.check_liveness();
+            let mut ctx = self.fault.take().expect("fault ctx");
+            self.service_transport(&mut ctx);
+            while let Ok(pkt) = self.rx.try_recv() {
+                self.ingest(&mut ctx, pkt);
+            }
+            let poll_s = ctx.cfg.poll_s;
+            self.fault = Some(ctx);
+            if let Some(pkt) = self.take_from_mailbox(src, tag) {
+                return self.accept(pkt);
+            }
+            match self.rx.recv_timeout(POLL_WALL) {
+                Ok(pkt) => {
+                    let mut ctx = self.fault.take().expect("fault ctx");
+                    self.ingest(&mut ctx, pkt);
+                    self.fault = Some(ctx);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Charge an idle polling quantum so virtual time moves
+                    // and ack timeouts can expire while we sit here.
+                    self.clock += poll_s;
+                    self.stats.wait_s += poll_s;
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("world disconnected"),
+            }
+        }
+    }
+
     /// Non-blocking receive. Drains the channel into the mailbox, then
     /// looks for a match.
     pub fn try_recv<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> Option<(usize, T)> {
+        if self.fault.is_some() {
+            self.check_liveness();
+            let mut ctx = self.fault.take().expect("fault ctx");
+            self.service_transport(&mut ctx);
+            while let Ok(pkt) = self.rx.try_recv() {
+                self.ingest(&mut ctx, pkt);
+            }
+            let probe_s = ctx.cfg.probe_s;
+            self.fault = Some(ctx);
+            return match self.take_from_mailbox(src, tag) {
+                Some(pkt) => Some(self.accept(pkt)),
+                None => {
+                    // Probing the NIC is not free; this also lets ack
+                    // timeouts expire inside try_recv-only spin loops.
+                    self.clock += probe_s;
+                    None
+                }
+            };
+        }
         while let Ok(pkt) = self.rx.try_recv() {
             self.mailbox.push(pkt);
         }
@@ -174,10 +374,342 @@ impl Comm {
         Some(self.accept(pkt))
     }
 
+    /// Blocking receive with a real-time budget. On timeout, returns a
+    /// [`MailboxTimeout`] listing the queued packets instead of hanging
+    /// forever — use in tests so protocol bugs fail fast and legibly.
+    pub fn recv_timeout<T: Payload>(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        wall: Duration,
+    ) -> Result<(usize, T), MailboxTimeout> {
+        let deadline = Instant::now() + wall;
+        loop {
+            self.check_liveness();
+            if let Some(mut ctx) = self.fault.take() {
+                self.service_transport(&mut ctx);
+                while let Ok(pkt) = self.rx.try_recv() {
+                    self.ingest(&mut ctx, pkt);
+                }
+                self.fault = Some(ctx);
+            } else {
+                while let Ok(pkt) = self.rx.try_recv() {
+                    self.mailbox.push(pkt);
+                }
+            }
+            if let Some(pkt) = self.take_from_mailbox(src, tag) {
+                return Ok(self.accept(pkt));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MailboxTimeout {
+                    rank: self.rank,
+                    wanted_src: src,
+                    wanted_tag: tag,
+                    mailbox: self
+                        .mailbox
+                        .iter()
+                        .map(|p| (p.src, p.tag, p.arrival))
+                        .collect(),
+                });
+            }
+            let slice = POLL_WALL.min(deadline - now);
+            match self.rx.recv_timeout(slice) {
+                Ok(pkt) => {
+                    if let Some(mut ctx) = self.fault.take() {
+                        self.ingest(&mut ctx, pkt);
+                        self.fault = Some(ctx);
+                    } else {
+                        self.mailbox.push(pkt);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(ctx) = &self.fault {
+                        let dt = ctx.cfg.poll_s;
+                        self.clock += dt;
+                        self.stats.wait_s += dt;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {}
+            }
+        }
+    }
+
     /// Convenience: receive from a specific rank.
     pub fn recv_from<T: Payload>(&mut self, src: usize, tag: Tag) -> T {
         self.recv::<T>(Some(src), tag).1
     }
+
+    // --- reliable transport (fault-mode only) ---------------------------
+
+    /// Sequenced send with a retransmit copy kept until acknowledged.
+    fn send_reliable(&mut self, dst: usize, tag: Tag, data: Box<dyn AnyPayload>, bytes: usize) {
+        self.check_liveness();
+        let mut ctx = self.fault.take().expect("fault ctx");
+        self.service_transport(&mut ctx);
+        let profile = self.machine.fabric.profile();
+        self.clock += profile.send_overhead_s;
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let seq = ctx.tx[dst].next_seq;
+        ctx.tx[dst].next_seq += 1;
+        ctx.tx[dst].unacked.push_back(crate::fault::Unacked {
+            seq,
+            tag,
+            bytes,
+            data: data.clone_box(),
+        });
+        if ctx.tx[dst].deadline.is_infinite() {
+            ctx.tx[dst].rto_s = ctx.cfg.rto0_s;
+            ctx.tx[dst].retries = 0;
+            ctx.tx[dst].deadline = self.clock + ctx.cfg.rto0_s;
+        }
+        self.transmit(&mut ctx, dst, tag, seq, data, bytes);
+        self.fault = Some(ctx);
+        self.check_liveness();
+    }
+
+    /// Put one data packet on the wire, applying the injection draws.
+    fn transmit(
+        &mut self,
+        ctx: &mut FaultCtx,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        data: Box<dyn AnyPayload>,
+        bytes: usize,
+    ) {
+        let out = self
+            .machine
+            .fabric
+            .transfer(self.rank as u32, dst as u32, bytes, self.clock);
+        if !out.delivered() {
+            // A dead switch port ate it; the retransmit timer recovers.
+            self.stats.fault.drops += 1;
+            return;
+        }
+        if ctx.rng.unit() < ctx.drop_p {
+            self.stats.fault.drops += 1;
+            return;
+        }
+        let corrupt = ctx.rng.unit() < ctx.corrupt_p;
+        if corrupt {
+            self.stats.fault.corruptions += 1;
+        }
+        let dup = ctx.rng.unit() < ctx.duplicate_p;
+        let pkt = Packet {
+            src: self.rank,
+            tag,
+            arrival: out.arrival,
+            kind: WireKind::Data { seq },
+            corrupt,
+            data,
+        };
+        if dup {
+            self.stats.fault.duplicates += 1;
+            self.push_wire(dst, pkt.clone_pkt());
+        }
+        if ctx.held[dst].is_none() && ctx.rng.unit() < ctx.reorder_p {
+            // Park this packet; it goes out *after* the next one to this
+            // destination (or when its release window expires), producing
+            // a genuine channel-order inversion.
+            self.stats.fault.reorders += 1;
+            ctx.held[dst] = Some(crate::fault::HeldPacket {
+                pkt,
+                release_at: self.clock + 0.5 * ctx.cfg.rto0_s,
+            });
+        } else {
+            self.push_wire(dst, pkt);
+            if let Some(h) = ctx.held[dst].take() {
+                self.push_wire(dst, h.pkt);
+            }
+        }
+    }
+
+    fn push_wire(&self, dst: usize, pkt: Packet) {
+        // A crashed rank drops its receiver; frames to a dead NIC vanish.
+        let _ = self.senders[dst].send(pkt);
+    }
+
+    /// Fire due retransmit timers and release expired reorder holds.
+    fn service_transport(&mut self, ctx: &mut FaultCtx) {
+        for dst in 0..self.size {
+            if ctx.held[dst]
+                .as_ref()
+                .is_some_and(|h| self.clock >= h.release_at)
+            {
+                let h = ctx.held[dst].take().expect("held packet");
+                self.push_wire(dst, h.pkt);
+            }
+        }
+        for dst in 0..self.size {
+            if self.clock < ctx.tx[dst].deadline {
+                continue;
+            }
+            let Some(head) = ctx.tx[dst].unacked.front() else {
+                ctx.tx[dst].deadline = f64::INFINITY;
+                continue;
+            };
+            if ctx.tx[dst].retries >= ctx.cfg.max_retries {
+                // Peer unreachable after every backoff: give up, taking
+                // the world down like an MPI job abort would.
+                ctx.abort.store(true, Ordering::SeqCst);
+                panic_any(RankCrash {
+                    rank: self.rank,
+                    at: self.clock,
+                });
+            }
+            let (seq, tag, bytes, data) = (head.seq, head.tag, head.bytes, head.data.clone_box());
+            ctx.tx[dst].retries += 1;
+            ctx.tx[dst].rto_s = (ctx.tx[dst].rto_s * ctx.cfg.backoff).min(ctx.cfg.rto_max_s);
+            ctx.tx[dst].deadline = self.clock + ctx.tx[dst].rto_s;
+            self.stats.fault.retransmits += 1;
+            self.clock += self.machine.fabric.profile().send_overhead_s;
+            self.stats.bytes_sent += bytes as u64;
+            self.transmit(ctx, dst, tag, seq, data, bytes);
+        }
+    }
+
+    /// Transport-level processing of one packet off the channel.
+    fn ingest(&mut self, ctx: &mut FaultCtx, pkt: Packet) {
+        match pkt.kind {
+            WireKind::Raw => self.mailbox.push(pkt),
+            WireKind::Ack { upto } => {
+                let tx = &mut ctx.tx[pkt.src];
+                let mut progressed = false;
+                while tx.unacked.front().is_some_and(|u| u.seq < upto) {
+                    tx.unacked.pop_front();
+                    progressed = true;
+                }
+                if progressed {
+                    tx.retries = 0;
+                    tx.rto_s = ctx.cfg.rto0_s;
+                    tx.deadline = if tx.unacked.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        self.clock + tx.rto_s
+                    };
+                }
+            }
+            WireKind::Data { seq } => {
+                if pkt.corrupt {
+                    // Failed CRC: discard without acking; the sender's
+                    // timeout retransmits a clean copy.
+                    return;
+                }
+                let src = pkt.src;
+                let expected = ctx.rx[src].next_expected;
+                if seq < expected {
+                    // Stale duplicate (injected, or a retransmit racing
+                    // its own ack): drop it, but re-ack so the sender
+                    // stops resending.
+                    self.send_ack(ctx, src);
+                } else if seq == expected {
+                    ctx.rx[src].next_expected += 1;
+                    self.mailbox.push(pkt);
+                    loop {
+                        let nxt = ctx.rx[src].next_expected;
+                        match ctx.rx[src].reorder.remove(&nxt) {
+                            Some(p) => {
+                                ctx.rx[src].next_expected += 1;
+                                self.mailbox.push(p);
+                            }
+                            None => break,
+                        }
+                    }
+                    self.send_ack(ctx, src);
+                } else {
+                    // Future packet: hold until the gap fills; the ack is
+                    // cumulative, telling the sender what we still need.
+                    ctx.rx[src].reorder.insert(seq, pkt);
+                    self.send_ack(ctx, src);
+                }
+            }
+        }
+    }
+
+    /// Post-program transport drain: keep acking incoming retransmissions
+    /// and resending our own unacked packets until *every* rank's
+    /// retransmit queues are empty. Without this, a rank finishing early
+    /// would take its unacked (and possibly dropped-on-the-wire) packets
+    /// to the grave and its peers would wait forever.
+    pub(crate) fn drain_transport(&mut self) {
+        if self.fault.is_none() {
+            return;
+        }
+        let size = self.size;
+        let mut counted = false;
+        loop {
+            self.check_liveness();
+            let mut ctx = self.fault.take().expect("fault ctx");
+            self.service_transport(&mut ctx);
+            while let Ok(pkt) = self.rx.try_recv() {
+                self.ingest(&mut ctx, pkt);
+            }
+            let empty = ctx.tx.iter().all(|t| t.unacked.is_empty())
+                && ctx.held.iter().all(Option::is_none);
+            let poll_s = ctx.cfg.poll_s;
+            let drained = ctx.drained.clone();
+            self.fault = Some(ctx);
+            if empty && !counted {
+                // Monotone: no new data is sent after the program ends,
+                // so an emptied queue stays empty.
+                counted = true;
+                drained.fetch_add(1, Ordering::SeqCst);
+            }
+            if drained.load(Ordering::SeqCst) >= size {
+                return;
+            }
+            match self.rx.recv_timeout(POLL_WALL) {
+                Ok(pkt) => {
+                    let mut ctx = self.fault.take().expect("fault ctx");
+                    self.ingest(&mut ctx, pkt);
+                    self.fault = Some(ctx);
+                }
+                Err(RecvTimeoutError::Timeout) => self.clock += poll_s,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Send a cumulative ack to `dst` (itself subject to loss — a lost ack
+    /// is recovered by the duplicate-detection path above).
+    fn send_ack(&mut self, ctx: &mut FaultCtx, dst: usize) {
+        let upto = ctx.rx[dst].next_expected;
+        self.clock += ctx.cfg.ack_overhead_s;
+        let out = self
+            .machine
+            .fabric
+            .transfer(self.rank as u32, dst as u32, HEADER_BYTES, self.clock);
+        self.stats.fault.acks += 1;
+        if !out.delivered() || ctx.rng.unit() < ctx.drop_p {
+            self.stats.fault.drops += 1;
+            return;
+        }
+        self.push_wire(
+            dst,
+            Packet {
+                src: self.rank,
+                tag: 0,
+                arrival: out.arrival,
+                kind: WireKind::Ack { upto },
+                corrupt: false,
+                data: Box::new(()),
+            },
+        );
+    }
+}
+
+/// Build the channel mesh for an `nranks` world.
+pub(crate) fn world_channels(nranks: usize) -> (Vec<Sender<Packet>>, Vec<Receiver<Packet>>) {
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    (senders, receivers)
 }
 
 /// Run an `nranks`-way program on `machine`. Each rank executes `f` on its
@@ -194,13 +726,7 @@ where
         (machine.fabric.topology().total_ports() as usize) >= nranks,
         "machine has too few ports for {nranks} ranks"
     );
-    let mut senders = Vec::with_capacity(nranks);
-    let mut receivers = Vec::with_capacity(nranks);
-    for _ in 0..nranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
+    let (senders, receivers) = world_channels(nranks);
     let f = &f;
     let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
     thread::scope(|scope| {
@@ -212,17 +738,7 @@ where
                 .name(format!("rank-{rank}"))
                 .stack_size(16 << 20)
                 .spawn_scoped(scope, move || {
-                    let mut comm = Comm {
-                        rank,
-                        size: nranks,
-                        clock: 0.0,
-                        machine,
-                        senders,
-                        rx,
-                        mailbox: Vec::new(),
-                        coll_seq: 0,
-                        stats: CommStats::default(),
-                    };
+                    let mut comm = Comm::construct(rank, nranks, 0.0, machine, senders, rx, None);
                     f(&mut comm)
                 })
                 .expect("failed to spawn rank thread");
@@ -378,6 +894,9 @@ mod tests {
         assert_eq!(stats[0].sends, 1);
         assert_eq!(stats[0].bytes_sent as usize, 100 + HEADER_BYTES);
         assert_eq!(stats[1].recvs, 1);
+        // No faults injected: transport counters stay zero.
+        assert_eq!(stats[0].fault, FaultStats::default());
+        assert_eq!(stats[1].fault, FaultStats::default());
     }
 
     #[test]
@@ -413,6 +932,44 @@ mod tests {
         run(1, |c| {
             c.send(0, 1, 7u64);
             assert_eq!(c.recv_from::<u64>(0, 1), 7);
+        });
+    }
+
+    #[test]
+    fn recv_timeout_matches_like_recv() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 4, 9u64);
+            } else {
+                let (src, v) = c
+                    .recv_timeout::<u64>(Some(0), 4, Duration::from_secs(5))
+                    .expect("message should arrive");
+                assert_eq!((src, v), (0, 9));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_reports_mailbox_on_mismatch() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 1u64); // tag 5, but the receiver wants tag 6
+                // Keep the world alive until rank 1 has timed out.
+                let _ = c.recv_from::<u64>(1, 99);
+            } else {
+                let err = c
+                    .recv_timeout::<u64>(None, 6, Duration::from_millis(50))
+                    .expect_err("tag 6 never sent");
+                assert_eq!(err.rank, 1);
+                assert_eq!(err.wanted_tag, 6);
+                assert_eq!(err.mailbox.len(), 1);
+                assert_eq!(err.mailbox[0].0, 0); // src
+                assert_eq!(err.mailbox[0].1, 5); // the mismatched tag
+                let msg = err.to_string();
+                assert!(msg.contains("tag 6"), "{msg}");
+                assert!(msg.contains("1 packet"), "{msg}");
+                c.send(0, 99, 0u64);
+            }
         });
     }
 }

@@ -1,0 +1,766 @@
+//! Fault injection and crash-capable worlds.
+//!
+//! §2.1 of the paper is a nine-month failure log — disks dominate, switch
+//! ports develop soft errors, whole-node hardware dies — and the authors
+//! ran production science *through* those failures. This module makes the
+//! failures executable instead of merely tabulated:
+//!
+//! * a [`FaultPlan`] (seeded, explicit or derived from the
+//!   `nodesim::ReliabilityModel` rates) injects packet drop / corruption /
+//!   duplication / reordering at the `Comm` boundary, applies
+//!   [`netsim::LinkFault`] windows to switch ports, and crashes ranks at
+//!   scheduled virtual times;
+//! * [`run_with_faults`] runs a world under a plan: every rank gets the
+//!   reliable-delivery transport (sequence numbers, cumulative acks,
+//!   timeout/retransmit with exponential backoff — see `comm.rs`), and a
+//!   rank crash tears the world down and reports
+//!   [`WorldOutcome::Crashed`] so a harness can restore a checkpoint and
+//!   rerun.
+//!
+//! Fault-free worlds ([`crate::run`], [`crate::run_with`]) never touch any
+//! of this: injection is pay-for-what-you-inject.
+
+use crate::comm::{world_channels, Comm, Packet, Tag};
+use crate::machine::Machine;
+use crate::payload::AnyPayload;
+use netsim::LinkFault;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::{Arc, Once};
+use std::thread;
+
+/// Seconds in the 30.44-day month used by the §2.1 monthly rates.
+pub const MONTH_S: f64 = 30.44 * 86_400.0;
+
+/// A rank dying at a scheduled point in (absolute) virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    pub rank: usize,
+    /// Absolute cluster virtual time of the crash — comparable across
+    /// restart attempts started at different `clock0`.
+    pub at: f64,
+}
+
+/// Tuning for the reliable-delivery sublayer (all times virtual seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetransmitConfig {
+    /// Initial ack timeout. The modeled GigE round trip is ~0.2–0.4 ms,
+    /// so 2 ms is a comfortable first RTO.
+    pub rto0_s: f64,
+    /// Ceiling on the backed-off timeout.
+    pub rto_max_s: f64,
+    /// Multiplier applied to the RTO on every retransmission.
+    pub backoff: f64,
+    /// Consecutive retransmissions of one packet before the sender
+    /// declares the peer unreachable and aborts the world.
+    pub max_retries: u32,
+    /// Virtual cost of emitting one ack (in-kernel, far below the MPI
+    /// per-message overhead).
+    pub ack_overhead_s: f64,
+    /// Virtual time charged per idle poll iteration in a blocking recv.
+    pub poll_s: f64,
+    /// Virtual time charged per empty `try_recv` probe.
+    pub probe_s: f64,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            rto0_s: 2.0e-3,
+            rto_max_s: 5.0e-2,
+            backoff: 2.0,
+            max_retries: 40,
+            ack_overhead_s: 5.0e-6,
+            poll_s: 5.0e-5,
+            probe_s: 1.0e-6,
+        }
+    }
+}
+
+/// A seeded schedule of injected failures for one simulated job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-rank injection streams.
+    pub seed: u64,
+    /// Per-message probability the packet silently vanishes.
+    pub drop: f64,
+    /// Per-message probability of delivered-but-corrupt (CRC discard).
+    pub corrupt: f64,
+    /// Per-message probability an extra copy is delivered.
+    pub duplicate: f64,
+    /// Per-message probability the packet is held back past a successor.
+    pub reorder: f64,
+    /// Scheduled rank deaths (absolute virtual time).
+    pub crashes: Vec<CrashEvent>,
+    /// Switch-port faults applied to the fabric for the whole run.
+    pub link_faults: Vec<LinkFault>,
+    pub retransmit: RetransmitConfig,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (still usable with
+    /// [`run_with_faults`], e.g. as the control arm of an experiment).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            crashes: Vec::new(),
+            link_faults: Vec::new(),
+            retransmit: RetransmitConfig::default(),
+        }
+    }
+
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability {p}");
+        self.drop = p;
+        self
+    }
+
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "corrupt probability {p}");
+        self.corrupt = p;
+        self
+    }
+
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "duplicate probability {p}");
+        self.duplicate = p;
+        self
+    }
+
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "reorder probability {p}");
+        self.reorder = p;
+        self
+    }
+
+    pub fn with_crash(mut self, rank: usize, at: f64) -> Self {
+        self.crashes.push(CrashEvent { rank, at });
+        self
+    }
+
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.link_faults.push(fault);
+        self
+    }
+
+    /// True when the plan can never perturb a run.
+    pub fn is_trivial(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.crashes.is_empty()
+            && self.link_faults.is_empty()
+    }
+
+    /// Derive a plan from the §2.1 reliability model, compressed in time.
+    ///
+    /// Real rates are per component-month; a simulated job lasts virtual
+    /// seconds, so `acceleration` scales nine months of hardware attrition
+    /// into the run: every non-switch component failure takes its node
+    /// (rank) down at a uniformly random time in `[0, horizon_s)`, and the
+    /// soft switch-port error rate becomes a per-message loss/corruption
+    /// probability through the two ports each message crosses.
+    pub fn paper_calibrated(
+        model: &nodesim::ReliabilityModel,
+        nranks: usize,
+        horizon_s: f64,
+        acceleration: f64,
+        seed: u64,
+    ) -> Self {
+        use nodesim::ComponentClass;
+        let mut rng = SplitMix64::new(seed ^ 0xFA17_0000_0000_0001);
+        // Per-node fatal failures per month (cluster rate / 294 nodes).
+        let nodes = 294.0;
+        let mut node_rate = 0.0;
+        let mut port_rate = 0.0;
+        for c in &model.components {
+            let cluster_rate = c.population as f64 * c.monthly_rate;
+            if c.class == ComponentClass::SwitchPort {
+                port_rate = c.monthly_rate;
+            } else {
+                node_rate += cluster_rate / nodes;
+            }
+        }
+        let lambda = node_rate * acceleration * horizon_s / MONTH_S;
+        let mut crashes = Vec::new();
+        for rank in 0..nranks {
+            if rng.unit() < 1.0 - (-lambda).exp() {
+                crashes.push(CrashEvent {
+                    rank,
+                    at: rng.unit() * horizon_s,
+                });
+            }
+        }
+        let p = (2.0 * port_rate * acceleration).min(0.25);
+        FaultPlan {
+            seed: rng.next_u64(),
+            drop: p,
+            corrupt: 0.25 * p,
+            duplicate: 0.1 * p,
+            reorder: 0.25 * p,
+            crashes,
+            link_faults: Vec::new(),
+            retransmit: RetransmitConfig::default(),
+        }
+    }
+}
+
+/// How a faulted world ended.
+#[derive(Debug)]
+pub enum WorldOutcome<T> {
+    /// Every rank ran to completion; per-rank results in rank order.
+    Completed(Vec<T>),
+    /// A rank died (scheduled crash or unreachable peer); the earliest
+    /// death is reported. Restore a checkpoint and rerun.
+    Crashed { rank: usize, at: f64 },
+}
+
+impl<T> WorldOutcome<T> {
+    /// The results of a world that must have completed.
+    pub fn expect_completed(self, msg: &str) -> Vec<T> {
+        match self {
+            WorldOutcome::Completed(v) => v,
+            WorldOutcome::Crashed { rank, at } => {
+                panic!("{msg}: world crashed (rank {rank} at t={at:.3})")
+            }
+        }
+    }
+
+    pub fn crashed(&self) -> bool {
+        matches!(self, WorldOutcome::Crashed { .. })
+    }
+}
+
+/// Panic payload of a rank hitting its scheduled crash time (or giving up
+/// on an unreachable peer).
+#[derive(Debug, Clone, Copy)]
+pub struct RankCrash {
+    pub rank: usize,
+    pub at: f64,
+}
+
+/// Panic payload of a rank noticing the world's abort flag.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldAborted;
+
+/// Keep the default panic hook from spamming stderr for the two expected,
+/// caught panic payloads above; real panics still print.
+fn install_quiet_hook() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.downcast_ref::<RankCrash>().is_none() && p.downcast_ref::<WorldAborted>().is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// splitmix64: small, seedable, and good enough for injection draws.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+/// A sent-but-unacknowledged message parked for possible retransmission.
+pub(crate) struct Unacked {
+    pub seq: u64,
+    pub tag: Tag,
+    pub bytes: usize,
+    pub data: Box<dyn AnyPayload>,
+}
+
+/// Sender-side transport state toward one peer.
+pub(crate) struct PeerTx {
+    pub next_seq: u64,
+    pub unacked: VecDeque<Unacked>,
+    pub rto_s: f64,
+    /// Virtual time the retransmit timer fires; ∞ when nothing is unacked.
+    pub deadline: f64,
+    pub retries: u32,
+}
+
+/// Receiver-side transport state from one peer.
+pub(crate) struct PeerRx {
+    pub next_expected: u64,
+    /// Out-of-order packets parked until the sequence gap fills.
+    pub reorder: BTreeMap<u64, Packet>,
+}
+
+/// A packet held back by reorder injection.
+pub(crate) struct HeldPacket {
+    pub pkt: Packet,
+    pub release_at: f64,
+}
+
+/// Per-rank fault-injection and reliable-transport state.
+pub(crate) struct FaultCtx {
+    pub drop_p: f64,
+    pub corrupt_p: f64,
+    pub duplicate_p: f64,
+    pub reorder_p: f64,
+    pub cfg: RetransmitConfig,
+    pub rng: SplitMix64,
+    /// This rank's next scheduled death (absolute virtual time; ∞ if none).
+    pub crash_at: f64,
+    /// World-wide flag: some rank died, everyone stop.
+    pub abort: Arc<AtomicBool>,
+    /// Ranks whose retransmit queues have fully emptied after their
+    /// program returned; a rank may only exit once all have (otherwise
+    /// its peers' lost packets would never be retransmitted).
+    pub drained: Arc<AtomicUsize>,
+    pub tx: Vec<PeerTx>,
+    pub rx: Vec<PeerRx>,
+    pub held: Vec<Option<HeldPacket>>,
+}
+
+impl FaultCtx {
+    fn new(
+        plan: &FaultPlan,
+        rank: usize,
+        size: usize,
+        clock0: f64,
+        abort: Arc<AtomicBool>,
+        drained: Arc<AtomicUsize>,
+    ) -> Self {
+        let stream = plan
+            .seed
+            .wrapping_add((rank as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let crash_at = plan
+            .crashes
+            .iter()
+            .filter(|c| c.rank == rank && c.at > clock0)
+            .map(|c| c.at)
+            .fold(f64::INFINITY, f64::min);
+        FaultCtx {
+            drop_p: plan.drop,
+            corrupt_p: plan.corrupt,
+            duplicate_p: plan.duplicate,
+            reorder_p: plan.reorder,
+            cfg: plan.retransmit,
+            rng: SplitMix64::new(stream),
+            crash_at,
+            abort,
+            drained,
+            tx: (0..size)
+                .map(|_| PeerTx {
+                    next_seq: 0,
+                    unacked: VecDeque::new(),
+                    rto_s: plan.retransmit.rto0_s,
+                    deadline: f64::INFINITY,
+                    retries: 0,
+                })
+                .collect(),
+            rx: (0..size)
+                .map(|_| PeerRx {
+                    next_expected: 0,
+                    reorder: BTreeMap::new(),
+                })
+                .collect(),
+            held: (0..size).map(|_| None).collect(),
+        }
+    }
+}
+
+enum RankEnd<T> {
+    Done(T),
+    Crash(RankCrash),
+    Aborted,
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// Run an `nranks`-way program under `plan`, with every rank's virtual
+/// clock starting at `clock0` (so a restart attempt continues the absolute
+/// cluster timeline and crash events stay comparable across attempts —
+/// events at or before `clock0` are treated as already spent).
+///
+/// All messaging goes through the reliable transport; scheduled crashes
+/// (and senders exhausting their retries against a dead peer) tear the
+/// world down and report [`WorldOutcome::Crashed`] with the earliest death.
+/// Genuine panics (assertion failures) still propagate.
+pub fn run_with_faults<T, F>(
+    machine: Machine,
+    nranks: usize,
+    plan: &FaultPlan,
+    clock0: f64,
+    f: F,
+) -> WorldOutcome<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    assert!(
+        (machine.fabric.topology().total_ports() as usize) >= nranks,
+        "machine has too few ports for {nranks} ranks"
+    );
+    install_quiet_hook();
+    // The fabric is shared (Arc) and may be reused across restart
+    // attempts; make the fault set exactly the plan's, not accumulated.
+    machine.fabric.clear_link_faults();
+    for lf in &plan.link_faults {
+        machine.fabric.inject_link_fault(*lf);
+    }
+    let abort = Arc::new(AtomicBool::new(false));
+    let drained = Arc::new(AtomicUsize::new(0));
+    let (senders, receivers) = world_channels(nranks);
+    let f = &f;
+    let mut ends: Vec<Option<RankEnd<T>>> = (0..nranks).map(|_| None).collect();
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let machine = machine.clone();
+            let senders = senders.clone();
+            let abort = abort.clone();
+            let drained = drained.clone();
+            let h = thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(scope, move || {
+                    let ctx = FaultCtx::new(plan, rank, nranks, clock0, abort.clone(), drained);
+                    let mut comm = Comm::construct(
+                        rank,
+                        nranks,
+                        clock0,
+                        machine,
+                        senders,
+                        rx,
+                        Some(Box::new(ctx)),
+                    );
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        let v = f(&mut comm);
+                        // A rank may still owe its peers retransmissions
+                        // of packets the injector ate; stay at the NIC
+                        // until the whole world's unacked queues drain.
+                        comm.drain_transport();
+                        v
+                    })) {
+                        Ok(v) => RankEnd::Done(v),
+                        Err(p) => {
+                            abort.store(true, std::sync::atomic::Ordering::SeqCst);
+                            if let Some(c) = p.downcast_ref::<RankCrash>() {
+                                RankEnd::Crash(*c)
+                            } else if p.downcast_ref::<WorldAborted>().is_some() {
+                                RankEnd::Aborted
+                            } else {
+                                RankEnd::Panic(p)
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(end) => ends[rank] = Some(end),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    let mut crash: Option<RankCrash> = None;
+    let mut results = Vec::with_capacity(nranks);
+    for end in &ends {
+        match end.as_ref().expect("rank end recorded") {
+            RankEnd::Crash(c) => {
+                if crash.is_none_or(|b| c.at < b.at) {
+                    crash = Some(*c);
+                }
+            }
+            _ => continue,
+        }
+    }
+    for end in ends {
+        match end.expect("rank end recorded") {
+            RankEnd::Done(v) => results.push(v),
+            RankEnd::Panic(p) => std::panic::resume_unwind(p),
+            RankEnd::Crash(_) | RankEnd::Aborted => {}
+        }
+    }
+    match crash {
+        Some(c) => WorldOutcome::Crashed {
+            rank: c.rank,
+            at: c.at,
+        },
+        None => {
+            assert_eq!(results.len(), nranks, "aborted world without a crash");
+            WorldOutcome::Completed(results)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abm::{Abm, Termination};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Chaos tests honor CHAOS_SEED (CI logs it) so a failure reproduces.
+    fn chaos_seed() -> u64 {
+        std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
+    }
+
+    /// Every rank scatters `per_rank` uniquely-numbered messages through
+    /// an Abm channel, runs Safra termination, and returns what it got.
+    /// The union of receipts must be exactly the union of sends — once
+    /// each — no matter what the transport injected.
+    fn storm_exactly_once(nranks: usize, per_rank: u64, plan: &FaultPlan) {
+        let out = run_with_faults(Machine::ideal(nranks as u32), nranks, plan, 0.0, |c| {
+            let mut rng = SmallRng::seed_from_u64(1000 + c.rank() as u64);
+            let mut abm: Abm<u64> = Abm::new(c.size(), 3, 4);
+            let mut term = Termination::new();
+            for i in 0..per_rank {
+                let id = (c.rank() as u64) << 32 | i;
+                let dst = rng.gen_range(0..c.size());
+                abm.post(c, dst, id);
+            }
+            abm.flush_all(c);
+            term.on_send(abm.sent);
+            let mut sent_acc = abm.sent;
+            let mut got: Vec<u64> = Vec::new();
+            loop {
+                let batches = abm.poll(c);
+                let mut busy = false;
+                for (_, batch) in batches {
+                    term.on_recv(1);
+                    busy = true;
+                    got.extend(batch);
+                }
+                abm.flush_all(c);
+                if abm.sent > sent_acc {
+                    term.on_send(abm.sent - sent_acc);
+                    sent_acc = abm.sent;
+                }
+                if !busy && term.poll(c) {
+                    break;
+                }
+            }
+            (got, c.stats())
+        })
+        .expect_completed("no crashes scheduled");
+        let mut all: Vec<u64> = out.iter().flat_map(|(g, _)| g.iter().copied()).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..nranks as u64)
+            .flat_map(|r| (0..per_rank).map(move |i| r << 32 | i))
+            .collect();
+        assert_eq!(
+            all, expect,
+            "payload multiset mismatch (lost or duplicated messages)"
+        );
+    }
+
+    #[test]
+    fn zero_fault_plan_delivers_and_injects_nothing() {
+        let plan = FaultPlan::none(chaos_seed());
+        assert!(plan.is_trivial());
+        let vals = run_with_faults(Machine::ideal(4), 4, &plan, 0.0, |c| {
+            let right = (c.rank() + 1) % c.size();
+            c.send(right, 1, c.rank() as u64);
+            let (_, v) = c.recv::<u64>(None, 1);
+            assert_eq!(c.stats().fault.drops, 0);
+            assert_eq!(c.stats().fault.retransmits, 0);
+            v
+        })
+        .expect_completed("trivial plan");
+        assert_eq!(vals, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn clock0_offsets_the_virtual_timeline() {
+        let plan = FaultPlan::none(7);
+        let times = run_with_faults(Machine::ideal(2), 2, &plan, 100.0, |c| {
+            c.compute(1e8, 0.0);
+            c.time()
+        })
+        .expect_completed("no faults");
+        assert!(times.iter().all(|&t| t > 100.0), "{times:?}");
+    }
+
+    #[test]
+    fn lossy_ring_recovers_via_retransmit() {
+        let plan = FaultPlan::none(chaos_seed()).with_drop(0.4);
+        let out = run_with_faults(Machine::ideal(4), 4, &plan, 0.0, |c| {
+            let right = (c.rank() + 1) % c.size();
+            // Enough traffic that some of it is certain to be dropped.
+            for i in 0..50u64 {
+                c.send(right, 2, i);
+            }
+            let mut sum = 0u64;
+            for _ in 0..50 {
+                sum += c.recv::<u64>(None, 2).1;
+            }
+            (sum, c.stats())
+        })
+        .expect_completed("drops are recoverable");
+        let total_drops: u64 = out.iter().map(|(_, s)| s.fault.drops).sum();
+        let total_retx: u64 = out.iter().map(|(_, s)| s.fault.retransmits).sum();
+        assert!(total_drops > 0, "40% loss over 200 sends must drop some");
+        assert!(total_retx > 0, "drops must trigger retransmissions");
+        for (sum, _) in &out {
+            assert_eq!(*sum, (0..50).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn corruption_and_duplication_are_transparent() {
+        let plan = FaultPlan::none(chaos_seed())
+            .with_corrupt(0.2)
+            .with_duplicate(0.3);
+        let out = run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
+            let peer = 1 - c.rank();
+            for i in 0..60u64 {
+                c.send(peer, 5, i);
+            }
+            let got: Vec<u64> = (0..60).map(|_| c.recv_from::<u64>(peer, 5)).collect();
+            (got, c.stats())
+        })
+        .expect_completed("recoverable faults");
+        for (got, _) in &out {
+            // FIFO per (src, tag) stream must survive: exactly 0..60.
+            assert_eq!(*got, (0..60).collect::<Vec<u64>>());
+        }
+        let dups: u64 = out.iter().map(|(_, s)| s.fault.duplicates).sum();
+        let corr: u64 = out.iter().map(|(_, s)| s.fault.corruptions).sum();
+        assert!(dups > 0 && corr > 0, "dups {dups} corr {corr}");
+    }
+
+    #[test]
+    fn scheduled_crash_is_reported_with_rank_and_time() {
+        let plan = FaultPlan::none(1).with_crash(1, 0.5);
+        let out: WorldOutcome<u64> =
+            run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
+                // Ping-pong forever; rank 1 dies at t=0.5 and rank 0 must
+                // notice (abort flag) instead of hanging.
+                let peer = 1 - c.rank();
+                let mut n = 0u64;
+                loop {
+                    if c.rank() == 0 {
+                        c.send(peer, 1, n);
+                        n = c.recv_from::<u64>(peer, 1);
+                    } else {
+                        n = c.recv_from::<u64>(peer, 1);
+                        c.send(peer, 1, n + 1);
+                    }
+                    c.compute(1e7, 0.0); // ~4 ms/iteration: crash hits fast
+                }
+            });
+        match out {
+            WorldOutcome::Crashed { rank, at } => {
+                assert_eq!(rank, 1);
+                assert!(at >= 0.5, "crash at {at}");
+            }
+            WorldOutcome::Completed(_) => panic!("world must crash"),
+        }
+    }
+
+    #[test]
+    fn crash_before_clock0_is_already_spent() {
+        // Restart semantics: an event at t=0.5 must not re-fire in an
+        // attempt starting at clock0=1.0.
+        let plan = FaultPlan::none(1).with_crash(1, 0.5);
+        let vals = run_with_faults(Machine::ideal(2), 2, &plan, 1.0, |c| c.rank() as u64)
+            .expect_completed("crash already in the past");
+        assert_eq!(vals, vec![0, 1]);
+    }
+
+    #[test]
+    fn dead_switch_port_is_survivable_if_it_heals() {
+        // Port 1's link is dead for the first 20 ms of virtual time; the
+        // transport must carry the ring through it via retransmits.
+        let plan =
+            FaultPlan::none(chaos_seed()).with_link_fault(LinkFault::dead(1, 0.0, 2.0e-2));
+        let out = run_with_faults(Machine::ideal(3), 3, &plan, 0.0, |c| {
+            let right = (c.rank() + 1) % c.size();
+            c.send(right, 1, c.rank() as u64);
+            let (_, v) = c.recv::<u64>(None, 1);
+            (v, c.stats())
+        })
+        .expect_completed("link heals in time");
+        let vals: Vec<u64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(vals, vec![2, 0, 1]);
+        let retx: u64 = out.iter().map(|(_, s)| s.fault.retransmits).sum();
+        assert!(retx > 0, "dead-port windows must force retransmits");
+    }
+
+    #[test]
+    fn paper_calibrated_plan_has_sane_shape() {
+        let model = nodesim::ReliabilityModel::space_simulator();
+        // Nine months compressed hard enough that failures are likely.
+        let plan = FaultPlan::paper_calibrated(&model, 16, 10.0, 3.0e7, 99);
+        assert!(plan.drop > 0.0 && plan.drop <= 0.25);
+        assert!(plan.corrupt < plan.drop);
+        for c in &plan.crashes {
+            assert!(c.rank < 16);
+            assert!((0.0..10.0).contains(&c.at));
+        }
+        // Same seed, same plan: the derivation is deterministic.
+        let again = FaultPlan::paper_calibrated(&model, 16, 10.0, 3.0e7, 99);
+        assert_eq!(plan, again);
+        // With no acceleration a seconds-long window sees ~zero faults.
+        let calm = FaultPlan::paper_calibrated(&model, 16, 10.0, 1.0, 99);
+        assert!(calm.crashes.is_empty());
+        assert!(calm.drop < 1e-2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// ABM + Safra termination delivers every payload exactly once
+        /// under randomized drop/duplication/corruption/reorder schedules.
+        #[test]
+        fn abm_exactly_once_under_chaos(
+            seed in 0u64..1_000_000,
+            drop in 0.0f64..0.30,
+            dup in 0.0f64..0.25,
+            corrupt in 0.0f64..0.20,
+            reorder in 0.0f64..0.25,
+        ) {
+            let plan = FaultPlan::none(seed ^ chaos_seed())
+                .with_drop(drop)
+                .with_duplicate(dup)
+                .with_corrupt(corrupt)
+                .with_reorder(reorder);
+            storm_exactly_once(3, 25, &plan);
+        }
+    }
+
+    #[test]
+    fn abm_exactly_once_under_heavy_chaos() {
+        // One fixed, nastier case than the proptest sweep.
+        let plan = FaultPlan::none(chaos_seed())
+            .with_drop(0.35)
+            .with_duplicate(0.3)
+            .with_corrupt(0.2)
+            .with_reorder(0.3);
+        storm_exactly_once(4, 40, &plan);
+    }
+}

@@ -35,13 +35,15 @@
 pub mod abm;
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod group;
 pub mod machine;
 pub mod payload;
 pub mod sort;
 
 pub use abm::Abm;
-pub use comm::{run, run_with, Comm, Tag};
+pub use comm::{run, run_with, Comm, CommStats, FaultStats, MailboxTimeout, Tag};
+pub use fault::{run_with_faults, CrashEvent, FaultPlan, RetransmitConfig, WorldOutcome};
 pub use group::Group;
 pub use machine::Machine;
 pub use payload::Payload;

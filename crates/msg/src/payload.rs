@@ -9,13 +9,33 @@
 //! so they implement [`FixedWire`] for the element instead and the blanket
 //! impl here covers the vector.
 
+use std::any::Any;
 use std::mem;
 
 /// A value that can be sent through [`crate::Comm`]: it must be sendable
-/// between threads and know its size on the wire.
-pub trait Payload: Send + 'static {
+/// between threads and know its size on the wire. `Clone` is required so
+/// the reliable-delivery transport can keep a retransmit copy of every
+/// unacknowledged message (all payloads are plain data, so this is free).
+pub trait Payload: Send + Clone + 'static {
     /// Bytes this value would occupy in an MPI message.
     fn wire_bytes(&self) -> usize;
+}
+
+/// Object-safe view of a payload: what the transport stores in packets and
+/// retransmit queues. `clone_box` duplicates the value without knowing its
+/// concrete type; `into_any` recovers it for the typed `recv`.
+pub(crate) trait AnyPayload: Send {
+    fn clone_box(&self) -> Box<dyn AnyPayload>;
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+impl<T: Payload> AnyPayload for T {
+    fn clone_box(&self) -> Box<dyn AnyPayload> {
+        Box::new(self.clone())
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
 }
 
 /// A fixed-size element type; `Vec<T: FixedWire>` is automatically a

@@ -19,12 +19,67 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Result of scheduling one message through the fabric.
+///
+/// A non-finite `arrival` means the message was eaten by a dead link
+/// (see [`LinkFault`]); the bytes were still clocked onto the wire.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferOutcome {
     /// Virtual time at which the last byte reaches the receiver's NIC.
     pub arrival: f64,
     /// Of the total, how much was queueing behind other traffic.
     pub queued: f64,
+}
+
+impl TransferOutcome {
+    /// Did the message actually reach the destination NIC?
+    pub fn delivered(&self) -> bool {
+        self.arrival.is_finite()
+    }
+}
+
+/// A fault on one switch port (or its attached NIC/cable), active over a
+/// virtual-time window. This is the executable form of the paper's §2.1
+/// "soft errors on 4 ports of our gigabit switches": a degraded port
+/// serializes slower (PHY-level retries), a dead port eats every packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Global fabric port the fault sits on (either endpoint matches).
+    pub port: u32,
+    /// Virtual time the fault appears.
+    pub from: f64,
+    /// Virtual time the fault is cured (firmware upgrade, reseated cable);
+    /// `f64::INFINITY` for a permanent fault.
+    pub until: f64,
+    /// Remaining fraction of link speed: `0.0` kills the port outright,
+    /// `0.25` stretches serialization by 4x.
+    pub speed_factor: f64,
+}
+
+impl LinkFault {
+    /// A port that is down for `[from, until)`.
+    pub fn dead(port: u32, from: f64, until: f64) -> LinkFault {
+        LinkFault {
+            port,
+            from,
+            until,
+            speed_factor: 0.0,
+        }
+    }
+
+    /// A port running at `factor` of its speed from `from` onwards.
+    pub fn degraded(port: u32, from: f64, factor: f64) -> LinkFault {
+        assert!(factor > 0.0 && factor <= 1.0);
+        LinkFault {
+            port,
+            from,
+            until: f64::INFINITY,
+            speed_factor: factor,
+        }
+    }
+
+    fn active_at(&self, t: f64) -> bool {
+        t >= self.from && t < self.until
+    }
 }
 
 /// Aggregate fabric statistics, for reports.
@@ -35,11 +90,19 @@ pub struct FabricStats {
     /// Total time spent queued behind shared resources, summed over
     /// messages (seconds of virtual time).
     pub queued_s: f64,
+    /// Messages eaten by a dead port ([`LinkFault`] with factor 0).
+    pub link_dropped: u64,
+    /// Messages that crossed a degraded port (slower, but delivered).
+    pub link_degraded: u64,
 }
 
 struct State {
     busy_until: HashMap<Resource, f64>,
     stats: FabricStats,
+    /// Installed port faults. Empty in healthy fabrics — the per-transfer
+    /// cost of the feature is one `is_empty` branch under the existing
+    /// lock (pay-for-what-you-inject).
+    faults: Vec<LinkFault>,
 }
 
 /// A shared, thread-safe cluster network.
@@ -57,6 +120,7 @@ impl Fabric {
             state: Mutex::new(State {
                 busy_until: HashMap::new(),
                 stats: FabricStats::default(),
+                faults: Vec::new(),
             }),
         }
     }
@@ -79,8 +143,28 @@ impl Fabric {
         &self.topology
     }
 
+    /// Install a port fault. Takes effect for transfers departing inside
+    /// the fault's window.
+    pub fn inject_link_fault(&self, fault: LinkFault) {
+        self.state.lock().faults.push(fault);
+    }
+
+    /// Remove every installed fault (e.g. between chaos experiments).
+    pub fn clear_link_faults(&self) {
+        self.state.lock().faults.clear();
+    }
+
+    /// Currently installed faults (for reports).
+    pub fn link_faults(&self) -> Vec<LinkFault> {
+        self.state.lock().faults.clone()
+    }
+
     /// Schedule an `bytes`-byte message from `src` to `dst` departing at
     /// virtual time `depart`. Thread-safe; updates contention state.
+    ///
+    /// If either endpoint port has an active [`LinkFault`] the outcome may
+    /// be non-delivered (`arrival = ∞`, dead port) or slowed (degraded
+    /// port); check [`TransferOutcome::delivered`] when faults are in play.
     pub fn transfer(&self, src: u32, dst: u32, bytes: usize, depart: f64) -> TransferOutcome {
         if src == dst {
             // Self-send: local memcpy, modeled as a cheap copy at memory
@@ -91,8 +175,30 @@ impl Fabric {
             };
         }
         let route = self.topology.route(src, dst);
-        let wire = self.profile.transfer_time(bytes);
+        let mut wire = self.profile.transfer_time(bytes);
         let mut st = self.state.lock();
+        if !st.faults.is_empty() {
+            // Slowest active fault on either endpoint port governs.
+            let mut factor = 1.0f64;
+            for f in &st.faults {
+                if (f.port == src || f.port == dst) && f.active_at(depart) {
+                    factor = factor.min(f.speed_factor);
+                }
+            }
+            if factor <= 0.0 {
+                st.stats.messages += 1;
+                st.stats.bytes += bytes as u64;
+                st.stats.link_dropped += 1;
+                return TransferOutcome {
+                    arrival: f64::INFINITY,
+                    queued: 0.0,
+                };
+            }
+            if factor < 1.0 {
+                wire /= factor;
+                st.stats.link_degraded += 1;
+            }
+        }
         // Cut-through model: the message's head waits for each busy segment
         // but does not pay the segment's serialization time itself (the
         // 779 Mbit/s NIC, charged once via `wire`, is always the narrowest
@@ -259,6 +365,50 @@ mod tests {
         assert_eq!(s.bytes, 200);
         f.reset();
         assert_eq!(f.stats().messages, 0);
+    }
+
+    #[test]
+    fn dead_port_eats_messages_during_its_window() {
+        let f = ss();
+        f.inject_link_fault(LinkFault::dead(3, 1.0, 2.0));
+        // Before the window: delivered.
+        assert!(f.transfer(3, 4, 1024, 0.5).delivered());
+        // Inside the window, either direction: dropped.
+        assert!(!f.transfer(3, 4, 1024, 1.5).delivered());
+        assert!(!f.transfer(4, 3, 1024, 1.5).delivered());
+        // Other ports unaffected.
+        assert!(f.transfer(5, 6, 1024, 1.5).delivered());
+        // After the cure: delivered again.
+        assert!(f.transfer(3, 4, 1024, 2.5).delivered());
+        assert_eq!(f.stats().link_dropped, 2);
+    }
+
+    #[test]
+    fn degraded_port_slows_but_delivers() {
+        let f = ss();
+        let n = 1 << 20;
+        let healthy = f.transfer(0, 1, n, 0.0).arrival;
+        f.inject_link_fault(LinkFault::degraded(0, 0.0, 0.25));
+        let degraded = f.transfer(0, 1, n, 0.0).arrival;
+        assert!(degraded.is_finite());
+        // 4x slower serialization dominates the 1 MB transfer.
+        assert!(
+            degraded > healthy * 3.0,
+            "healthy {healthy} vs degraded {degraded}"
+        );
+        f.clear_link_faults();
+        let cured = f.transfer(0, 1, n, 0.0).arrival;
+        assert!((cured - healthy).abs() < healthy * 1e-9);
+    }
+
+    #[test]
+    fn healthy_fabric_pays_nothing_for_the_fault_hook() {
+        let f = ss();
+        assert!(f.link_faults().is_empty());
+        let out = f.transfer(0, 1, 4096, 0.0);
+        assert!(out.delivered());
+        assert_eq!(f.stats().link_dropped, 0);
+        assert_eq!(f.stats().link_degraded, 0);
     }
 
     #[test]

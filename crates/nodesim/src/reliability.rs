@@ -17,16 +17,18 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// The classes of hardware the paper tracks.
+/// The classes of hardware the paper tracks. The explicit discriminants
+/// index [`FailureTally::counts`] (and match `ALL` order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
 pub enum ComponentClass {
-    PowerSupply,
-    DiskDrive,
-    Motherboard,
-    DramStick,
-    EthernetCard,
-    CaseFan,
-    SwitchPort,
+    PowerSupply = 0,
+    DiskDrive = 1,
+    Motherboard = 2,
+    DramStick = 3,
+    EthernetCard = 4,
+    CaseFan = 5,
+    SwitchPort = 6,
 }
 
 impl ComponentClass {
@@ -61,7 +63,7 @@ pub struct FailureTally {
 
 impl FailureTally {
     pub fn get(&self, c: ComponentClass) -> u32 {
-        self.counts[ComponentClass::ALL.iter().position(|&x| x == c).unwrap()]
+        self.counts[c as usize]
     }
 
     pub fn total(&self) -> u32 {
@@ -85,6 +87,34 @@ pub struct ComponentModel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReliabilityModel {
     pub components: Vec<ComponentModel>,
+    /// Fraction of disk failures predictable via SMART monitoring; the
+    /// paper "believe\[s\] that a majority of the drive failures can be
+    /// predicted".
+    pub smart_predictable_fraction: f64,
+}
+
+/// Sample a Binomial(n, p) count by geometric skips between successes
+/// (exact; O(np) expected work instead of O(n) Bernoulli draws — the
+/// §2.1 rates are ≪ 1, so this is ~population/failures times faster).
+fn sample_binomial<R: Rng>(rng: &mut R, n: u64, p: f64) -> u32 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n as u32;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut count = 0u32;
+    let mut i = 0u64;
+    loop {
+        // Number of failures before the next success ~ Geometric(p).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        i += (u.ln() / log_q).floor() as u64 + 1;
+        if i > n {
+            return count;
+        }
+        count += 1;
+    }
 }
 
 impl ReliabilityModel {
@@ -109,6 +139,7 @@ impl ReliabilityModel {
                 c(ComponentClass::CaseFan, 294, 0, 1.0),
                 c(ComponentClass::SwitchPort, 304, 0, 4.0),
             ],
+            smart_predictable_fraction: 0.7,
         }
     }
 
@@ -129,44 +160,32 @@ impl ReliabilityModel {
     }
 
     /// Monte-Carlo burn-in: each unit independently defective with its
-    /// class probability.
+    /// class probability, sampled as one binomial count per class.
     pub fn simulate_burn_in<R: Rng>(&self, rng: &mut R) -> FailureTally {
         let mut tally = FailureTally::default();
-        for (i, c) in self.components.iter().enumerate() {
-            let mut n = 0;
-            for _ in 0..c.population {
-                if rng.gen::<f64>() < c.burn_in_defect_prob {
-                    n += 1;
-                }
-            }
-            tally.counts[i] = n;
+        for c in &self.components {
+            tally.counts[c.class as usize] =
+                sample_binomial(rng, c.population as u64, c.burn_in_defect_prob);
         }
         tally
     }
 
-    /// Monte-Carlo operation for `months`: per-unit Poisson failures,
-    /// sampled as Bernoulli per unit-month (rates are ≪ 1).
+    /// Monte-Carlo operation for `months`: per-unit-month Bernoulli
+    /// failures, sampled as one Binomial(population·months, rate) count
+    /// per class — same distribution as the per-unit loop, without the
+    /// O(population × months) draws.
     pub fn simulate_operation<R: Rng>(&self, rng: &mut R, months: u32) -> FailureTally {
         let mut tally = FailureTally::default();
-        for (i, c) in self.components.iter().enumerate() {
-            let mut n = 0;
-            for _ in 0..c.population {
-                for _ in 0..months {
-                    if rng.gen::<f64>() < c.monthly_rate {
-                        n += 1;
-                    }
-                }
-            }
-            tally.counts[i] = n;
+        for c in &self.components {
+            let trials = c.population as u64 * months as u64;
+            tally.counts[c.class as usize] = sample_binomial(rng, trials, c.monthly_rate);
         }
         tally
     }
 
-    /// Fraction of disk failures predictable via SMART monitoring; the
-    /// paper "believe\[s\] that a majority of the drive failures can be
-    /// predicted".
+    /// Fraction of disk failures predictable via SMART monitoring.
     pub fn smart_predictable_fraction(&self) -> f64 {
-        0.7
+        self.smart_predictable_fraction
     }
 
     /// Cluster-wide availability estimate for `months`, counting the three
@@ -249,6 +268,52 @@ mod tests {
         let mean = total_disk as f64 / trials as f64;
         // Expectation is 16; allow generous Monte-Carlo slack.
         assert!((mean - 16.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sampling_means_match_paper_tallies() {
+        // Regression for the fast per-class sampler: over many trials the
+        // mean simulated nine-month tally must match the §2.1 expectation
+        // for every class (the sampler is exact-binomial, so only
+        // Monte-Carlo noise separates them).
+        let m = ReliabilityModel::space_simulator();
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let trials = 400;
+        let mut sums = [0.0f64; 7];
+        for _ in 0..trials {
+            let t = m.simulate_operation(&mut rng, 9);
+            for c in ComponentClass::ALL {
+                sums[c as usize] += t.get(c) as f64;
+            }
+        }
+        for (c, expect) in m.expected_operational(9.0) {
+            let mean = sums[c as usize] / trials as f64;
+            // 5-sigma band on the mean of `trials` binomials.
+            let sigma = (expect.max(0.05) / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 5.0 * sigma + 0.05,
+                "{}: mean {mean} vs expected {expect}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_sampler_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(super::sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(super::sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(super::sample_binomial(&mut rng, 10, 1.0), 10);
+        let n = super::sample_binomial(&mut rng, 100, 0.5);
+        assert!(n > 20 && n < 80, "implausible Binomial(100, 0.5) = {n}");
+    }
+
+    #[test]
+    fn smart_fraction_is_a_model_field() {
+        let mut m = ReliabilityModel::space_simulator();
+        assert!((m.smart_predictable_fraction() - 0.7).abs() < 1e-12);
+        m.smart_predictable_fraction = 0.9;
+        assert!((m.smart_predictable_fraction() - 0.9).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Checkpoint/restart for the SPH integrator.
+//!
+//! An [`SphSimulation`] snapshot carries the complete particle state —
+//! including the derived fields (`rho`, `pres`, `cs`, `acc`, `du_dt`,
+//! `denu_dt`) that the next half-kick consumes — so a restore resumes the
+//! run without recomputing anything, and the continuation is bit-for-bit
+//! identical to the run that was interrupted. That property is what lets
+//! the cluster chaos harness claim "same physics answer" after a
+//! crash/restart cycle rather than "approximately recovered".
+
+use crate::eos::Eos;
+use crate::forces::Viscosity;
+use crate::integrate::{SphConfig, SphSimulation};
+use crate::neutrino::NeutrinoConfig;
+use crate::particle::SphParticle;
+use ckpt::{CkptError, Pack, Reader};
+
+impl Pack for SphParticle {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.pos.pack(out);
+        self.vel.pack(out);
+        self.mass.pack(out);
+        self.id.pack(out);
+        self.h.pack(out);
+        self.rho.pack(out);
+        self.u.pack(out);
+        self.pres.pack(out);
+        self.cs.pack(out);
+        self.acc.pack(out);
+        self.du_dt.pack(out);
+        self.enu.pack(out);
+        self.denu_dt.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(SphParticle {
+            pos: Pack::unpack(r)?,
+            vel: Pack::unpack(r)?,
+            mass: Pack::unpack(r)?,
+            id: Pack::unpack(r)?,
+            h: Pack::unpack(r)?,
+            rho: Pack::unpack(r)?,
+            u: Pack::unpack(r)?,
+            pres: Pack::unpack(r)?,
+            cs: Pack::unpack(r)?,
+            acc: Pack::unpack(r)?,
+            du_dt: Pack::unpack(r)?,
+            enu: Pack::unpack(r)?,
+            denu_dt: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl Pack for Viscosity {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.alpha.pack(out);
+        self.beta.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(Viscosity {
+            alpha: Pack::unpack(r)?,
+            beta: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl Pack for NeutrinoConfig {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.c_light.pack(out);
+        self.kappa0.pack(out);
+        self.emit0.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(NeutrinoConfig {
+            c_light: Pack::unpack(r)?,
+            kappa0: Pack::unpack(r)?,
+            emit0: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl Pack for Eos {
+    fn pack(&self, out: &mut Vec<u8>) {
+        match self {
+            Eos::GammaLaw { gamma } => {
+                out.push(0);
+                gamma.pack(out);
+            }
+            Eos::Hybrid {
+                k,
+                gamma_soft,
+                gamma_stiff,
+                rho_nuc,
+                gamma_th,
+            } => {
+                out.push(1);
+                k.pack(out);
+                gamma_soft.pack(out);
+                gamma_stiff.pack(out);
+                rho_nuc.pack(out);
+                gamma_th.pack(out);
+            }
+        }
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        match u8::unpack(r)? {
+            0 => Ok(Eos::GammaLaw {
+                gamma: Pack::unpack(r)?,
+            }),
+            1 => Ok(Eos::Hybrid {
+                k: Pack::unpack(r)?,
+                gamma_soft: Pack::unpack(r)?,
+                gamma_stiff: Pack::unpack(r)?,
+                rho_nuc: Pack::unpack(r)?,
+                gamma_th: Pack::unpack(r)?,
+            }),
+            _ => Err(CkptError::BadEncoding("Eos")),
+        }
+    }
+}
+
+impl Pack for SphConfig {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.eos.pack(out);
+        self.viscosity.pack(out);
+        self.gravity_theta.pack(out);
+        self.neutrino.pack(out);
+        self.cfl.pack(out);
+        self.dt_min.pack(out);
+        self.dt_max.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(SphConfig {
+            eos: Pack::unpack(r)?,
+            viscosity: Pack::unpack(r)?,
+            gravity_theta: Pack::unpack(r)?,
+            neutrino: Pack::unpack(r)?,
+            cfl: Pack::unpack(r)?,
+            dt_min: Pack::unpack(r)?,
+            dt_max: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl Pack for SphSimulation {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.parts.pack(out);
+        self.cfg.pack(out);
+        self.time.pack(out);
+        self.steps.pack(out);
+    }
+    fn unpack(r: &mut Reader) -> Result<Self, CkptError> {
+        Ok(SphSimulation {
+            parts: Pack::unpack(r)?,
+            cfg: Pack::unpack(r)?,
+            time: Pack::unpack(r)?,
+            steps: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl SphSimulation {
+    /// Serialize the full SPH state as a framed [`ckpt`] checkpoint.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        ckpt::save(self)
+    }
+
+    /// Rebuild a simulation from [`SphSimulation::checkpoint`] bytes.
+    ///
+    /// Unlike [`SphSimulation::new`], this does *not* recompute the
+    /// right-hand side: the saved derived fields are the ones the next
+    /// step's first half-kick must see for the restart to be exact.
+    pub fn restore(bytes: &[u8]) -> Result<SphSimulation, CkptError> {
+        let sim: SphSimulation = ckpt::load(bytes)?;
+        if sim.parts.is_empty() {
+            return Err(CkptError::BadEncoding("empty particle set"));
+        }
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gas_ball(n: usize, u: f64, seed: u64) -> Vec<SphParticle> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let r = rng.gen::<f64>().cbrt();
+                let costh = rng.gen_range(-1.0..1.0f64);
+                let sinth = (1.0 - costh * costh).sqrt();
+                let phi = rng.gen::<f64>() * std::f64::consts::TAU;
+                SphParticle::new(
+                    [r * sinth * phi.cos(), r * sinth * phi.sin(), r * costh],
+                    [0.0; 3],
+                    1.0 / n as f64,
+                    u,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn assert_same_bits(a: &SphSimulation, b: &SphSimulation) {
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.parts.len(), b.parts.len());
+        for (p, q) in a.parts.iter().zip(&b.parts) {
+            assert_eq!(p.id, q.id);
+            for d in 0..3 {
+                assert_eq!(p.pos[d].to_bits(), q.pos[d].to_bits(), "pos id {}", p.id);
+                assert_eq!(p.vel[d].to_bits(), q.vel[d].to_bits(), "vel id {}", p.id);
+                assert_eq!(p.acc[d].to_bits(), q.acc[d].to_bits(), "acc id {}", p.id);
+            }
+            assert_eq!(p.u.to_bits(), q.u.to_bits(), "u id {}", p.id);
+            assert_eq!(p.rho.to_bits(), q.rho.to_bits(), "rho id {}", p.id);
+            assert_eq!(p.enu.to_bits(), q.enu.to_bits(), "enu id {}", p.id);
+            assert_eq!(p.h.to_bits(), q.h.to_bits(), "h id {}", p.id);
+        }
+    }
+
+    /// The restart-equivalence property: interrupting a run at step k and
+    /// restoring from the checkpoint reproduces the uninterrupted run
+    /// bit-for-bit — including the adaptive CFL timesteps, which depend on
+    /// every derived field surviving the round-trip exactly.
+    #[test]
+    fn sph_restart_is_bit_exact() {
+        let cfg = SphConfig {
+            neutrino: Some(NeutrinoConfig::default()),
+            ..Default::default()
+        };
+        let mut sim = SphSimulation::new(gas_ball(250, 0.8, 21), cfg);
+        sim.run_until(f64::INFINITY, 3);
+        let snap = sim.checkpoint();
+        // Uninterrupted run continues...
+        sim.run_until(f64::INFINITY, 8);
+        // ...while the restored one replays from step 3.
+        let mut replay = SphSimulation::restore(&snap).expect("restore");
+        assert_eq!(replay.steps, 3);
+        replay.run_until(f64::INFINITY, 8);
+        assert_same_bits(&sim, &replay);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_hybrid_eos_config() {
+        let cfg = SphConfig {
+            eos: Eos::Hybrid {
+                k: 1.2,
+                gamma_soft: 4.0 / 3.0,
+                gamma_stiff: 2.5,
+                rho_nuc: 100.0,
+                gamma_th: 1.5,
+            },
+            gravity_theta: None,
+            ..Default::default()
+        };
+        let sim = SphSimulation::new(gas_ball(60, 0.3, 5), cfg);
+        let replay = SphSimulation::restore(&sim.checkpoint()).expect("restore");
+        match replay.cfg.eos {
+            Eos::Hybrid { rho_nuc, .. } => assert_eq!(rho_nuc, 100.0),
+            _ => panic!("eos variant lost"),
+        }
+        assert!(replay.cfg.gravity_theta.is_none());
+        assert_same_bits(&sim, &replay);
+    }
+
+    #[test]
+    fn corrupt_sph_checkpoint_is_rejected() {
+        let sim = SphSimulation::new(gas_ball(40, 0.5, 9), SphConfig::default());
+        let mut snap = sim.checkpoint();
+        snap.truncate(snap.len() - 10);
+        assert!(SphSimulation::restore(&snap).is_err());
+        let snap2 = sim.checkpoint();
+        let mut flipped = snap2.clone();
+        flipped[ckpt::MAGIC.len() + 12] ^= 1;
+        assert!(matches!(
+            SphSimulation::restore(&flipped),
+            Err(CkptError::BadCrc { .. })
+        ));
+    }
+}

@@ -25,6 +25,7 @@
 // iterator-adapter rewrites clippy suggests obscure that.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod collapse;
 pub mod density;
 pub mod eos;
