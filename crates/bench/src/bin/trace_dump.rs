@@ -1,0 +1,60 @@
+//! Dump the virtual-time trace of a small distributed treecode run.
+//!
+//! Runs the chaos harness on an ideal (contention-free) 16-port machine
+//! with tracing on, then prints the merged world timeline in the three
+//! export formats the `obs` crate provides:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin trace_dump             # summary + gantt
+//! cargo run --release -p bench --bin trace_dump -- chrome   # trace_event JSON
+//! cargo run --release -p bench --bin trace_dump -- gantt
+//! cargo run --release -p bench --bin trace_dump -- summary
+//! ```
+//!
+//! The `chrome` output loads in `chrome://tracing` / Perfetto: one row
+//! per rank, span nesting preserved, timestamps in virtual microseconds.
+//! Because the run uses `Machine::ideal` and a deterministic retransmit
+//! plan, the bytes printed are identical on every invocation — the same
+//! property the golden-trace tests in `crates/cluster/tests` pin down.
+
+use cluster::chaos::{run_treecode_traced, ChaosConfig};
+use hot::GravityConfig;
+use msg::{FaultPlan, Machine, RetransmitConfig};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let ranks = 16;
+    let machine = Machine::ideal(ranks as u32);
+    let plan = FaultPlan::none(11).with_retransmit(RetransmitConfig::deterministic());
+    let chaos = ChaosConfig {
+        checkpoint_every: 2,
+        ..ChaosConfig::default()
+    };
+    let cfg = GravityConfig {
+        theta: 0.6,
+        eps: 0.05,
+        ..GravityConfig::default()
+    };
+    let bodies = hot::models::plummer(256, 42);
+    let (_, report, trace) =
+        run_treecode_traced(&machine, ranks, &plan, &chaos, bodies, &cfg, 4, 0.01);
+    assert!(report.completed, "trace_dump run did not complete");
+    let trace = trace.expect("completed traced run always yields a trace");
+
+    match mode.as_str() {
+        "chrome" => println!("{}", obs::export::chrome_trace_json(&trace)),
+        "gantt" => println!("{}", obs::export::gantt(&trace, 100)),
+        "summary" => println!("{}", obs::export::structural_summary(&trace)),
+        _ => {
+            println!("{}", obs::export::structural_summary(&trace));
+            println!("{}", obs::export::gantt(&trace, 100));
+            println!(
+                "(re-run with `-- chrome` for chrome://tracing JSON; \
+                 {} spans, {} ranks, virtual end {:.3} ms)",
+                trace.size(),
+                ranks,
+                trace.end_time() * 1e3
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The observability overhead guard: the instrumented gravity
+//! micro-kernel with [`obs::NullSink`] must run within 2% of the plain
+//! kernel. `NullSink`'s hooks are inlined empty functions, so the
+//! instrumented build *is* the uninstrumented build — this test holds
+//! the compiler (and future instrumentation changes) to that.
+//!
+//! The strict budget is asserted only in optimized builds: in debug
+//! builds nothing is inlined and the comparison would measure the
+//! unoptimized call overhead, not the contract. CI runs this test with
+//! `--release` (see the observability job), where the guard bites.
+
+use kernels::gravity_kernel::KernelBench;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Min-of-N timing: the minimum over repetitions estimates the noise
+/// floor far more stably than the mean under CI scheduling jitter.
+fn min_time_s(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0f64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        sink += f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    assert!(sink.is_finite());
+    best
+}
+
+#[test]
+fn null_sink_overhead_is_within_budget() {
+    let bench = KernelBench::new(48, 1536, 9);
+    let reps = 25;
+    // Warm up caches and frequency scaling before timing either side.
+    black_box(bench.run_karp());
+    black_box(bench.run_karp_observed(&mut obs::NullSink));
+
+    let plain = min_time_s(reps, || black_box(bench.run_karp()).pot);
+    let nulled = min_time_s(reps, || {
+        black_box(bench.run_karp_observed(&mut obs::NullSink)).pot
+    });
+    let ratio = nulled / plain;
+    eprintln!("overhead guard: plain {plain:.3e}s nulled {nulled:.3e}s ratio {ratio:.4}");
+
+    if cfg!(debug_assertions) {
+        // Unoptimized build: the hooks are real calls; only sanity-check
+        // that instrumentation is not catastrophically expensive here.
+        assert!(ratio < 3.0, "debug-build ratio {ratio}");
+        return;
+    }
+    assert!(
+        ratio <= 1.02,
+        "NullSink overhead {:.2}% exceeds the 2% budget (plain {plain:.3e}s, nulled {nulled:.3e}s)",
+        (ratio - 1.0) * 100.0
+    );
+}
+
+#[test]
+fn enabled_sink_records_without_changing_results() {
+    // The other side of the bargain: switching the sink on changes no
+    // float anywhere.
+    let bench = KernelBench::new(16, 256, 5);
+    let mut rec = obs::Recorder::new(0, 1);
+    let observed = bench.run_karp_observed(&mut rec);
+    let plain = bench.run_karp();
+    assert_eq!(observed.acc, plain.acc);
+    assert_eq!(observed.pot, plain.pot);
+    let tr = rec.finish(0.0);
+    assert_eq!(tr.metrics.counter("kernel.interactions"), bench.interactions());
+}

@@ -26,7 +26,7 @@ use ckpt::{CkptError, Pack};
 use hot::gravity::{Accel, GravityConfig};
 use hot::traverse::group_accelerations;
 use hot::tree::{Body, Tree};
-use msg::{run_with_faults, FaultPlan, Machine, WorldOutcome};
+use msg::{run_with_faults, run_with_faults_observed, Comm, FaultPlan, Machine, WorldOutcome};
 use std::sync::Mutex;
 
 /// Knobs of the checkpoint/restart loop (times are virtual seconds).
@@ -151,6 +151,46 @@ pub fn run_treecode(
     steps: u64,
     dt: f64,
 ) -> (Vec<Body>, ChaosReport) {
+    let (bodies, report, _) =
+        run_treecode_impl(machine, nranks, plan, chaos, bodies, cfg, steps, dt, false);
+    (bodies, report)
+}
+
+/// [`run_treecode`] with the observability layer switched on: every rank
+/// records spans (`chaos.restore` / `chaos.force` / `chaos.exchange` /
+/// `chaos.checkpoint`) and transport metrics, and the merged world trace
+/// of the final attempt is returned alongside the report.
+///
+/// Crashed attempts yield no trace — their worlds die mid-flight, so the
+/// victims' span stacks never unwind and the drain order races wall
+/// clock. Only the completing attempt's trace is deterministic, and that
+/// is the one returned. `None` means the job never completed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_treecode_traced(
+    machine: &Machine,
+    nranks: usize,
+    plan: &FaultPlan,
+    chaos: &ChaosConfig,
+    bodies: Vec<Body>,
+    cfg: &GravityConfig,
+    steps: u64,
+    dt: f64,
+) -> (Vec<Body>, ChaosReport, Option<obs::WorldTrace>) {
+    run_treecode_impl(machine, nranks, plan, chaos, bodies, cfg, steps, dt, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_treecode_impl(
+    machine: &Machine,
+    nranks: usize,
+    plan: &FaultPlan,
+    chaos: &ChaosConfig,
+    bodies: Vec<Body>,
+    cfg: &GravityConfig,
+    steps: u64,
+    dt: f64,
+    traced: bool,
+) -> (Vec<Body>, ChaosReport, Option<obs::WorldTrace>) {
     assert!(nranks >= 1 && steps >= 1 && dt > 0.0);
     let io = IoModel::space_simulator(nranks as u32);
     // Initial forces, then the step-0 "checkpoint" is the ICs themselves.
@@ -171,13 +211,15 @@ pub fn run_treecode(
         // so a later crash cannot claw a commit back.
         let store: Mutex<Option<(u64, f64, Vec<u8>)>> = Mutex::new(None);
         let start_bytes = &committed.2;
-        let outcome = run_with_faults(machine.clone(), nranks, plan, clock0, |comm| {
+        let world = |comm: &mut Comm| {
+            comm.span_enter("chaos.restore");
             let State {
                 mut step,
                 mut time,
                 mut bodies,
                 mut accel,
             } = decode_state(start_bytes).expect("stable storage is uncorrupted");
+            comm.span_exit("chaos.restore");
             let n = bodies.len();
             let size = comm.size();
             while step < steps {
@@ -193,6 +235,7 @@ pub fn run_treecode(
                 // charged 1/size of the work — the simulated machine runs
                 // the force phase in parallel even though this in-memory
                 // replica evaluates every stripe.
+                comm.span_enter("chaos.force");
                 let tree = Tree::build(std::mem::take(&mut bodies), cfg.leaf_max);
                 let (full, stats) = group_accelerations(&tree, cfg);
                 bodies = tree.bodies;
@@ -202,8 +245,10 @@ pub fn run_treecode(
                     (n * std::mem::size_of::<Body>()) as f64 * share,
                     chaos.cpu_eff,
                 );
+                comm.span_exit("chaos.force");
                 // Exchange acceleration stripes and adopt the *received*
                 // values, so transport integrity decides the physics.
+                comm.span_enter("chaos.exchange");
                 let mine: Vec<[f64; 4]> = full[stripe(n, size, comm.rank())]
                     .iter()
                     .map(|a| [a.acc[0], a.acc[1], a.acc[2], a.pot])
@@ -219,6 +264,7 @@ pub fn run_treecode(
                         };
                     }
                 }
+                comm.span_exit("chaos.exchange");
                 // Kick (half).
                 for (b, a) in bodies.iter_mut().zip(&accel) {
                     for d in 0..3 {
@@ -231,17 +277,29 @@ pub fn run_treecode(
                     // Every rank writes its share of the snapshot to
                     // local disk (Figure 7's parallel I/O path), then the
                     // barrier makes the commit atomic-at-a-step.
+                    comm.span_enter("chaos.checkpoint");
                     let bytes = encode_state(step, time, &bodies, &accel);
+                    comm.obs_count("ckpt.bytes", bytes.len() as u64);
+                    comm.obs_count("ckpt.commits", 1);
                     comm.elapse(io.snapshot_time(bytes.len() as f64 / size as f64));
                     comm.barrier();
                     if comm.rank() == 0 {
                         *store.lock().unwrap() = Some((step, comm.time(), bytes));
                     }
+                    comm.span_exit("chaos.checkpoint");
                 }
             }
             let final_bodies = if comm.rank() == 0 { bodies } else { Vec::new() };
             (final_bodies, comm.time(), comm.stats())
-        });
+        };
+        let (outcome, trace) = if traced {
+            run_with_faults_observed(machine.clone(), nranks, plan, clock0, world)
+        } else {
+            (
+                run_with_faults(machine.clone(), nranks, plan, clock0, world),
+                None,
+            )
+        };
         // Commits outlive the attempt that made them.
         if let Some((step, vtime, bytes)) = store.into_inner().unwrap() {
             if step > committed.0 {
@@ -271,7 +329,7 @@ pub fn run_treecode(
                 } else {
                     1.0
                 };
-                return (final_bodies, report);
+                return (final_bodies, report, trace);
             }
             WorldOutcome::Crashed { at, .. } => {
                 report.restarts += 1;
@@ -288,7 +346,7 @@ pub fn run_treecode(
     report.completed = false;
     report.final_vtime = clock0;
     report.availability = 0.0;
-    (Vec::new(), report)
+    (Vec::new(), report, None)
 }
 
 #[cfg(test)]

@@ -34,4 +34,5 @@ pub mod rack;
 pub mod top500;
 pub mod treecode_run;
 
+pub use chaos::{run_treecode, run_treecode_traced, ChaosConfig, ChaosReport};
 pub use machines::MachineSpec;

@@ -75,6 +75,34 @@ pub fn table6() -> Vec<(&'static str, u32, f64, f64, f64, f64)> {
 /// `(Mflops/proc, max virtual step time)`. Small scales only (ranks are
 /// host threads).
 pub fn measured_run(machine: &MachineSpec, procs: usize, n_particles: usize) -> (f64, f64) {
+    let (mflops, t, _) = measured_run_impl(machine, procs, n_particles, false);
+    (mflops, t)
+}
+
+/// [`measured_run`] with the observability layer switched on: every rank
+/// records `hot.decompose` / `hot.tree_build` / `hot.walk` spans plus
+/// message and walk counters, and the merged world trace is returned
+/// alongside the measurement.
+///
+/// The HOT walk services cell requests in wall-clock arrival order, so
+/// traces from this entry point are faithful but not run-to-run
+/// byte-stable; use [`crate::chaos::run_treecode_traced`] on a
+/// fault-free plan for golden-trace comparisons.
+pub fn measured_run_traced(
+    machine: &MachineSpec,
+    procs: usize,
+    n_particles: usize,
+) -> (f64, f64, obs::WorldTrace) {
+    let (mflops, t, trace) = measured_run_impl(machine, procs, n_particles, true);
+    (mflops, t, trace.expect("traced run always yields a trace"))
+}
+
+fn measured_run_impl(
+    machine: &MachineSpec,
+    procs: usize,
+    n_particles: usize,
+    traced: bool,
+) -> (f64, f64, Option<obs::WorldTrace>) {
     let msg_machine = match machine.fabric {
         crate::machines::FabricKind::SpaceSimulatorSwitch => {
             msg::Machine::space_simulator(machine.profile)
@@ -86,7 +114,7 @@ pub fn measured_run(machine: &MachineSpec, procs: usize, n_particles: usize) -> 
     };
     let bodies = models::plummer(n_particles, 12345);
     let cpu_eff = machine.cpu.best_mflops() * 1e6 / 5.06e9;
-    let results = msg::run_with(msg_machine, procs, |comm| {
+    let world = |comm: &mut msg::Comm| {
         let mine: Vec<hot::Body> = bodies
             .iter()
             .enumerate()
@@ -99,10 +127,16 @@ pub fn measured_run(machine: &MachineSpec, procs: usize, n_particles: usize) -> 
         };
         let r = parallel_accelerations(comm, mine, &cfg);
         (r.stats.flops(true), r.vtime)
-    });
+    };
+    let (results, trace) = if traced {
+        let (results, trace) = msg::run_observed(msg_machine, procs, world);
+        (results, Some(trace))
+    } else {
+        (msg::run_with(msg_machine, procs, world), None)
+    };
     let total_flops: f64 = results.iter().map(|(f, _)| f).sum();
     let t = results.iter().map(|(_, t)| *t).fold(0.0, f64::max);
-    (total_flops / t / 1e6 / procs as f64, t)
+    (total_flops / t / 1e6 / procs as f64, t, trace)
 }
 
 #[cfg(test)]

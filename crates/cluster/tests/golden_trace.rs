@@ -1,0 +1,196 @@
+//! Golden-trace harness: the PR's headline test.
+//!
+//! A 16-rank replicated treecode runs on the ideal (contention-free)
+//! machine with the virtual-time observability layer on. Because every
+//! quantity in the trace is keyed to the virtual clock — never wall
+//! time — two runs of the same program export **byte-identical** traces,
+//! and a committed snapshot of the structural summary pins the behaviour
+//! of the scheduler, collectives, transport, and checkpoint path: any
+//! drift in span structure, message counts, wire bytes, or virtual
+//! timings shows up as a text diff.
+//!
+//! Determinism preconditions, chosen deliberately:
+//! * ideal crossbar fabric — transfer times are stateless, so wall-clock
+//!   interleaving of ranks cannot leak into virtual arrival times;
+//! * [`RetransmitConfig::deterministic`] — the retransmit timer is
+//!   disabled, so ack servicing order (which races wall clock) cannot
+//!   change what goes on the wire;
+//! * fault injection limited to duplicates — the one fault whose repair
+//!   is invisible to delivery order and timing;
+//! * ICs from a local SplitMix64 generator using only arithmetic and
+//!   comparisons (no `rand` crate, no libm), so the committed snapshot
+//!   is stable across dependency versions and platforms.
+
+use cluster::chaos::{run_treecode_traced, ChaosConfig};
+use hot::gravity::GravityConfig;
+use hot::tree::Body;
+use msg::{FaultPlan, Machine, RetransmitConfig};
+use obs::{chrome_trace_json, gantt, structural_summary, WorldTrace};
+
+/// SplitMix64 (Steele et al.): the usual seed-expansion PRNG, written
+/// out here so the golden ICs depend on no external crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn sym(&mut self) -> f64 {
+        2.0 * self.unit() - 1.0
+    }
+}
+
+/// A cold-ish ball of bodies, by rejection sampling inside the unit
+/// sphere with small isotropic velocities. Pure arithmetic and
+/// comparisons — bit-identical on every IEEE-754 platform.
+fn golden_ics(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = SplitMix64(seed);
+    let mut ball = |scale: f64| -> [f64; 3] {
+        loop {
+            let p = [rng.sym(), rng.sym(), rng.sym()];
+            if p[0] * p[0] + p[1] * p[1] + p[2] * p[2] <= 1.0 {
+                return [scale * p[0], scale * p[1], scale * p[2]];
+            }
+        }
+    };
+    (0..n)
+        .map(|i| Body {
+            pos: ball(1.0),
+            vel: ball(0.2),
+            mass: 1.0 / n as f64,
+            id: i as u64,
+            work: 1.0,
+        })
+        .collect()
+}
+
+const RANKS: usize = 16;
+const STEPS: u64 = 4;
+
+fn golden_cfg() -> GravityConfig {
+    GravityConfig {
+        theta: 0.6,
+        eps: 0.05,
+        ..Default::default()
+    }
+}
+
+/// One golden run: 16 ranks, 4 KDK steps, checkpoints every 2 steps.
+/// Panics if the run needed a restart (golden plans are crash-free).
+fn golden_run(plan: &FaultPlan) -> (Vec<Body>, WorldTrace) {
+    let chaos = ChaosConfig {
+        checkpoint_every: 2,
+        ..Default::default()
+    };
+    let (bodies, report, trace) = run_treecode_traced(
+        &Machine::ideal(RANKS as u32),
+        RANKS,
+        plan,
+        &chaos,
+        golden_ics(192, 42),
+        &golden_cfg(),
+        STEPS,
+        0.01,
+    );
+    assert!(report.completed && report.restarts == 0, "{report:?}");
+    (bodies, trace.expect("completed traced run yields a trace"))
+}
+
+fn clean_plan() -> FaultPlan {
+    FaultPlan::none(11).with_retransmit(RetransmitConfig::deterministic())
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let (b1, t1) = golden_run(&clean_plan());
+    let (b2, t2) = golden_run(&clean_plan());
+    t1.check_invariants().unwrap();
+
+    // All three export formats, byte for byte.
+    assert_eq!(structural_summary(&t1), structural_summary(&t2));
+    assert_eq!(chrome_trace_json(&t1), chrome_trace_json(&t2));
+    assert_eq!(gantt(&t1, 120), gantt(&t2, 120));
+    // And the physics underneath them.
+    assert_eq!(b1.len(), b2.len());
+    for (x, y) in b1.iter().zip(&b2) {
+        assert_eq!(x.pos, y.pos);
+        assert_eq!(x.vel, y.vel);
+    }
+
+    // The trace actually covers the stack: integrator phases, the
+    // collectives under them, and the transport counters.
+    let summary = structural_summary(&t1);
+    for needle in [
+        "span chaos.restore",
+        "span chaos.force",
+        "span chaos.exchange",
+        "span chaos.checkpoint",
+        "span coll.allgather",
+        "span coll.barrier",
+    ] {
+        assert!(summary.contains(needle), "summary missing {needle:?}:\n{summary}");
+    }
+    assert!(t1.counter_total("msg.sends") > 0);
+    assert_eq!(t1.counter_total("fault.retransmits"), 0);
+    assert_eq!(t1.size(), RANKS);
+}
+
+#[test]
+fn duplicate_fault_replay_is_byte_identical() {
+    // Duplicates are the one injectable fault whose repair (receiver-side
+    // dedup) cannot perturb delivery order or virtual timing; with the
+    // retransmit timer disabled the injected world is as deterministic
+    // as the clean one.
+    let plan = clean_plan().with_duplicate(0.25);
+    let (b1, t1) = golden_run(&plan);
+    let (b2, t2) = golden_run(&plan);
+    t1.check_invariants().unwrap();
+    assert_eq!(structural_summary(&t1), structural_summary(&t2));
+    assert_eq!(chrome_trace_json(&t1), chrome_trace_json(&t2));
+
+    // The plan really injected, and the transport really repaired:
+    // physics is bit-identical across replays and to the fault-free
+    // world.
+    assert!(t1.counter_total("fault.duplicates") > 0, "plan never fired");
+    let (clean_bodies, _) = golden_run(&clean_plan());
+    for ((x, y), z) in b1.iter().zip(&b2).zip(&clean_bodies) {
+        assert_eq!(x.pos, y.pos, "replay diverged");
+        assert_eq!(x.pos, z.pos, "duplicates changed the physics");
+    }
+}
+
+#[test]
+fn committed_golden_snapshot_matches() {
+    let (_, trace) = golden_run(&clean_plan());
+    let got = structural_summary(&trace);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/treecode16.summary"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        eprintln!("golden snapshot rewritten: {path}");
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read golden snapshot {path}: {e}; regenerate with UPDATE_GOLDEN=1")
+    });
+    assert!(
+        got == want,
+        "trace drifted from the committed golden snapshot.\n\
+         If the change is intentional, regenerate with:\n\
+         UPDATE_GOLDEN=1 cargo test -p cluster --test golden_trace\n\
+         --- committed ---\n{want}\n--- current ---\n{got}"
+    );
+}

@@ -581,10 +581,14 @@ pub fn parallel_accelerations(
     bodies: Vec<Body>,
     cfg: &ParallelConfig,
 ) -> ParallelResult {
+    comm.span_enter("hot.decompose");
     let (shard, decomp) = decompose(comm, bodies);
     let global_n = comm.allreduce(shard.len() as u64, |a, b| a + b);
+    comm.span_exit("hot.decompose");
+    comm.span_enter("hot.tree_build");
     let tree =
         (!shard.is_empty()).then(|| Tree::build_in(shard, decomp.bbox, cfg.gravity.leaf_max));
+    comm.span_exit("hot.tree_build");
 
     let mut engine = Engine::new(comm, &decomp, tree.as_ref(), *cfg);
     // Synthesize the root ghost: never MAC-accepted (side = ∞ handled in
@@ -617,6 +621,7 @@ pub fn parallel_accelerations(
     let mut completed = 0usize;
     let mut term = Termination::new();
 
+    comm.span_enter("hot.walk");
     while completed < nlocal || !term.poll(comm) {
         // Service traffic first so replies wake parked walks.
         let (wake, received) = engine.service(comm);
@@ -670,6 +675,7 @@ pub fn parallel_accelerations(
     // Safra, but keeps the channels clean for the next phase).
     engine.flush(comm, &mut term);
     engine.charge(comm);
+    comm.span_exit("hot.walk");
 
     let mut stats = TraverseStats::default();
     let mut accel = Vec::with_capacity(nlocal);
@@ -679,6 +685,9 @@ pub fn parallel_accelerations(
         stats.m2p += w.m2p;
     }
     let requests = engine.req_children.sent + engine.req_bodies.sent;
+    comm.obs_count("walk.p2p", stats.p2p);
+    comm.obs_count("walk.m2p", stats.m2p);
+    comm.obs_count("walk.requests", requests);
     let vtime = comm.time();
     ParallelResult {
         bodies: tree.map_or(Vec::new(), |t| t.bodies),

@@ -23,6 +23,10 @@ impl Comm {
 
     /// Synchronize all ranks (dissemination barrier, ⌈log₂ P⌉ rounds).
     pub fn barrier(&mut self) {
+        self.with_span("coll.barrier", |c| c.barrier_inner())
+    }
+
+    fn barrier_inner(&mut self) {
         let tag = self.coll_tag();
         let (rank, size) = (self.rank(), self.size());
         let mut k = 1usize;
@@ -40,6 +44,10 @@ impl Comm {
     /// Broadcast `value` from `root` (binomial tree). Non-root ranks pass
     /// `None`; every rank returns the broadcast value.
     pub fn bcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        self.with_span("coll.bcast", |c| c.bcast_inner(root, value))
+    }
+
+    fn bcast_inner<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
         let tag = self.coll_tag();
         let (rank, size) = (self.rank(), self.size());
         let vrank = (rank + size - root) % size; // root-relative rank
@@ -87,6 +95,14 @@ impl Comm {
         T: Payload + Clone,
         F: Fn(&T, &T) -> T,
     {
+        self.with_span("coll.reduce", |c| c.reduce_inner(root, value, op))
+    }
+
+    fn reduce_inner<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Payload + Clone,
+        F: Fn(&T, &T) -> T,
+    {
         let tag = self.coll_tag();
         let (rank, size) = (self.rank(), self.size());
         let vrank = (rank + size - root) % size;
@@ -116,12 +132,18 @@ impl Comm {
         T: Payload + Clone,
         F: Fn(&T, &T) -> T,
     {
-        let reduced = self.reduce(0, value, op);
-        self.bcast(0, reduced)
+        self.with_span("coll.allreduce", |c| {
+            let reduced = c.reduce(0, value, op);
+            c.bcast(0, reduced)
+        })
     }
 
     /// Gather every rank's value to `root`, in rank order.
     pub fn gather<T: Payload>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        self.with_span("coll.gather", |c| c.gather_inner(root, value))
+    }
+
+    fn gather_inner<T: Payload>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
         let tag = self.coll_tag();
         let (rank, size) = (self.rank(), self.size());
         if rank != root {
@@ -140,6 +162,10 @@ impl Comm {
 
     /// Every rank gets every rank's value, in rank order (ring algorithm).
     pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+        self.with_span("coll.allgather", |c| c.allgather_inner(value))
+    }
+
+    fn allgather_inner<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
         let tag = self.coll_tag();
         let (rank, size) = (self.rank(), self.size());
         let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
@@ -159,7 +185,15 @@ impl Comm {
 
     /// Personalized all-to-all: `data[d]` goes to rank `d`; returns the
     /// vector received from each rank (`result[s]` came from rank `s`).
-    pub fn alltoallv<T>(&mut self, mut data: Vec<Vec<T>>) -> Vec<Vec<T>>
+    pub fn alltoallv<T>(&mut self, data: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+        Vec<T>: Payload,
+    {
+        self.with_span("coll.alltoallv", |c| c.alltoallv_inner(data))
+    }
+
+    fn alltoallv_inner<T>(&mut self, mut data: Vec<Vec<T>>) -> Vec<Vec<T>>
     where
         T: Send + 'static,
         Vec<T>: Payload,
@@ -185,6 +219,14 @@ impl Comm {
     /// Exclusive prefix "sum" with `op`: rank r returns
     /// `op(v₀, …, v_{r-1})`, and rank 0 returns `None`.
     pub fn exscan<T, F>(&mut self, value: T, op: F) -> Option<T>
+    where
+        T: Payload + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        self.with_span("coll.exscan", |c| c.exscan_inner(value, op))
+    }
+
+    fn exscan_inner<T, F>(&mut self, value: T, op: F) -> Option<T>
     where
         T: Payload + Clone,
         F: Fn(&T, &T) -> T,

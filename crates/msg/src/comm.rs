@@ -17,6 +17,7 @@ use crate::fault::{FaultCtx, RankCrash, WorldAborted};
 use crate::machine::Machine;
 use crate::payload::{AnyPayload, Payload};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use obs::{RankTrace, Recorder, WorldTrace};
 use std::fmt;
 use std::panic::panic_any;
 use std::sync::atomic::Ordering;
@@ -148,6 +149,8 @@ pub struct Comm {
     stats: CommStats,
     /// Reliable transport + fault injection; `None` on fault-free worlds.
     pub(crate) fault: Option<Box<FaultCtx>>,
+    /// Virtual-time recorder; `None` (the default) records nothing.
+    obs: Option<Box<Recorder>>,
 }
 
 impl Comm {
@@ -172,6 +175,7 @@ impl Comm {
             coll_seq: 0,
             stats: CommStats::default(),
             fault,
+            obs: None,
         }
     }
 
@@ -196,6 +200,91 @@ impl Comm {
         &self.machine
     }
 
+    // --- observability ---------------------------------------------------
+
+    /// Attach a fresh recorder; from here on sends, receives, modeled
+    /// compute, collectives, and explicit spans are traced in virtual
+    /// time. Idempotent installs would lose history, so this asserts
+    /// that no recorder is present.
+    pub fn install_recorder(&mut self) {
+        assert!(self.obs.is_none(), "recorder already installed");
+        self.obs = Some(Box::new(Recorder::new(self.rank, self.size)));
+    }
+
+    pub fn has_recorder(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Open a span at the current virtual time. No-op without a recorder.
+    pub fn span_enter(&mut self, name: &'static str) {
+        if let Some(r) = &mut self.obs {
+            r.enter(self.clock, name);
+        }
+    }
+
+    /// Close the innermost open span (whose name must match).
+    pub fn span_exit(&mut self, name: &'static str) {
+        if let Some(r) = &mut self.obs {
+            r.exit(self.clock, name);
+        }
+    }
+
+    /// Run `f` bracketed by a span. The exit lands on whatever virtual
+    /// time `f` advanced the clock to, so nested communication and
+    /// compute phases are attributed to this span on the timeline.
+    pub fn with_span<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.span_enter(name);
+        let out = f(self);
+        self.span_exit(name);
+        out
+    }
+
+    /// Increment a named counter on the recorder (no-op when absent).
+    pub fn obs_count(&mut self, name: &'static str, delta: u64) {
+        if let Some(r) = &mut self.obs {
+            r.metrics.add(name, delta);
+        }
+    }
+
+    /// Record a histogram observation on the recorder (no-op when absent).
+    pub fn obs_observe(&mut self, name: &'static str, value: f64) {
+        if let Some(r) = &mut self.obs {
+            r.metrics.observe(name, value);
+        }
+    }
+
+    /// Set a gauge on the recorder (no-op when absent).
+    pub fn obs_gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(r) = &mut self.obs {
+            r.metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Detach the recorder, fold in this rank's transport statistics, and
+    /// return the finished per-rank trace. Returns `None` if no recorder
+    /// was installed.
+    ///
+    /// Ack counts are deliberately *not* folded in: whether a stale
+    /// duplicate's original copy is ingested (and re-acked) before or
+    /// after this call depends on real-time channel drain order, so acks
+    /// are the one transport counter that is not virtual-time
+    /// deterministic. Everything folded here is.
+    pub fn take_trace(&mut self) -> Option<RankTrace> {
+        let mut r = self.obs.take()?;
+        let s = self.stats;
+        r.metrics.add("msg.sends", s.sends);
+        r.metrics.add("msg.recvs", s.recvs);
+        r.metrics.add("msg.bytes_sent", s.bytes_sent);
+        r.metrics.add("fault.drops", s.fault.drops);
+        r.metrics.add("fault.corruptions", s.fault.corruptions);
+        r.metrics.add("fault.duplicates", s.fault.duplicates);
+        r.metrics.add("fault.reorders", s.fault.reorders);
+        r.metrics.add("fault.retransmits", s.fault.retransmits);
+        r.metrics.set_gauge("vt.compute_s", s.compute_s);
+        r.metrics.set_gauge("vt.wait_s", s.wait_s);
+        Some(r.finish(self.clock))
+    }
+
     /// Advance the clock by a modeled computation phase: `flops` floating
     /// point operations touching `bytes` of DRAM traffic, at the machine's
     /// default CPU efficiency.
@@ -209,6 +298,9 @@ impl Comm {
         let dt = self.machine.node.time(flops, bytes, cpu_eff);
         self.clock += dt;
         self.stats.compute_s += dt;
+        if let Some(r) = &mut self.obs {
+            r.on_compute(flops, self.machine.node.occupancy(flops, bytes, cpu_eff));
+        }
         self.check_liveness();
     }
 
@@ -251,6 +343,9 @@ impl Comm {
             .transfer(self.rank as u32, dst as u32, bytes, self.clock);
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
+        if let Some(r) = &mut self.obs {
+            r.on_send(dst, bytes);
+        }
         let pkt = Packet {
             src: self.rank,
             tag,
@@ -288,6 +383,9 @@ impl Comm {
         self.stats.wait_s += wait;
         self.clock = ready + wait;
         self.stats.recvs += 1;
+        if let Some(r) = &mut self.obs {
+            r.on_wait(wait);
+        }
         let (src, tag) = (pkt.src, pkt.tag);
         let value = *pkt.data.into_any().downcast::<T>().unwrap_or_else(|_| {
             panic!(
@@ -451,6 +549,9 @@ impl Comm {
         self.clock += profile.send_overhead_s;
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
+        if let Some(r) = &mut self.obs {
+            r.on_send(dst, bytes);
+        }
         let seq = ctx.tx[dst].next_seq;
         ctx.tx[dst].next_seq += 1;
         ctx.tx[dst].unacked.push_back(crate::fault::Unacked {
@@ -488,15 +589,20 @@ impl Comm {
             self.stats.fault.drops += 1;
             return;
         }
-        if ctx.rng.unit() < ctx.drop_p {
+        // Each injection draw is gated on its probability being nonzero,
+        // so a plan that never injects a given fault consumes no RNG words
+        // for it. This keeps the per-rank draw sequence a pure function of
+        // the faults actually configured — the property the deterministic
+        // replay harness relies on.
+        if ctx.drop_p > 0.0 && ctx.rng.unit() < ctx.drop_p {
             self.stats.fault.drops += 1;
             return;
         }
-        let corrupt = ctx.rng.unit() < ctx.corrupt_p;
+        let corrupt = ctx.corrupt_p > 0.0 && ctx.rng.unit() < ctx.corrupt_p;
         if corrupt {
             self.stats.fault.corruptions += 1;
         }
-        let dup = ctx.rng.unit() < ctx.duplicate_p;
+        let dup = ctx.duplicate_p > 0.0 && ctx.rng.unit() < ctx.duplicate_p;
         let pkt = Packet {
             src: self.rank,
             tag,
@@ -509,7 +615,7 @@ impl Comm {
             self.stats.fault.duplicates += 1;
             self.push_wire(dst, pkt.clone_pkt());
         }
-        if ctx.held[dst].is_none() && ctx.rng.unit() < ctx.reorder_p {
+        if ctx.held[dst].is_none() && ctx.reorder_p > 0.0 && ctx.rng.unit() < ctx.reorder_p {
             // Park this packet; it goes out *after* the next one to this
             // destination (or when its release window expires), producing
             // a genuine channel-order inversion.
@@ -566,6 +672,9 @@ impl Comm {
             self.stats.fault.retransmits += 1;
             self.clock += self.machine.fabric.profile().send_overhead_s;
             self.stats.bytes_sent += bytes as u64;
+            if let Some(r) = &mut self.obs {
+                r.on_send(dst, bytes);
+            }
             self.transmit(ctx, dst, tag, seq, data, bytes);
         }
     }
@@ -682,7 +791,7 @@ impl Comm {
             .fabric
             .transfer(self.rank as u32, dst as u32, HEADER_BYTES, self.clock);
         self.stats.fault.acks += 1;
-        if !out.delivered() || ctx.rng.unit() < ctx.drop_p {
+        if !out.delivered() || (ctx.drop_p > 0.0 && ctx.rng.unit() < ctx.drop_p) {
             self.stats.fault.drops += 1;
             return;
         }
@@ -761,6 +870,24 @@ where
     F: Fn(&mut Comm) -> T + Sync,
 {
     run_with(Machine::ideal(nranks as u32), nranks, f)
+}
+
+/// Like [`run_with`], but every rank records a virtual-time trace; the
+/// per-rank traces come back merged into a [`WorldTrace`] alongside the
+/// program's results.
+pub fn run_observed<T, F>(machine: Machine, nranks: usize, f: F) -> (Vec<T>, WorldTrace)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let out = run_with(machine, nranks, |c| {
+        c.install_recorder();
+        let v = f(c);
+        let trace = c.take_trace().expect("recorder installed above");
+        (v, trace)
+    });
+    let (values, traces): (Vec<T>, Vec<RankTrace>) = out.into_iter().unzip();
+    (values, WorldTrace::from_ranks(traces))
 }
 
 #[cfg(test)]

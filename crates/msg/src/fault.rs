@@ -78,6 +78,34 @@ impl Default for RetransmitConfig {
     }
 }
 
+impl RetransmitConfig {
+    /// A configuration whose virtual-time evolution is a pure function of
+    /// the program and the fault plan — nothing depends on how many real
+    /// polling iterations a rank happened to spin through.
+    ///
+    /// The idle-poll and probe charges go to zero (they are multiplied by
+    /// a wall-clock-dependent iteration count) and the retransmit timer is
+    /// pushed out beyond any plausible run length so timer-based resends
+    /// (which race real delivery) never fire. **Only safe for plans where
+    /// every data packet is eventually delivered intact and promptly**:
+    /// no drops, corruption, reordering, link faults, or crashes — with
+    /// the timer effectively disabled, anything needing a retransmit (or a
+    /// held packet waiting out its release window) would stall forever.
+    /// Duplicate injection is fine: the original copy still arrives and
+    /// is acked.
+    pub fn deterministic() -> Self {
+        RetransmitConfig {
+            rto0_s: 1.0e9,
+            rto_max_s: 1.0e9,
+            backoff: 1.0,
+            max_retries: u32::MAX,
+            ack_overhead_s: 0.0,
+            poll_s: 0.0,
+            probe_s: 0.0,
+        }
+    }
+}
+
 /// A seeded schedule of injected failures for one simulated job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -145,6 +173,13 @@ impl FaultPlan {
 
     pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
         self.link_faults.push(fault);
+        self
+    }
+
+    /// Replace the reliable-transport tuning (e.g. with
+    /// [`RetransmitConfig::deterministic`] for replayable traces).
+    pub fn with_retransmit(mut self, cfg: RetransmitConfig) -> Self {
+        self.retransmit = cfg;
         self
     }
 
@@ -511,6 +546,43 @@ where
             assert_eq!(results.len(), nranks, "aborted world without a crash");
             WorldOutcome::Completed(results)
         }
+    }
+}
+
+/// Like [`run_with_faults`], but every rank records a virtual-time trace.
+///
+/// Traces are finalized when the program function returns, *before* the
+/// post-program transport drain — the drain's virtual cost depends on how
+/// many real-time polls each rank spins through, which would poison the
+/// trace's determinism. Crashed worlds return no trace: a surviving
+/// rank's timeline ends wherever it happened to observe the abort flag,
+/// which is a wall-clock race, not a virtual-time fact.
+pub fn run_with_faults_observed<T, F>(
+    machine: Machine,
+    nranks: usize,
+    plan: &FaultPlan,
+    clock0: f64,
+    f: F,
+) -> (WorldOutcome<T>, Option<obs::WorldTrace>)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let out = run_with_faults(machine, nranks, plan, clock0, |c| {
+        c.install_recorder();
+        let v = f(c);
+        let trace = c.take_trace().expect("recorder installed above");
+        (v, trace)
+    });
+    match out {
+        WorldOutcome::Completed(pairs) => {
+            let (values, traces): (Vec<T>, Vec<obs::RankTrace>) = pairs.into_iter().unzip();
+            (
+                WorldOutcome::Completed(values),
+                Some(obs::WorldTrace::from_ranks(traces)),
+            )
+        }
+        WorldOutcome::Crashed { rank, at } => (WorldOutcome::Crashed { rank, at }, None),
     }
 }
 

@@ -42,8 +42,11 @@ pub mod payload;
 pub mod sort;
 
 pub use abm::Abm;
-pub use comm::{run, run_with, Comm, CommStats, FaultStats, MailboxTimeout, Tag};
-pub use fault::{run_with_faults, CrashEvent, FaultPlan, RetransmitConfig, WorldOutcome};
+pub use comm::{run, run_observed, run_with, Comm, CommStats, FaultStats, MailboxTimeout, Tag};
+pub use fault::{
+    run_with_faults, run_with_faults_observed, CrashEvent, FaultPlan, RetransmitConfig,
+    WorldOutcome,
+};
 pub use group::Group;
 pub use machine::Machine;
 pub use payload::Payload;

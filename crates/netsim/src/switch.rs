@@ -14,7 +14,8 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a shared fabric resource that messages serialize on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// `Ord` gives reports and metric exports a stable resource order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Resource {
     /// Uplink from a module to the switch backplane. Indexed globally.
     ModuleUplink(u32),

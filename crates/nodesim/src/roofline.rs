@@ -155,6 +155,17 @@ impl NodeModel {
         flops / self.time(flops, bytes, cpu_eff)
     }
 
+    /// Roofline occupancy of a phase: achieved flop rate as a fraction of
+    /// theoretical peak. Memory-bound phases score low even at
+    /// `cpu_eff = 1`, which is exactly what the observability layer wants
+    /// to surface.
+    pub fn occupancy(&self, flops: f64, bytes: f64, cpu_eff: f64) -> f64 {
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        self.flop_rate(flops, bytes, cpu_eff) / self.peak_flops()
+    }
+
     /// Does a working set fit in L2? (Drives Figure 5's super-linear LU.)
     pub fn fits_in_l2(&self, bytes: usize) -> bool {
         bytes <= self.l2_bytes

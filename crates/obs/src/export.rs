@@ -1,0 +1,233 @@
+//! Trace exporters. All three formats are deterministic byte-for-byte for
+//! equal traces: iteration orders are sorted and floats are printed with
+//! Rust's shortest-roundtrip `{:?}` formatting.
+
+use crate::recorder::WorldTrace;
+use std::fmt::Write;
+
+/// Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+/// Virtual seconds map to trace microseconds; each rank is a thread of
+/// pid 0, so the per-rank lanes line up as rows in the viewer.
+pub fn chrome_trace_json(w: &WorldTrace) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for rank in 0..w.size() {
+        let _ = write!(
+            out,
+            "{}{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}",
+            if first { "" } else { "," }
+        );
+        first = false;
+    }
+    for (rank, s) in w.merged() {
+        let ts = s.t0 * 1e6;
+        let dur = (s.t1 - s.t0) * 1e6;
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"vt\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"seq\":{}}}}}",
+            s.name, ts, dur, rank, s.seq
+        );
+    }
+    let totals = w.totals();
+    out.push_str("],\"metadata\":{");
+    let _ = write!(out, "\"ranks\":{}", w.size());
+    for (name, v) in totals.counters() {
+        let _ = write!(out, ",\"counter {name}\":{v}");
+    }
+    for (name, v) in totals.gauges() {
+        let _ = write!(out, ",\"gauge {name}\":{v:?}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Plain-text Gantt: one lane per rank, `width` columns spanning
+/// `[0, end_time]` of virtual time, innermost span wins a cell. The
+/// legend maps lane letters to span names in order of first appearance.
+pub fn gantt(w: &WorldTrace, width: usize) -> String {
+    assert!(width > 0);
+    let t_end = w.end_time();
+    let mut legend: Vec<&'static str> = Vec::new();
+    let mut rows = vec![vec![b'.'; width]; w.size()];
+    for (rank, s) in w.merged() {
+        let idx = match legend.iter().position(|&n| n == s.name) {
+            Some(i) => i,
+            None => {
+                legend.push(s.name);
+                legend.len() - 1
+            }
+        };
+        let letter = letter_for(idx);
+        let scale = |t: f64| -> usize {
+            if t_end <= 0.0 {
+                0
+            } else {
+                (((t / t_end) * width as f64) as usize).min(width - 1)
+            }
+        };
+        let c0 = scale(s.t0);
+        let c1 = scale(s.t1).max(c0);
+        // Merged order puts parents before children, so deeper spans
+        // overwrite their parents' cells.
+        for cell in &mut rows[rank][c0..=c1] {
+            *cell = letter;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# virtual-time gantt  ranks={}  t_end={:?} s  width={}",
+        w.size(),
+        t_end,
+        width
+    );
+    for (rank, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "r{rank:02} |{}|", String::from_utf8_lossy(row));
+    }
+    for (i, name) in legend.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {name}", letter_for(i) as char);
+    }
+    out
+}
+
+fn letter_for(idx: usize) -> u8 {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    if idx < ALPHABET.len() {
+        ALPHABET[idx]
+    } else {
+        b'#'
+    }
+}
+
+/// Structural summary: the golden-trace format. Per-rank span aggregates
+/// (count and total virtual seconds per name), metric totals, and the
+/// link traffic matrix — compact enough to commit, precise enough
+/// (exact float round-trips) that any behavioral drift in the scheduler,
+/// transport, or walk shows up as a diff.
+pub fn structural_summary(w: &WorldTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "golden-trace v1");
+    let _ = writeln!(out, "ranks {}", w.size());
+    let _ = writeln!(out, "end {:?}", w.end_time());
+    let totals = w.totals();
+    let _ = writeln!(out, "totals");
+    for (name, v) in totals.counters() {
+        let _ = writeln!(out, "  counter {name} {v}");
+    }
+    for (name, v) in totals.gauges() {
+        let _ = writeln!(out, "  gauge {name} {v:?}");
+    }
+    for (name, h) in totals.histograms() {
+        let _ = write!(out, "  hist {name} count {} sum {:?} buckets", h.count(), h.sum());
+        for b in h.buckets() {
+            let _ = write!(out, " {b}");
+        }
+        out.push('\n');
+    }
+    for r in &w.ranks {
+        let _ = writeln!(
+            out,
+            "rank {} end {:?} spans {} dropped {}",
+            r.rank,
+            r.end,
+            r.spans.len(),
+            r.dropped_spans
+        );
+        // Aggregate spans by name, reported in sorted name order.
+        let mut agg: std::collections::BTreeMap<&str, (u64, f64)> = Default::default();
+        for s in &r.spans {
+            let e = agg.entry(s.name).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += s.t1 - s.t0;
+        }
+        for (name, (count, total)) in agg {
+            let _ = writeln!(out, "  span {name} count {count} total_s {total:?}");
+        }
+        let links: Vec<String> = r
+            .link_bytes
+            .iter()
+            .zip(&r.link_msgs)
+            .enumerate()
+            .filter(|(_, (&b, &m))| b > 0 || m > 0)
+            .map(|(dst, (b, m))| format!("{dst}:{b}/{m}"))
+            .collect();
+        if !links.is_empty() {
+            let _ = writeln!(out, "  links {}", links.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, WorldTrace};
+
+    fn sample_world() -> WorldTrace {
+        let mut traces = Vec::new();
+        for rank in 0..2 {
+            let mut r = Recorder::new(rank, 2);
+            r.enter(0.0, "step");
+            r.enter(0.1, "force");
+            r.exit(0.6, "force");
+            r.exit(1.0, "step");
+            r.on_send(1 - rank, 128);
+            r.metrics.add("walk.interactions", 42);
+            r.metrics.set_gauge("vt.end_s", 1.0);
+            traces.push(r.finish(1.0));
+        }
+        WorldTrace::from_ranks(traces)
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_enough() {
+        let j = chrome_trace_json(&sample_world());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"name\":\"force\""));
+        assert!(j.contains("\"counter walk.interactions\":84"));
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
+        // Balanced braces and brackets (cheap structural sanity).
+        let braces: i64 = j
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn gantt_draws_every_rank_lane() {
+        let g = gantt(&sample_world(), 40);
+        assert!(g.contains("r00 |"));
+        assert!(g.contains("r01 |"));
+        assert!(g.contains("A = step"));
+        assert!(g.contains("B = force"));
+        // The inner span overwrites the outer in the middle of the lane.
+        assert!(g.lines().nth(1).unwrap().contains('B'));
+    }
+
+    #[test]
+    fn summary_is_deterministic() {
+        let a = structural_summary(&sample_world());
+        let b = structural_summary(&sample_world());
+        assert_eq!(a, b);
+        assert!(a.contains("counter walk.interactions 84"));
+        assert!(a.contains("span force count 1"));
+        assert!(a.contains("links 1:128/1"), "{a}");
+    }
+
+    #[test]
+    fn exports_handle_empty_world() {
+        let w = WorldTrace::from_ranks(vec![Recorder::new(0, 1).finish(0.0)]);
+        let _ = chrome_trace_json(&w);
+        let _ = gantt(&w, 10);
+        let _ = structural_summary(&w);
+    }
+}

@@ -1,0 +1,38 @@
+//! Virtual-time observability for the simulated cluster.
+//!
+//! The paper's contribution is *measurement*: §3 characterizes the machine
+//! with STREAM/NPB/NetPIPE/Linpack and Fig 2 explains the fabric by its
+//! contention curves. This crate is the instrumentation layer that makes
+//! the reproduction measurable the same way — every quantity is keyed to
+//! the **virtual clock** of the `msg` world, never to wall time, so traces
+//! from a deterministic program are themselves deterministic and can be
+//! used as golden regression artifacts.
+//!
+//! Pieces:
+//!
+//! * [`Sink`] / [`NullSink`] — static-dispatch instrumentation points for
+//!   hot kernels. `NullSink` compiles to nothing; a bench guard asserts
+//!   the disabled configuration stays within budget.
+//! * [`Recorder`] — one per rank: a bounded span ring buffer, a metrics
+//!   [`Registry`] (counters / gauges / fixed-layout histograms), and O(1)
+//!   hot-path accumulators for per-link wire bytes.
+//! * [`RankTrace`] / [`WorldTrace`] — immutable snapshots extracted at the
+//!   end of a run; the world merge is sorted by `(virtual time, rank,
+//!   sequence)` and is what the exporters consume.
+//! * [`export`] — Chrome `trace_event` JSON (load in `chrome://tracing`
+//!   or Perfetto), a plain-text Gantt, and a structural summary used by
+//!   the golden-trace tests.
+//!
+//! Every container that reaches an exporter iterates in a sorted order
+//! (`BTreeMap`, explicitly sorted vectors), so equal traces export to
+//! byte-identical text.
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use export::{chrome_trace_json, gantt, structural_summary};
+pub use metrics::{Histogram, Registry, FRACTION_BOUNDS, SIZE_BOUNDS_B, TIME_BOUNDS_S};
+pub use recorder::{RankTrace, Recorder, Span, WorldTrace};
+pub use sink::{NullSink, Sink};

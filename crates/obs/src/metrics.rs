@@ -1,0 +1,239 @@
+//! Counters, gauges, and fixed-layout histograms.
+//!
+//! The registry is deliberately simple: string-keyed `BTreeMap`s, so any
+//! iteration (and therefore any export) is in sorted, deterministic
+//! order. Hot paths that cannot afford a map lookup per event accumulate
+//! in dedicated fields on the `Recorder` and fold into the registry once,
+//! at trace extraction.
+
+use std::collections::BTreeMap;
+
+/// Upper bucket bounds for virtual-time durations (seconds): one decade
+/// per bucket from 1 µs to 100 s, plus an implicit overflow bucket.
+pub const TIME_BOUNDS_S: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2];
+
+/// Upper bucket bounds for message sizes (bytes), ×4 per bucket.
+pub const SIZE_BOUNDS_B: &[f64] = &[
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+];
+
+/// Upper bucket bounds for fractions in `[0, 1]` (roofline occupancy,
+/// efficiency): deciles.
+pub const FRACTION_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Bucket layout inferred from the metric name suffix: `*_s` times,
+/// `*bytes` sizes, anything else a fraction.
+pub fn layout_for(name: &str) -> &'static [f64] {
+    if name.ends_with("_s") {
+        TIME_BOUNDS_S
+    } else if name.ends_with("bytes") {
+        SIZE_BOUNDS_B
+    } else {
+        FRACTION_BOUNDS
+    }
+}
+
+/// A histogram with a fixed upper-bound bucket layout (`value <= bound`)
+/// plus one overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket layouts"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// String-keyed metrics store with deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Increment a counter. Counters only ever grow (the delta is
+    /// unsigned), which is the monotonicity the property tests lock in.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if delta == 0 && !self.counters.contains_key(name) {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record a histogram observation; the bucket layout is picked by
+    /// [`layout_for`] on first use of the name.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.observe_with(name, layout_for(name), v);
+    }
+
+    pub fn observe_with(&mut self, name: &str, bounds: &'static [f64], v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Insert a fully-populated histogram (hot-path accumulators folding
+    /// in at trace extraction). Merges if the name already exists.
+    pub fn fold_histogram(&mut self, name: &str, h: Histogram) {
+        if h.count == 0 {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(existing) => existing.merge(&h),
+            None => {
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one: counters and histograms add,
+    /// gauges take the maximum (they are per-rank levels — e.g. the final
+    /// virtual clock — and the world-level reading is the latest).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(v))
+                .or_insert(v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(existing) => existing.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(TIME_BOUNDS_S);
+        h.observe(5e-7); // first bucket
+        h.observe(1e-6); // upper-inclusive: still first bucket
+        h.observe(2e-6); // second bucket
+        h.observe(1e9); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(*h.buckets().last().unwrap(), 1);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn layout_inference_by_suffix() {
+        assert_eq!(layout_for("coll.barrier_s"), TIME_BOUNDS_S);
+        assert_eq!(layout_for("msg.bytes"), SIZE_BOUNDS_B);
+        assert_eq!(layout_for("node.occupancy"), FRACTION_BOUNDS);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.add("x", 2);
+        b.add("x", 3);
+        b.add("y", 1);
+        a.set_gauge("g", 1.0);
+        b.set_gauge("g", 5.0);
+        a.observe("t_s", 1e-3);
+        b.observe("t_s", 1e-3);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.gauge("g"), Some(5.0));
+        assert_eq!(a.histogram("t_s").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! Per-rank recording and the extracted trace types.
+
+use crate::metrics::{Histogram, Registry, FRACTION_BOUNDS, SIZE_BOUNDS_B, TIME_BOUNDS_S};
+use std::collections::VecDeque;
+
+/// One completed span on one rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub name: &'static str,
+    /// Virtual time at enter.
+    pub t0: f64,
+    /// Virtual time at exit; always `>= t0` (virtual clocks never run
+    /// backwards).
+    pub t1: f64,
+    /// Nesting depth at enter (0 = top level).
+    pub depth: u16,
+    /// Per-rank enter order; breaks `t0` ties so parents sort before
+    /// children that opened at the same instant.
+    pub seq: u32,
+}
+
+/// Default span ring-buffer capacity per rank.
+const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
+/// One rank's live recording state: a bounded span ring buffer, an open
+/// span stack, a metrics registry, and O(1) hot-path accumulators that
+/// fold into the registry at [`Recorder::finish`].
+pub struct Recorder {
+    rank: usize,
+    capacity: usize,
+    spans: VecDeque<Span>,
+    open: Vec<(&'static str, f64, u32)>,
+    next_seq: u32,
+    dropped: u64,
+    pub metrics: Registry,
+    /// Wire bytes of data packets sent to each destination rank
+    /// (payload + header, including retransmissions).
+    link_bytes: Vec<u64>,
+    /// Data packets sent to each destination rank.
+    link_msgs: Vec<u64>,
+    msg_bytes: Histogram,
+    wait_s: Histogram,
+    occupancy: Histogram,
+    flops: f64,
+}
+
+impl Recorder {
+    pub fn new(rank: usize, world_size: usize) -> Self {
+        Recorder::with_capacity(rank, world_size, DEFAULT_SPAN_CAPACITY)
+    }
+
+    pub fn with_capacity(rank: usize, world_size: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring buffer needs capacity");
+        Recorder {
+            rank,
+            capacity,
+            spans: VecDeque::new(),
+            open: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+            metrics: Registry::new(),
+            link_bytes: vec![0; world_size],
+            link_msgs: vec![0; world_size],
+            msg_bytes: Histogram::new(SIZE_BOUNDS_B),
+            wait_s: Histogram::new(TIME_BOUNDS_S),
+            occupancy: Histogram::new(FRACTION_BOUNDS),
+            flops: 0.0,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Open a span at virtual time `t`.
+    pub fn enter(&mut self, t: f64, name: &'static str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.open.push((name, t, seq));
+    }
+
+    /// Close the innermost open span, which must be `name` (spans are
+    /// strictly nested) at virtual time `t >= enter time`.
+    pub fn exit(&mut self, t: f64, name: &'static str) {
+        let (open_name, t0, seq) = self
+            .open
+            .pop()
+            .unwrap_or_else(|| panic!("rank {}: exit {name:?} with no open span", self.rank));
+        assert_eq!(
+            open_name, name,
+            "rank {}: span exit {name:?} does not match open span {open_name:?}",
+            self.rank
+        );
+        assert!(
+            t >= t0,
+            "rank {}: span {name:?} ends at {t} before it starts at {t0}",
+            self.rank
+        );
+        self.push_span(Span {
+            name,
+            t0,
+            t1: t,
+            depth: self.open.len() as u16,
+            seq,
+        });
+    }
+
+    fn push_span(&mut self, span: Span) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Hot path: one data packet of `bytes` put on the wire toward `dst`.
+    pub fn on_send(&mut self, dst: usize, bytes: usize) {
+        self.link_bytes[dst] += bytes as u64;
+        self.link_msgs[dst] += 1;
+        self.msg_bytes.observe(bytes as f64);
+    }
+
+    /// Hot path: a receive blocked `wait` virtual seconds past readiness.
+    pub fn on_wait(&mut self, wait: f64) {
+        self.wait_s.observe(wait);
+    }
+
+    /// Hot path: a modeled compute phase of `flops` at roofline
+    /// `occupancy` (delivered fraction of peak flop rate).
+    pub fn on_compute(&mut self, flops: f64, occupancy: f64) {
+        self.flops += flops;
+        if flops > 0.0 {
+            self.occupancy.observe(occupancy);
+        }
+    }
+
+    /// Seal the recording at virtual time `t_end`: any spans still open
+    /// are closed (outermost last), hot-path accumulators fold into the
+    /// registry, and the result is the immutable per-rank trace.
+    pub fn finish(mut self, t_end: f64) -> RankTrace {
+        while let Some((name, t0, seq)) = self.open.pop() {
+            self.push_span(Span {
+                name,
+                t0,
+                t1: t_end.max(t0),
+                depth: self.open.len() as u16,
+                seq,
+            });
+        }
+        let mut spans: Vec<Span> = self.spans.into();
+        spans.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.seq.cmp(&b.seq)));
+        let mut metrics = self.metrics;
+        metrics.fold_histogram("msg.bytes", self.msg_bytes);
+        metrics.fold_histogram("msg.wait_s", self.wait_s);
+        metrics.fold_histogram("node.occupancy", self.occupancy);
+        if self.flops > 0.0 {
+            metrics.add("node.flops", self.flops as u64);
+        }
+        RankTrace {
+            rank: self.rank,
+            spans,
+            metrics,
+            link_bytes: self.link_bytes,
+            link_msgs: self.link_msgs,
+            dropped_spans: self.dropped,
+            end: t_end,
+        }
+    }
+}
+
+/// One rank's sealed trace: spans sorted by `(t0, seq)`, folded metrics,
+/// and the per-destination link traffic matrix row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTrace {
+    pub rank: usize,
+    pub spans: Vec<Span>,
+    pub metrics: Registry,
+    pub link_bytes: Vec<u64>,
+    pub link_msgs: Vec<u64>,
+    /// Spans evicted from the ring buffer (0 means the trace is complete).
+    pub dropped_spans: u64,
+    /// Virtual clock at extraction.
+    pub end: f64,
+}
+
+/// All ranks' traces, merged on demand into one world timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldTrace {
+    pub ranks: Vec<RankTrace>,
+}
+
+impl WorldTrace {
+    /// Assemble from per-rank traces (any order); panics if a rank is
+    /// missing or duplicated.
+    pub fn from_ranks(mut ranks: Vec<RankTrace>) -> Self {
+        ranks.sort_by_key(|r| r.rank);
+        for (i, r) in ranks.iter().enumerate() {
+            assert_eq!(r.rank, i, "world trace needs each rank exactly once");
+        }
+        WorldTrace { ranks }
+    }
+
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Latest virtual time across all ranks.
+    pub fn end_time(&self) -> f64 {
+        self.ranks.iter().fold(0.0, |acc, r| acc.max(r.end))
+    }
+
+    /// World timeline: every span of every rank, sorted by
+    /// `(t0, rank, seq)` with `total_cmp` so the order is total.
+    pub fn merged(&self) -> Vec<(usize, &Span)> {
+        let mut all: Vec<(usize, &Span)> = self
+            .ranks
+            .iter()
+            .flat_map(|r| r.spans.iter().map(move |s| (r.rank, s)))
+            .collect();
+        all.sort_by(|(ra, sa), (rb, sb)| {
+            sa.t0
+                .total_cmp(&sb.t0)
+                .then(ra.cmp(rb))
+                .then(sa.seq.cmp(&sb.seq))
+        });
+        all
+    }
+
+    /// World totals: counters and histograms summed, gauges maxed.
+    pub fn totals(&self) -> Registry {
+        let mut reg = Registry::new();
+        for r in &self.ranks {
+            reg.merge(&r.metrics);
+        }
+        reg
+    }
+
+    /// Sum of a counter across ranks.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.ranks.iter().map(|r| r.metrics.counter(name)).sum()
+    }
+
+    /// Structural invariants every trace must satisfy, however it was
+    /// produced: per-rank spans sorted and well-nested (children close
+    /// before parents, within their interval), span end ≥ start, and
+    /// histogram bucket totals equal to their observation counts.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for r in &self.ranks {
+            let mut stack: Vec<&Span> = Vec::new();
+            let mut prev: Option<&Span> = None;
+            for s in &r.spans {
+                if s.t1 < s.t0 {
+                    return Err(format!(
+                        "rank {}: span {:?} ends at {} before start {}",
+                        r.rank, s.name, s.t1, s.t0
+                    ));
+                }
+                if let Some(p) = prev {
+                    if (s.t0, s.seq) < (p.t0, p.seq) {
+                        return Err(format!("rank {}: spans not sorted at {:?}", r.rank, s.name));
+                    }
+                }
+                prev = Some(s);
+                // Pop ancestors that ended before this span starts. A
+                // tie (`p.t1 == s.t0`) is ambiguous from times alone —
+                // virtual time often stands still across enter/exit — so
+                // the recorded depth disambiguates: anything at our depth
+                // or deeper cannot be our ancestor.
+                while stack
+                    .last()
+                    .is_some_and(|p| p.t1 < s.t0 || (p.t1 == s.t0 && p.depth >= s.depth))
+                {
+                    stack.pop();
+                }
+                if let Some(p) = stack.last() {
+                    if s.t1 > p.t1 {
+                        return Err(format!(
+                            "rank {}: span {:?} [{}, {}] escapes parent {:?} [{}, {}]",
+                            r.rank, s.name, s.t0, s.t1, p.name, p.t0, p.t1
+                        ));
+                    }
+                }
+                if s.depth as usize != stack.len() {
+                    return Err(format!(
+                        "rank {}: span {:?} depth {} but {} open ancestors",
+                        r.rank,
+                        s.name,
+                        s.depth,
+                        stack.len()
+                    ));
+                }
+                stack.push(s);
+            }
+            for (name, h) in r.metrics.histograms() {
+                if h.buckets().iter().sum::<u64>() != h.count() {
+                    return Err(format!(
+                        "rank {}: histogram {name:?} bucket total != count",
+                        r.rank
+                    ));
+                }
+            }
+        }
+        // Merged timeline must come out sorted (total order).
+        let merged = self.merged();
+        for w in merged.windows(2) {
+            let (ra, sa) = w[0];
+            let (rb, sb) = w[1];
+            if (sa.t0, ra, sa.seq) > (sb.t0, rb, sb.seq) {
+                return Err("merged timeline not sorted".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_sort() {
+        let mut r = Recorder::new(0, 2);
+        r.enter(0.0, "outer");
+        r.enter(1.0, "inner");
+        r.exit(2.0, "inner");
+        r.exit(3.0, "outer");
+        let tr = r.finish(3.0);
+        assert_eq!(tr.spans.len(), 2);
+        assert_eq!(tr.spans[0].name, "outer");
+        assert_eq!(tr.spans[0].depth, 0);
+        assert_eq!(tr.spans[1].name, "inner");
+        assert_eq!(tr.spans[1].depth, 1);
+        let w = WorldTrace::from_ranks(vec![tr, Recorder::new(1, 2).finish(0.0)]);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_exit_panics() {
+        let mut r = Recorder::new(0, 1);
+        r.enter(0.0, "a");
+        r.exit(1.0, "b");
+    }
+
+    #[test]
+    fn open_spans_close_at_finish() {
+        let mut r = Recorder::new(0, 1);
+        r.enter(1.0, "left-open");
+        let tr = r.finish(5.0);
+        assert_eq!(tr.spans[0].t1, 5.0);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut r = Recorder::with_capacity(0, 1, 2);
+        for i in 0..4 {
+            r.enter(i as f64, "s");
+            r.exit(i as f64 + 0.5, "s");
+        }
+        let tr = r.finish(4.0);
+        assert_eq!(tr.spans.len(), 2);
+        assert_eq!(tr.dropped_spans, 2);
+        assert_eq!(tr.spans[0].t0, 2.0);
+    }
+
+    #[test]
+    fn hot_path_folds_into_registry() {
+        let mut r = Recorder::new(0, 3);
+        r.on_send(1, 100);
+        r.on_send(1, 200);
+        r.on_send(2, 50);
+        r.on_wait(1e-4);
+        r.on_compute(1e6, 0.5);
+        let tr = r.finish(1.0);
+        assert_eq!(tr.link_bytes, vec![0, 300, 50]);
+        assert_eq!(tr.link_msgs, vec![0, 2, 1]);
+        assert_eq!(tr.metrics.histogram("msg.bytes").unwrap().count(), 3);
+        assert_eq!(tr.metrics.histogram("msg.wait_s").unwrap().count(), 1);
+        assert_eq!(tr.metrics.counter("node.flops"), 1_000_000);
+    }
+
+    #[test]
+    fn merged_timeline_total_order() {
+        let mk = |rank: usize| {
+            let mut r = Recorder::new(rank, 2);
+            r.enter(0.5, "x");
+            r.exit(1.0, "x");
+            r.finish(1.0)
+        };
+        let w = WorldTrace::from_ranks(vec![mk(1), mk(0)]);
+        let merged = w.merged();
+        assert_eq!(merged[0].0, 0);
+        assert_eq!(merged[1].0, 1);
+        w.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,55 @@
+//! Static-dispatch instrumentation points.
+//!
+//! Hot kernels that want optional instrumentation take a generic
+//! `&mut impl Sink` instead of a concrete recorder. With [`NullSink`]
+//! every call is an empty inline function, so the instrumented build is
+//! the uninstrumented build — the overhead guard in `bench` holds the
+//! compiler to that.
+
+use crate::recorder::Recorder;
+
+/// Receives instrumentation events. Times are virtual seconds.
+pub trait Sink {
+    /// `false` for [`NullSink`]: lets callers skip argument preparation
+    /// that is itself costly (`if S::ENABLED { ... }`).
+    const ENABLED: bool;
+
+    fn span_enter(&mut self, t: f64, name: &'static str);
+    fn span_exit(&mut self, t: f64, name: &'static str);
+    fn count(&mut self, name: &'static str, delta: u64);
+    fn observe(&mut self, name: &'static str, value: f64);
+}
+
+/// The disabled sink: every method is an inlined no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span_enter(&mut self, _t: f64, _name: &'static str) {}
+    #[inline(always)]
+    fn span_exit(&mut self, _t: f64, _name: &'static str) {}
+    #[inline(always)]
+    fn count(&mut self, _name: &'static str, _delta: u64) {}
+    #[inline(always)]
+    fn observe(&mut self, _name: &'static str, _value: f64) {}
+}
+
+impl Sink for Recorder {
+    const ENABLED: bool = true;
+
+    fn span_enter(&mut self, t: f64, name: &'static str) {
+        self.enter(t, name);
+    }
+    fn span_exit(&mut self, t: f64, name: &'static str) {
+        self.exit(t, name);
+    }
+    fn count(&mut self, name: &'static str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the observability invariants: whatever a rank's
+//! instrumentation does, the extracted traces must be well-formed —
+//! spans well-nested with `end >= start`, counters monotone, histogram
+//! buckets accounting for every observation, the merged world timeline
+//! totally ordered, and the exporters byte-deterministic.
+
+use obs::{structural_summary, Recorder, Registry, WorldTrace};
+use proptest::prelude::*;
+
+/// Fixed span-name pool (`&'static str`, as the hot paths require).
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Replay a random op program on every rank of a small world. Ops are
+/// `(kind, dt)` pairs; the virtual clock only moves forward, mirroring
+/// the `msg` layer's monotone per-rank clocks. Each rank skews which
+/// names and destinations it picks so the ranks are not clones.
+fn build_world(ops: &[(u8, f64)], ranks: usize) -> WorldTrace {
+    let mut traces = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let mut r = Recorder::new(rank, ranks);
+        let mut clock = 0.0f64;
+        let mut open: Vec<&'static str> = Vec::new();
+        for (i, &(kind, dt)) in ops.iter().enumerate() {
+            clock += dt;
+            match kind {
+                0 => {
+                    let name = NAMES[(i + rank) % NAMES.len()];
+                    r.enter(clock, name);
+                    open.push(name);
+                }
+                1 => {
+                    if let Some(name) = open.pop() {
+                        r.exit(clock, name);
+                    }
+                }
+                2 => {
+                    let bytes = 1 + ((dt * 1e6) as usize % 100_000);
+                    r.on_send((i + rank) % ranks, bytes);
+                    r.metrics.add("evt.ops", 1);
+                }
+                _ => {
+                    r.on_wait(dt);
+                    r.on_compute(1.0e6 * (1.0 + dt), (dt * 1.9).min(1.0));
+                }
+            }
+        }
+        // Leave any remaining spans open: `finish` must close them at
+        // `t_end` without breaking nesting.
+        traces.push(r.finish(clock));
+    }
+    WorldTrace::from_ranks(traces)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any op program yields a trace satisfying every structural
+    /// invariant: sorted well-nested spans, `t1 >= t0`, histogram
+    /// bucket totals equal to counts, sorted merged timeline.
+    #[test]
+    fn random_programs_satisfy_invariants(
+        ops in proptest::collection::vec((0u8..4u8, 0.0f64..0.5f64), 0..120),
+        ranks in 1usize..5usize,
+    ) {
+        let w = build_world(&ops, ranks);
+        if let Err(e) = w.check_invariants() {
+            panic!("invariant violated: {e}");
+        }
+        for r in &w.ranks {
+            for s in &r.spans {
+                prop_assert!(s.t1 >= s.t0, "span {} ends before start", s.name);
+                prop_assert!(s.t1 <= r.end + 1e-12, "span outlives the rank");
+            }
+        }
+    }
+
+    /// Counters only ever grow, and by exactly the delta added.
+    #[test]
+    fn counters_are_monotone(deltas in proptest::collection::vec(0u64..1000u64, 0..64)) {
+        let mut reg = Registry::new();
+        let mut prev = 0u64;
+        for d in deltas {
+            reg.add("x", d);
+            let cur = reg.counter("x");
+            prop_assert!(cur >= prev);
+            prop_assert_eq!(cur, prev + d);
+            prev = cur;
+        }
+    }
+
+    /// Every observation lands in exactly one bucket, whatever the
+    /// layout the name selects (sizes, times, fractions).
+    #[test]
+    fn histogram_buckets_account_every_observation(
+        vals in proptest::collection::vec(0.0f64..1.0e7f64, 1..200),
+    ) {
+        let mut reg = Registry::new();
+        for v in &vals {
+            reg.observe("some.bytes", *v);
+            reg.observe("some_s", *v);
+            reg.observe("some.fraction", *v);
+        }
+        let mut seen = 0;
+        for (_, h) in reg.histograms() {
+            prop_assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+            prop_assert_eq!(h.count(), vals.len() as u64);
+            seen += 1;
+        }
+        prop_assert_eq!(seen, 3);
+    }
+
+    /// World totals: counters add across ranks, gauges take the max.
+    #[test]
+    fn world_totals_merge_correctly(
+        per_rank in proptest::collection::vec((0u64..500u64, 0.0f64..10.0f64), 1..6),
+    ) {
+        let n = per_rank.len();
+        let mut traces = Vec::new();
+        for (rank, &(c, g)) in per_rank.iter().enumerate() {
+            let mut r = Recorder::new(rank, n);
+            r.metrics.add("c", c);
+            r.metrics.set_gauge("g", g);
+            traces.push(r.finish(1.0));
+        }
+        let w = WorldTrace::from_ranks(traces);
+        let totals = w.totals();
+        let sum: u64 = per_rank.iter().map(|&(c, _)| c).sum();
+        let max = per_rank.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+        prop_assert_eq!(totals.counter("c"), sum);
+        prop_assert_eq!(w.counter_total("c"), sum);
+        prop_assert_eq!(totals.gauge("g"), Some(max));
+    }
+
+    /// Equal traces export to byte-identical text — the property the
+    /// golden harness rests on.
+    #[test]
+    fn exports_are_byte_deterministic(
+        ops in proptest::collection::vec((0u8..4u8, 0.0f64..0.5f64), 0..100),
+        ranks in 1usize..4usize,
+    ) {
+        let a = build_world(&ops, ranks);
+        let b = build_world(&ops, ranks);
+        prop_assert_eq!(structural_summary(&a), structural_summary(&b));
+        prop_assert_eq!(obs::chrome_trace_json(&a), obs::chrome_trace_json(&b));
+        prop_assert_eq!(obs::gantt(&a, 64), obs::gantt(&b, 64));
+    }
+}

@@ -60,6 +60,7 @@ pub fn distributed_hydro(
 ) -> Vec<SphParticle> {
     // 1. Rebalance by Morton key (reusing the hot machinery via plain
     //    spatial sort on interleaved bits of the global box).
+    comm.span_enter("sph.rebalance");
     let all_bounds = {
         let local = if parts.is_empty() {
             vec![
@@ -91,10 +92,12 @@ pub fn distributed_hydro(
     );
     let mut mine =
         msg::sort::sample_sort_weighted(comm, parts, |p| bbox.key_of(p.pos).0, |_| 1.0, 64);
+    comm.span_exit("sph.rebalance");
 
     // 2. Ghost exchange helper: ship my particles lying inside other
     //    ranks' padded boxes.
     let exchange_ghosts = |comm: &mut Comm, mine: &[SphParticle], pad: f64| -> Vec<SphParticle> {
+        comm.span_enter("sph.ghosts");
         let my_box = if mine.is_empty() {
             vec![0.0; 6]
         } else {
@@ -113,7 +116,9 @@ pub fn distributed_hydro(
                 }
             }
         }
-        comm.alltoallv(outgoing).into_iter().flatten().collect()
+        let ghosts: Vec<SphParticle> = comm.alltoallv(outgoing).into_iter().flatten().collect();
+        comm.span_exit("sph.ghosts");
+        ghosts
     };
 
     let n_own = mine.len();
@@ -122,6 +127,7 @@ pub fn distributed_hydro(
     //    ghosts completing the boundary neighbourhoods. If the adaptive
     //    h outgrows the pad, widen and redo.
     let mut pad = kernel::SUPPORT * h_max_hint * 1.3;
+    comm.span_enter("sph.density");
     for attempt in 0..4 {
         let ghosts = exchange_ghosts(comm, &mine, pad);
         let mut work: Vec<SphParticle> = Vec::with_capacity(n_own + ghosts.len());
@@ -144,19 +150,23 @@ pub fn distributed_hydro(
         }
         pad = needed * 1.3;
     }
+    comm.span_exit("sph.density");
 
     // 4. Phase 2 — forces, with ghosts now carrying their owners'
     //    converged rho / pres / cs / h.
+    comm.span_enter("sph.forces");
     let ghosts = exchange_ghosts(comm, &mine, pad);
     let mut work: Vec<SphParticle> = Vec::with_capacity(n_own + ghosts.len());
     work.extend(mine.iter().copied());
     work.extend(ghosts);
     if work.is_empty() {
+        comm.span_exit("sph.forces");
         return Vec::new();
     }
     let nt = NeighborTree::build(&work);
     hydro_forces(&mut work, &nt, visc);
     work.truncate(n_own);
+    comm.span_exit("sph.forces");
     work
 }
 
