@@ -264,13 +264,7 @@ fn main() {
         );
         for lam in [0.0, 0.3, 1.0, 2.0] {
             let accel = lam * msg::fault::MONTH_S / (node_rate * clean.final_vtime);
-            let plan = FaultPlan::paper_calibrated(
-                &model,
-                8,
-                clean.final_vtime,
-                accel,
-                424242,
-            );
+            let plan = FaultPlan::paper_calibrated(&model, 8, clean.final_vtime, accel, 424242);
             let (_, r) = run_treecode(&machine, 8, &plan, &chaos, ics.clone(), &gcfg, 8, 0.01);
             println!(
                 "    E[failures/rank] {lam:.1}: drop_p {:.3}  {}  restarts {}  availability {:.3}  lost {:.4} vs  restart-overhead {:.4} vs  retransmits {}  drops {}",

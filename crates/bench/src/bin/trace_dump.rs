@@ -1,28 +1,55 @@
 //! Dump the virtual-time trace of a small distributed treecode run.
 //!
 //! Runs the chaos harness on an ideal (contention-free) 16-port machine
-//! with tracing on, then prints the merged world timeline in the three
-//! export formats the `obs` crate provides:
+//! with tracing on, then prints the merged world timeline in whichever
+//! export formats are requested:
 //!
 //! ```bash
-//! cargo run --release -p bench --bin trace_dump             # summary + gantt
-//! cargo run --release -p bench --bin trace_dump -- chrome   # trace_event JSON
-//! cargo run --release -p bench --bin trace_dump -- gantt
-//! cargo run --release -p bench --bin trace_dump -- summary
+//! cargo run --release -p bench --bin trace_dump                # summary + gantt + analysis
+//! cargo run --release -p bench --bin trace_dump -- --chrome    # trace_event JSON
+//! cargo run --release -p bench --bin trace_dump -- --gantt
+//! cargo run --release -p bench --bin trace_dump -- --summary
+//! cargo run --release -p bench --bin trace_dump -- --analysis  # critical path + efficiency
 //! ```
 //!
-//! The `chrome` output loads in `chrome://tracing` / Perfetto: one row
-//! per rank, span nesting preserved, timestamps in virtual microseconds.
-//! Because the run uses `Machine::ideal` and a deterministic retransmit
-//! plan, the bytes printed are identical on every invocation — the same
-//! property the golden-trace tests in `crates/cluster/tests` pin down.
+//! Flags combine: `--summary --analysis` prints both, in flag order.
+//! The `--chrome` output loads in `chrome://tracing` / Perfetto: one
+//! row per rank, span nesting preserved, timestamps in virtual
+//! microseconds. Because the run uses `Machine::ideal` and a
+//! deterministic retransmit plan, the bytes printed are identical on
+//! every invocation — the same property the golden-trace tests in
+//! `crates/cluster/tests` pin down.
+//!
+//! The trace is validated with `check_invariants` before printing; a
+//! malformed trace exits nonzero, so CI can use any `trace_dump`
+//! invocation as a structural smoke test.
 
 use cluster::chaos::{run_treecode_traced, ChaosConfig};
 use hot::GravityConfig;
 use msg::{FaultPlan, Machine, RetransmitConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+const USAGE: &str = "usage: trace_dump [--summary] [--gantt] [--chrome] [--analysis]";
+
+fn main() -> ExitCode {
+    let mut modes: Vec<String> = std::env::args().skip(1).collect();
+    for m in &modes {
+        if !matches!(
+            m.as_str(),
+            "--summary" | "--gantt" | "--chrome" | "--analysis"
+        ) {
+            eprintln!("unknown flag {m:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    if modes.is_empty() {
+        modes = vec![
+            "--summary".to_string(),
+            "--gantt".to_string(),
+            "--analysis".to_string(),
+        ];
+    }
+
     let ranks = 16;
     let machine = Machine::ideal(ranks as u32);
     let plan = FaultPlan::none(11).with_retransmit(RetransmitConfig::deterministic());
@@ -41,20 +68,19 @@ fn main() {
     assert!(report.completed, "trace_dump run did not complete");
     let trace = trace.expect("completed traced run always yields a trace");
 
-    match mode.as_str() {
-        "chrome" => println!("{}", obs::export::chrome_trace_json(&trace)),
-        "gantt" => println!("{}", obs::export::gantt(&trace, 100)),
-        "summary" => println!("{}", obs::export::structural_summary(&trace)),
-        _ => {
-            println!("{}", obs::export::structural_summary(&trace));
-            println!("{}", obs::export::gantt(&trace, 100));
-            println!(
-                "(re-run with `-- chrome` for chrome://tracing JSON; \
-                 {} spans, {} ranks, virtual end {:.3} ms)",
-                trace.size(),
-                ranks,
-                trace.end_time() * 1e3
-            );
+    if let Err(e) = trace.check_invariants() {
+        eprintln!("trace invariant violated: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for mode in &modes {
+        match mode.as_str() {
+            "--chrome" => println!("{}", obs::export::chrome_trace_json(&trace)),
+            "--gantt" => println!("{}", obs::export::gantt(&trace, 100)),
+            "--summary" => println!("{}", obs::export::structural_summary(&trace)),
+            "--analysis" => println!("{}", obs::analysis_report(&trace)),
+            _ => unreachable!("flags validated above"),
         }
     }
+    ExitCode::SUCCESS
 }

@@ -96,3 +96,5 @@ mod tests {
         assert!(s.contains("1\t2"));
     }
 }
+
+pub mod report;

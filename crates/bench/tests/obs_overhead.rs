@@ -66,5 +66,8 @@ fn enabled_sink_records_without_changing_results() {
     assert_eq!(observed.acc, plain.acc);
     assert_eq!(observed.pot, plain.pot);
     let tr = rec.finish(0.0);
-    assert_eq!(tr.metrics.counter("kernel.interactions"), bench.interactions());
+    assert_eq!(
+        tr.metrics.counter("kernel.interactions"),
+        bench.interactions()
+    );
 }

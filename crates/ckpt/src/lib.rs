@@ -44,7 +44,10 @@ impl fmt::Display for CkptError {
             CkptError::Truncated => write!(f, "checkpoint truncated"),
             CkptError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
             CkptError::BadCrc { stored, computed } => {
-                write!(f, "checkpoint crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checkpoint crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             CkptError::BadEncoding(what) => write!(f, "invalid encoding for {what}"),
             CkptError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
@@ -63,7 +66,11 @@ const CRC_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;

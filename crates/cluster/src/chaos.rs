@@ -120,8 +120,7 @@ fn encode_state(step: u64, time: f64, bodies: &[Body], accel: &[Accel]) -> Vec<u
 }
 
 fn decode_state(bytes: &[u8]) -> Result<State, CkptError> {
-    let ((step, time), (bodies, accel)): ((u64, f64), (Vec<Body>, Vec<Accel>)) =
-        ckpt::load(bytes)?;
+    let ((step, time), (bodies, accel)): ((u64, f64), (Vec<Body>, Vec<Accel>)) = ckpt::load(bytes)?;
     if bodies.len() != accel.len() {
         return Err(CkptError::BadEncoding("accel/bodies length mismatch"));
     }
@@ -141,6 +140,7 @@ fn stripe(n: usize, size: usize, r: usize) -> std::ops::Range<usize> {
 /// Run an `nranks`-way treecode for `steps` KDK steps of `dt` under the
 /// given fault plan, checkpointing and restarting as needed. Returns the
 /// final bodies and the recovery ledger.
+#[allow(clippy::too_many_arguments)]
 pub fn run_treecode(
     machine: &Machine,
     nranks: usize,
@@ -240,6 +240,12 @@ fn run_treecode_impl(
                 let (full, stats) = group_accelerations(&tree, cfg);
                 bodies = tree.bodies;
                 let share = 1.0 / size as f64;
+                // Replicated evaluation covers all stripes; each rank's
+                // simulated share of the interactions is 1/size.
+                comm.obs_count(
+                    "walk.interactions",
+                    ((stats.p2p + stats.m2p) as f64 * share) as u64,
+                );
                 comm.compute_eff(
                     stats.flops(cfg.quadrupole) * share,
                     (n * std::mem::size_of::<Body>()) as f64 * share,
@@ -450,9 +456,7 @@ mod tests {
         plan = plan.with_drop(drop_p);
         plan = plan.with_crash(5, 0.6 * clean.final_vtime);
 
-        let (bodies, report) = run_treecode(
-            &machine, 16, &plan, &chaos, ics, &cfg, steps, 0.01,
-        );
+        let (bodies, report) = run_treecode(&machine, 16, &plan, &chaos, ics, &cfg, steps, 0.01);
         assert!(report.completed, "chaos run failed: {report:?}");
         assert!(report.restarts >= 1, "crash never fired: {report:?}");
         assert!(report.retransmits > 0 && report.drops > 0, "{report:?}");
@@ -527,8 +531,7 @@ mod tests {
                 ..Default::default()
             };
             let plan = FaultPlan::none(17).with_crash(2, crash_at);
-            let (_, report) =
-                run_treecode(&machine, 4, &plan, &chaos, ics.clone(), &cfg, 8, 0.01);
+            let (_, report) = run_treecode(&machine, 4, &plan, &chaos, ics.clone(), &cfg, 8, 0.01);
             assert!(report.completed, "every={every}: {report:?}");
             assert_eq!(report.restarts, 1);
             lost.push(report.lost_vtime);

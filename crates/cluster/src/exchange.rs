@@ -1,0 +1,104 @@
+//! Synthetic traced exchange patterns that stress specific fabric
+//! resources.
+//!
+//! The paper's §3.1 observation is that the Space Simulator's fabric is
+//! fine until traffic crosses the 8 Gbit inter-switch trunk, at which
+//! point the trunk — not the NICs — sets the pace above ~256 processors.
+//! [`bisection_exchange_traced`] reproduces that mechanism on demand:
+//! every rank in the lower half pairs with one in the upper half, so on
+//! the two-switch Space Simulator fabric every pair whose endpoints sit
+//! on different chassis funnels through the single trunk, while on an
+//! ideal crossbar the same program never queues. The critical-path
+//! analysis of the resulting trace is what the trunk-dominance
+//! acceptance test (and the `bisection288` bench scenarios) assert on.
+
+use msg::{Comm, Machine};
+use obs::WorldTrace;
+
+/// Tag base for the exchange rounds.
+const XCHG_TAG: msg::Tag = 7100;
+
+/// Modeled flops of local work between exchange rounds (kept small so
+/// wire time, not compute, dominates the path on a contended fabric).
+const ROUND_FLOPS: f64 = 5.0e6;
+
+/// One rank's program: `rounds` iterations of (compute, swap `bytes`
+/// with the bisection partner). Ranks beyond the last full pair (odd
+/// world sizes) only compute.
+pub fn bisection_round(comm: &mut Comm, bytes: usize, rounds: u32) {
+    let half = comm.size() / 2;
+    let rank = comm.rank();
+    let partner = if rank < half {
+        Some(rank + half)
+    } else if rank < 2 * half {
+        Some(rank - half)
+    } else {
+        None
+    };
+    for round in 0..rounds {
+        comm.with_span("xchg.compute", |c| {
+            c.compute(ROUND_FLOPS, bytes as f64);
+        });
+        if let Some(p) = partner {
+            comm.with_span("xchg.exchange", |c| {
+                c.send(p, XCHG_TAG + round as msg::Tag, vec![0u8; bytes]);
+                let _: (usize, Vec<u8>) = c.recv(Some(p), XCHG_TAG + round as msg::Tag);
+            });
+        }
+    }
+}
+
+/// Run the bisection exchange on `machine` with tracing and return the
+/// merged world trace. `ranks` may be any size ≤ the machine's port
+/// count; `bytes` is the per-message payload size.
+pub fn bisection_exchange_traced(
+    machine: &Machine,
+    ranks: usize,
+    bytes: usize,
+    rounds: u32,
+) -> WorldTrace {
+    let (_, trace) = msg::run_observed(machine.clone(), ranks, move |comm| {
+        bisection_round(comm, bytes, rounds);
+    });
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::analysis::critical_path;
+    use obs::structural_summary;
+
+    #[test]
+    fn small_exchange_is_deterministic_and_joined() {
+        let m = Machine::ideal(4);
+        let t1 = bisection_exchange_traced(&m, 4, 4096, 2);
+        let t2 = bisection_exchange_traced(&m, 4, 4096, 2);
+        t1.check_invariants().unwrap();
+        assert_eq!(structural_summary(&t1), structural_summary(&t2));
+        // Every recv joins to a send record on the claimed source.
+        for r in &t1.ranks {
+            assert!(!r.recvs.is_empty(), "rank {} exchanged nothing", r.rank);
+            for rec in &r.recvs {
+                assert!(
+                    t1.ranks[rec.src as usize].send_by_seq(rec.seq).is_some(),
+                    "unjoined edge ({}, {})",
+                    rec.src,
+                    rec.seq
+                );
+            }
+        }
+        // The path partitions the full horizon.
+        let cp = critical_path(&t1);
+        assert!((cp.total() - t1.end_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_world_leaves_last_rank_unpaired() {
+        let m = Machine::ideal(5);
+        let t = bisection_exchange_traced(&m, 5, 1024, 1);
+        t.check_invariants().unwrap();
+        assert!(t.ranks[4].sends.is_empty());
+        assert!(!t.ranks[0].sends.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic, dependency-free initial conditions for golden and
+//! bench scenarios.
+//!
+//! Everything here uses only integer arithmetic, IEEE-754 multiplies and
+//! comparisons — no `rand`, no libm — so committed artifacts built from
+//! these ICs (the golden trace snapshot, the bench baseline) are stable
+//! across dependency versions and platforms.
+
+use hot::tree::Body;
+
+/// SplitMix64 (Steele et al.): the usual seed-expansion PRNG, written
+/// out here so deterministic ICs depend on no external crate.
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn sym(&mut self) -> f64 {
+        2.0 * self.unit() - 1.0
+    }
+}
+
+/// A cold-ish ball of bodies, by rejection sampling inside the unit
+/// sphere with small isotropic velocities. Pure arithmetic and
+/// comparisons — bit-identical on every IEEE-754 platform.
+pub fn golden_ics(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = SplitMix64(seed);
+    let mut ball = |scale: f64| -> [f64; 3] {
+        loop {
+            let p = [rng.sym(), rng.sym(), rng.sym()];
+            if p[0] * p[0] + p[1] * p[1] + p[2] * p[2] <= 1.0 {
+                return [scale * p[0], scale * p[1], scale * p[2]];
+            }
+        }
+    };
+    (0..n)
+        .map(|i| Body {
+            pos: ball(1.0),
+            vel: ball(0.2),
+            mass: 1.0 / n as f64,
+            id: i as u64,
+            work: 1.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ics_are_reproducible() {
+        let a = golden_ics(64, 42);
+        let b = golden_ics(64, 42);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pos, y.pos);
+            assert_eq!(x.vel, y.vel);
+        }
+        let c = golden_ics(64, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.pos != y.pos));
+    }
+}

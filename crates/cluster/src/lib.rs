@@ -26,6 +26,8 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod chaos;
+pub mod exchange;
+pub mod ics;
 pub mod io;
 pub mod linpack_run;
 pub mod machines;
@@ -35,4 +37,6 @@ pub mod top500;
 pub mod treecode_run;
 
 pub use chaos::{run_treecode, run_treecode_traced, ChaosConfig, ChaosReport};
+pub use exchange::bisection_exchange_traced;
+pub use ics::golden_ics;
 pub use machines::MachineSpec;

@@ -17,63 +17,18 @@
 //!   change what goes on the wire;
 //! * fault injection limited to duplicates — the one fault whose repair
 //!   is invisible to delivery order and timing;
-//! * ICs from a local SplitMix64 generator using only arithmetic and
-//!   comparisons (no `rand` crate, no libm), so the committed snapshot
-//!   is stable across dependency versions and platforms.
+//! * ICs from [`cluster::ics::golden_ics`] — SplitMix64 expansion using
+//!   only arithmetic and comparisons (no `rand` crate, no libm), so the
+//!   committed snapshot is stable across dependency versions and
+//!   platforms. The bench harness uses the same generator, so the golden
+//!   snapshot and the committed bench baseline describe the same run.
 
 use cluster::chaos::{run_treecode_traced, ChaosConfig};
+use cluster::ics::golden_ics;
 use hot::gravity::GravityConfig;
 use hot::tree::Body;
 use msg::{FaultPlan, Machine, RetransmitConfig};
 use obs::{chrome_trace_json, gantt, structural_summary, WorldTrace};
-
-/// SplitMix64 (Steele et al.): the usual seed-expansion PRNG, written
-/// out here so the golden ICs depend on no external crate.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)` with 53 bits.
-    fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform in `[-1, 1)`.
-    fn sym(&mut self) -> f64 {
-        2.0 * self.unit() - 1.0
-    }
-}
-
-/// A cold-ish ball of bodies, by rejection sampling inside the unit
-/// sphere with small isotropic velocities. Pure arithmetic and
-/// comparisons — bit-identical on every IEEE-754 platform.
-fn golden_ics(n: usize, seed: u64) -> Vec<Body> {
-    let mut rng = SplitMix64(seed);
-    let mut ball = |scale: f64| -> [f64; 3] {
-        loop {
-            let p = [rng.sym(), rng.sym(), rng.sym()];
-            if p[0] * p[0] + p[1] * p[1] + p[2] * p[2] <= 1.0 {
-                return [scale * p[0], scale * p[1], scale * p[2]];
-            }
-        }
-    };
-    (0..n)
-        .map(|i| Body {
-            pos: ball(1.0),
-            vel: ball(0.2),
-            mass: 1.0 / n as f64,
-            id: i as u64,
-            work: 1.0,
-        })
-        .collect()
-}
 
 const RANKS: usize = 16;
 const STEPS: u64 = 4;
@@ -138,12 +93,30 @@ fn same_seed_runs_export_byte_identical_traces() {
         "span chaos.checkpoint",
         "span coll.allgather",
         "span coll.barrier",
+        // The derived analysis block: critical path and POP efficiency
+        // factors, byte-deterministic like everything above it.
+        "analysis v1",
+        "critical-path total_s",
+        "efficiency parallel",
+        "phase chaos.force",
     ] {
-        assert!(summary.contains(needle), "summary missing {needle:?}:\n{summary}");
+        assert!(
+            summary.contains(needle),
+            "summary missing {needle:?}:\n{summary}"
+        );
     }
     assert!(t1.counter_total("msg.sends") > 0);
     assert_eq!(t1.counter_total("fault.retransmits"), 0);
     assert_eq!(t1.size(), RANKS);
+
+    // The analysis invariants hold on the real workload, not just the
+    // synthetic proptest worlds: the path tiles the horizon and the POP
+    // factorization is exact.
+    let cp = obs::critical_path(&t1);
+    let eff = obs::efficiency(&t1, &cp);
+    assert!((cp.total() - (t1.end_time() - t1.start_time())).abs() < 1e-9);
+    let product = eff.load_balance * eff.transfer_efficiency * eff.serialization_efficiency;
+    assert!((product - eff.parallel_efficiency).abs() < 1e-9);
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Trunk-dominance acceptance test (ISSUE PR 4).
+//!
+//! The paper's §3.1 scaling caveat: the Space Simulator's two-switch
+//! fabric is adequate until traffic crosses the single 8 Gbit
+//! inter-switch trunk, at which point the trunk — not the per-port
+//! links — sets the pace above ~256 processors. The critical-path
+//! analysis has to *derive* that from a trace: a 288-rank bisection
+//! exchange on the two-switch fabric must attribute more critical-path
+//! wire time to the trunk than to any other link class, while the same
+//! program on an ideal crossbar must not.
+//!
+//! The contended fabric serializes transfers through shared
+//! `busy_until` state in whatever wall-clock order the rank threads
+//! reach it, so these assertions are *tolerant* (dominance and ratios),
+//! not byte-exact — byte-determinism is only claimed for ideal-fabric
+//! scenarios (see `golden_trace.rs`).
+
+use cluster::bisection_exchange_traced;
+use msg::Machine;
+use obs::{critical_path, efficiency, LinkClass};
+
+const RANKS: usize = 288;
+const BYTES: usize = 512 * 1024;
+const ROUNDS: u32 = 4;
+
+#[test]
+fn trunk_dominates_critical_path_on_two_switch_fabric() {
+    let m = Machine::space_simulator_lam();
+    let trace = bisection_exchange_traced(&m, RANKS, BYTES, ROUNDS);
+    trace.check_invariants().unwrap();
+
+    let cp = critical_path(&trace);
+    let wire = cp.wire_by_class();
+    let trunk = cp.wire_s(LinkClass::Trunk);
+    assert_eq!(
+        cp.dominant_wire(),
+        Some(LinkClass::Trunk),
+        "wire breakdown local/intra/uplink/trunk = {wire:?}"
+    );
+    for class in [LinkClass::Local, LinkClass::Intra, LinkClass::Uplink] {
+        assert!(
+            trunk > cp.wire_s(class),
+            "trunk ({trunk:.6}s) not dominant over {}: {wire:?}",
+            class.name()
+        );
+    }
+    // With 128 of 144 pairs crossing the trunk, it should not be a
+    // photo finish: the trunk must carry the majority of all
+    // critical-path wire time.
+    assert!(
+        trunk > 0.5 * cp.wire_total_s(),
+        "trunk {trunk:.6}s vs total wire {:.6}s",
+        cp.wire_total_s()
+    );
+
+    // And the congestion shows up in the POP factors: communication
+    // efficiency takes the hit, not load balance (the program is
+    // symmetric by construction).
+    let eff = efficiency(&trace, &cp);
+    assert!(
+        eff.comm_efficiency < 0.9,
+        "trunk contention should depress comm efficiency: {eff:?}"
+    );
+    assert!(eff.load_balance > 0.5, "{eff:?}");
+}
+
+#[test]
+fn ideal_crossbar_shows_no_trunk_time() {
+    let m = Machine::ideal(RANKS as u32);
+    let trace = bisection_exchange_traced(&m, RANKS, BYTES, ROUNDS);
+    trace.check_invariants().unwrap();
+
+    let cp = critical_path(&trace);
+    assert_eq!(cp.wire_s(LinkClass::Trunk), 0.0, "{:?}", cp.wire_by_class());
+    assert_ne!(cp.dominant_wire(), Some(LinkClass::Trunk));
+
+    // Same program, uncontended fabric: the crossbar run must beat the
+    // two-switch run end to end. (The contended run is not bit-stable,
+    // but a ~3x queueing gap dwarfs interleaving noise; keep a wide
+    // margin.)
+    let ss = Machine::space_simulator_lam();
+    let contended = bisection_exchange_traced(&ss, RANKS, BYTES, ROUNDS);
+    assert!(
+        trace.end_time() < contended.end_time(),
+        "crossbar {} vs two-switch {}",
+        trace.end_time(),
+        contended.end_time()
+    );
+}

@@ -90,7 +90,7 @@ impl Simulation {
         if sim.accel.len() != sim.bodies.len() {
             return Err(CkptError::BadEncoding("accel/bodies length mismatch"));
         }
-        if !(sim.dt > 0.0) {
+        if sim.dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CkptError::BadEncoding("non-positive dt"));
         }
         Ok(sim)

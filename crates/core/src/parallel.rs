@@ -687,6 +687,10 @@ pub fn parallel_accelerations(
     let requests = engine.req_children.sent + engine.req_bodies.sent;
     comm.obs_count("walk.p2p", stats.p2p);
     comm.obs_count("walk.m2p", stats.m2p);
+    // Combined interaction counter: the unit the bench harness divides
+    // by virtual time to get interactions/s (same name as the charge the
+    // replicated chaos driver records).
+    comm.obs_count("walk.interactions", stats.p2p + stats.m2p);
     comm.obs_count("walk.requests", requests);
     let vtime = comm.time();
     ParallelResult {

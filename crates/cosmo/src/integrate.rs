@@ -89,7 +89,7 @@ impl CosmoSimulation {
     /// Rebuild from [`CosmoSimulation::checkpoint`] bytes.
     pub fn restore(bytes: &[u8]) -> Result<CosmoSimulation, CkptError> {
         let (sim, r0): (Simulation, f64) = ckpt::load(bytes)?;
-        if !(r0 > 0.0) {
+        if r0.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CkptError::BadEncoding("non-positive reference radius"));
         }
         Ok(CosmoSimulation { sim, r0 })
@@ -145,7 +145,10 @@ mod tests {
         let mut replay = CosmoSimulation::restore(&snap).expect("restore");
         // The scale factor normalization survives the round-trip.
         replay.run(4);
-        assert_eq!(replay.scale_factor().to_bits(), sim.scale_factor().to_bits());
+        assert_eq!(
+            replay.scale_factor().to_bits(),
+            sim.scale_factor().to_bits()
+        );
         for (a, b) in sim.sim.bodies.iter().zip(&replay.sim.bodies) {
             assert_eq!(a.id, b.id);
             for d in 0..3 {

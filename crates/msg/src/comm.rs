@@ -55,8 +55,15 @@ pub(crate) struct Packet {
     pub kind: WireKind,
     /// Injected bit errors; the receiver's CRC check discards the packet.
     pub corrupt: bool,
+    /// Sender's happens-before edge id; joins the receiver's trace record
+    /// to the sender's. Retransmitted copies carry the original edge.
+    /// [`NO_EDGE`] on control packets (acks).
+    pub edge: u64,
     pub data: Box<dyn AnyPayload>,
 }
+
+/// Edge id for packets that are not program-level messages.
+pub(crate) const NO_EDGE: u64 = u64::MAX;
 
 impl Packet {
     pub(crate) fn clone_pkt(&self) -> Packet {
@@ -66,6 +73,7 @@ impl Packet {
             arrival: self.arrival,
             kind: self.kind,
             corrupt: self.corrupt,
+            edge: self.edge,
             data: self.data.clone_box(),
         }
     }
@@ -146,6 +154,9 @@ pub struct Comm {
     rx: Receiver<Packet>,
     mailbox: Vec<Packet>,
     pub(crate) coll_seq: u64,
+    /// Monotone happens-before edge counter (one per logical message,
+    /// shared across destinations, so sends are seq-sorted by time).
+    edge_seq: u64,
     stats: CommStats,
     /// Reliable transport + fault injection; `None` on fault-free worlds.
     pub(crate) fault: Option<Box<FaultCtx>>,
@@ -173,6 +184,7 @@ impl Comm {
             rx,
             mailbox: Vec::new(),
             coll_seq: 0,
+            edge_seq: 0,
             stats: CommStats::default(),
             fault,
             obs: None,
@@ -208,7 +220,9 @@ impl Comm {
     /// that no recorder is present.
     pub fn install_recorder(&mut self) {
         assert!(self.obs.is_none(), "recorder already installed");
-        self.obs = Some(Box::new(Recorder::new(self.rank, self.size)));
+        let mut r = Recorder::new(self.rank, self.size);
+        r.start_at(self.clock);
+        self.obs = Some(Box::new(r));
     }
 
     pub fn has_recorder(&self) -> bool {
@@ -343,8 +357,12 @@ impl Comm {
             .transfer(self.rank as u32, dst as u32, bytes, self.clock);
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
-        if let Some(r) = &mut self.obs {
+        let edge = self.edge_seq;
+        self.edge_seq += 1;
+        let link = self.machine.fabric.link_class(self.rank as u32, dst as u32);
+        if let Some(r) = self.obs.as_mut() {
             r.on_send(dst, bytes);
+            r.on_msg_send(self.clock, dst as u32, edge, bytes as u64, out.queued, link);
         }
         let pkt = Packet {
             src: self.rank,
@@ -352,6 +370,7 @@ impl Comm {
             arrival: out.arrival,
             kind: WireKind::Raw,
             corrupt: false,
+            edge,
             data: Box::new(value),
         };
         // The receiver thread can only have hung up on panic; propagate.
@@ -385,6 +404,9 @@ impl Comm {
         self.stats.recvs += 1;
         if let Some(r) = &mut self.obs {
             r.on_wait(wait);
+            if pkt.edge != NO_EDGE {
+                r.on_msg_recv(pkt.src as u32, pkt.edge, pkt.arrival, self.clock, wait);
+            }
         }
         let (src, tag) = (pkt.src, pkt.tag);
         let value = *pkt.data.into_any().downcast::<T>().unwrap_or_else(|_| {
@@ -554,10 +576,13 @@ impl Comm {
         }
         let seq = ctx.tx[dst].next_seq;
         ctx.tx[dst].next_seq += 1;
+        let edge = self.edge_seq;
+        self.edge_seq += 1;
         ctx.tx[dst].unacked.push_back(crate::fault::Unacked {
             seq,
             tag,
             bytes,
+            edge,
             data: data.clone_box(),
         });
         if ctx.tx[dst].deadline.is_infinite() {
@@ -565,21 +590,33 @@ impl Comm {
             ctx.tx[dst].retries = 0;
             ctx.tx[dst].deadline = self.clock + ctx.cfg.rto0_s;
         }
-        self.transmit(&mut ctx, dst, tag, seq, data, bytes);
+        let send_t = self.clock;
+        let queued = self.transmit(&mut ctx, dst, tag, seq, edge, data, bytes);
+        // The edge is recorded once, at the original send; retransmitted
+        // copies reuse it and the receiver's record stays authoritative
+        // for the arrival that actually mattered.
+        let link = self.machine.fabric.link_class(self.rank as u32, dst as u32);
+        if let Some(r) = self.obs.as_mut() {
+            r.on_msg_send(send_t, dst as u32, edge, bytes as u64, queued, link);
+        }
         self.fault = Some(ctx);
         self.check_liveness();
     }
 
     /// Put one data packet on the wire, applying the injection draws.
+    /// Returns the virtual seconds the head queued on contended fabric
+    /// resources (for the sender-side edge record).
+    #[allow(clippy::too_many_arguments)]
     fn transmit(
         &mut self,
         ctx: &mut FaultCtx,
         dst: usize,
         tag: Tag,
         seq: u64,
+        edge: u64,
         data: Box<dyn AnyPayload>,
         bytes: usize,
-    ) {
+    ) -> f64 {
         let out = self
             .machine
             .fabric
@@ -587,7 +624,7 @@ impl Comm {
         if !out.delivered() {
             // A dead switch port ate it; the retransmit timer recovers.
             self.stats.fault.drops += 1;
-            return;
+            return out.queued;
         }
         // Each injection draw is gated on its probability being nonzero,
         // so a plan that never injects a given fault consumes no RNG words
@@ -596,7 +633,7 @@ impl Comm {
         // replay harness relies on.
         if ctx.drop_p > 0.0 && ctx.rng.unit() < ctx.drop_p {
             self.stats.fault.drops += 1;
-            return;
+            return out.queued;
         }
         let corrupt = ctx.corrupt_p > 0.0 && ctx.rng.unit() < ctx.corrupt_p;
         if corrupt {
@@ -609,6 +646,7 @@ impl Comm {
             arrival: out.arrival,
             kind: WireKind::Data { seq },
             corrupt,
+            edge,
             data,
         };
         if dup {
@@ -630,6 +668,7 @@ impl Comm {
                 self.push_wire(dst, h.pkt);
             }
         }
+        out.queued
     }
 
     fn push_wire(&self, dst: usize, pkt: Packet) {
@@ -665,7 +704,13 @@ impl Comm {
                     at: self.clock,
                 });
             }
-            let (seq, tag, bytes, data) = (head.seq, head.tag, head.bytes, head.data.clone_box());
+            let (seq, tag, bytes, edge, data) = (
+                head.seq,
+                head.tag,
+                head.bytes,
+                head.edge,
+                head.data.clone_box(),
+            );
             ctx.tx[dst].retries += 1;
             ctx.tx[dst].rto_s = (ctx.tx[dst].rto_s * ctx.cfg.backoff).min(ctx.cfg.rto_max_s);
             ctx.tx[dst].deadline = self.clock + ctx.tx[dst].rto_s;
@@ -675,7 +720,7 @@ impl Comm {
             if let Some(r) = &mut self.obs {
                 r.on_send(dst, bytes);
             }
-            self.transmit(ctx, dst, tag, seq, data, bytes);
+            self.transmit(ctx, dst, tag, seq, edge, data, bytes);
         }
     }
 
@@ -755,8 +800,8 @@ impl Comm {
             while let Ok(pkt) = self.rx.try_recv() {
                 self.ingest(&mut ctx, pkt);
             }
-            let empty = ctx.tx.iter().all(|t| t.unacked.is_empty())
-                && ctx.held.iter().all(Option::is_none);
+            let empty =
+                ctx.tx.iter().all(|t| t.unacked.is_empty()) && ctx.held.iter().all(Option::is_none);
             let poll_s = ctx.cfg.poll_s;
             let drained = ctx.drained.clone();
             self.fault = Some(ctx);
@@ -786,10 +831,10 @@ impl Comm {
     fn send_ack(&mut self, ctx: &mut FaultCtx, dst: usize) {
         let upto = ctx.rx[dst].next_expected;
         self.clock += ctx.cfg.ack_overhead_s;
-        let out = self
-            .machine
-            .fabric
-            .transfer(self.rank as u32, dst as u32, HEADER_BYTES, self.clock);
+        let out =
+            self.machine
+                .fabric
+                .transfer(self.rank as u32, dst as u32, HEADER_BYTES, self.clock);
         self.stats.fault.acks += 1;
         if !out.delivered() || (ctx.drop_p > 0.0 && ctx.rng.unit() < ctx.drop_p) {
             self.stats.fault.drops += 1;
@@ -803,6 +848,7 @@ impl Comm {
                 arrival: out.arrival,
                 kind: WireKind::Ack { upto },
                 corrupt: false,
+                edge: NO_EDGE,
                 data: Box::new(()),
             },
         );
@@ -1081,7 +1127,7 @@ mod tests {
         run(2, |c| {
             if c.rank() == 0 {
                 c.send(1, 5, 1u64); // tag 5, but the receiver wants tag 6
-                // Keep the world alive until rank 1 has timed out.
+                                    // Keep the world alive until rank 1 has timed out.
                 let _ = c.recv_from::<u64>(1, 99);
             } else {
                 let err = c

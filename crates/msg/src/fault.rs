@@ -327,6 +327,9 @@ pub(crate) struct Unacked {
     pub seq: u64,
     pub tag: Tag,
     pub bytes: usize,
+    /// Happens-before edge id of the original send; retransmissions
+    /// reuse it so the receiver's trace joins to one sender record.
+    pub edge: u64,
     pub data: Box<dyn AnyPayload>,
 }
 
@@ -729,23 +732,22 @@ mod tests {
     #[test]
     fn scheduled_crash_is_reported_with_rank_and_time() {
         let plan = FaultPlan::none(1).with_crash(1, 0.5);
-        let out: WorldOutcome<u64> =
-            run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
-                // Ping-pong forever; rank 1 dies at t=0.5 and rank 0 must
-                // notice (abort flag) instead of hanging.
-                let peer = 1 - c.rank();
-                let mut n = 0u64;
-                loop {
-                    if c.rank() == 0 {
-                        c.send(peer, 1, n);
-                        n = c.recv_from::<u64>(peer, 1);
-                    } else {
-                        n = c.recv_from::<u64>(peer, 1);
-                        c.send(peer, 1, n + 1);
-                    }
-                    c.compute(1e7, 0.0); // ~4 ms/iteration: crash hits fast
+        let out: WorldOutcome<u64> = run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
+            // Ping-pong forever; rank 1 dies at t=0.5 and rank 0 must
+            // notice (abort flag) instead of hanging.
+            let peer = 1 - c.rank();
+            let mut n = 0u64;
+            loop {
+                if c.rank() == 0 {
+                    c.send(peer, 1, n);
+                    n = c.recv_from::<u64>(peer, 1);
+                } else {
+                    n = c.recv_from::<u64>(peer, 1);
+                    c.send(peer, 1, n + 1);
                 }
-            });
+                c.compute(1e7, 0.0); // ~4 ms/iteration: crash hits fast
+            }
+        });
         match out {
             WorldOutcome::Crashed { rank, at } => {
                 assert_eq!(rank, 1);
@@ -769,8 +771,7 @@ mod tests {
     fn dead_switch_port_is_survivable_if_it_heals() {
         // Port 1's link is dead for the first 20 ms of virtual time; the
         // transport must carry the ring through it via retransmits.
-        let plan =
-            FaultPlan::none(chaos_seed()).with_link_fault(LinkFault::dead(1, 0.0, 2.0e-2));
+        let plan = FaultPlan::none(chaos_seed()).with_link_fault(LinkFault::dead(1, 0.0, 2.0e-2));
         let out = run_with_faults(Machine::ideal(3), 3, &plan, 0.0, |c| {
             let right = (c.rank() + 1) % c.size();
             c.send(right, 1, c.rank() as u64);

@@ -158,6 +158,12 @@ impl Fabric {
         &self.topology
     }
 
+    /// Trace-attribution class of the src→dst path (see
+    /// [`SwitchFabric::link_class`]).
+    pub fn link_class(&self, src: u32, dst: u32) -> obs::LinkClass {
+        self.topology.link_class(src, dst)
+    }
+
     /// Install a port fault. Takes effect for transfers departing inside
     /// the fault's window.
     pub fn inject_link_fault(&self, fault: LinkFault) {

@@ -152,6 +152,26 @@ impl SwitchFabric {
     pub fn total_modules(&self) -> u32 {
         self.switches.iter().map(|s| s.modules).sum()
     }
+
+    /// Coarse classification of the src→dst path for trace attribution:
+    /// self-sends are `Local`, same-module ports `Intra`, cross-module
+    /// same-chassis `Uplink`, and cross-chassis `Trunk` (the scarcest
+    /// resource — the paper's >256p bottleneck).
+    pub fn link_class(&self, src: u32, dst: u32) -> obs::LinkClass {
+        if src == dst {
+            return obs::LinkClass::Local;
+        }
+        if self.module_of(src) == self.module_of(dst) {
+            return obs::LinkClass::Intra;
+        }
+        let (cs, _) = self.locate(src);
+        let (cd, _) = self.locate(dst);
+        if cs != cd {
+            obs::LinkClass::Trunk
+        } else {
+            obs::LinkClass::Uplink
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +239,16 @@ mod tests {
     fn trunk_capacity_is_8_gbit() {
         let f = SwitchFabric::space_simulator();
         assert!((f.capacity(Resource::Trunk) - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_classes_match_routes() {
+        let f = SwitchFabric::space_simulator();
+        assert_eq!(f.link_class(3, 3), obs::LinkClass::Local);
+        assert_eq!(f.link_class(0, 15), obs::LinkClass::Intra);
+        assert_eq!(f.link_class(0, 16), obs::LinkClass::Uplink);
+        assert_eq!(f.link_class(0, 230), obs::LinkClass::Trunk);
+        let xbar = SwitchFabric::crossbar(64);
+        assert_eq!(xbar.link_class(0, 63), obs::LinkClass::Intra);
     }
 }

@@ -33,7 +33,10 @@ fn point_to_point_stays_under_779_mbits() {
     assert_eq!(reg.counter("net.messages"), 1);
     assert_eq!(reg.counter("net.bytes"), n as u64);
     assert_eq!(reg.gauge("net.queued_s"), Some(0.0));
-    assert!(f.resource_stats().is_empty(), "same-module flow touched a resource");
+    assert!(
+        f.resource_stats().is_empty(),
+        "same-module flow touched a resource"
+    );
 }
 
 #[test]
@@ -54,8 +57,14 @@ fn cross_module_pattern_shows_backplane_contention_in_metrics() {
     // The uplink was held at exactly its measured ~6 Gbit/s capacity,
     // and heads queued behind it (that is what contention means).
     let uplink = held_mbits(&reg, "net.uplink0");
-    assert!((uplink - 6000.0).abs() < 1.0, "uplink held at {uplink} Mbit/s");
-    assert!(reg.gauge("net.queued_s").unwrap() > 0.0, "no queueing recorded");
+    assert!(
+        (uplink - 6000.0).abs() < 1.0,
+        "uplink held at {uplink} Mbit/s"
+    );
+    assert!(
+        reg.gauge("net.queued_s").unwrap() > 0.0,
+        "no queueing recorded"
+    );
     // 16 concurrent NIC-speed flows into a 6 Gbit/s segment are ~2x
     // oversubscribed; the aggregate must sit at the segment limit, far
     // below 16 x 779.

@@ -102,14 +102,16 @@ fn letter_for(idx: usize) -> u8 {
     }
 }
 
-/// Structural summary: the golden-trace format. Per-rank span aggregates
-/// (count and total virtual seconds per name), metric totals, and the
-/// link traffic matrix — compact enough to commit, precise enough
-/// (exact float round-trips) that any behavioral drift in the scheduler,
-/// transport, or walk shows up as a diff.
+/// Structural summary: the golden-trace format (`golden-trace v2`).
+/// Per-rank span aggregates (count and total virtual seconds per name),
+/// metric totals with bucket-interpolated percentiles, the link traffic
+/// matrix, and the derived critical-path/efficiency analysis — compact
+/// enough to commit, precise enough (exact float round-trips) that any
+/// behavioral drift in the scheduler, transport, or walk shows up as a
+/// diff.
 pub fn structural_summary(w: &WorldTrace) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "golden-trace v1");
+    let _ = writeln!(out, "golden-trace v2");
     let _ = writeln!(out, "ranks {}", w.size());
     let _ = writeln!(out, "end {:?}", w.end_time());
     let totals = w.totals();
@@ -121,19 +123,33 @@ pub fn structural_summary(w: &WorldTrace) -> String {
         let _ = writeln!(out, "  gauge {name} {v:?}");
     }
     for (name, h) in totals.histograms() {
-        let _ = write!(out, "  hist {name} count {} sum {:?} buckets", h.count(), h.sum());
+        let _ = write!(
+            out,
+            "  hist {name} count {} sum {:?} buckets",
+            h.count(),
+            h.sum()
+        );
         for b in h.buckets() {
             let _ = write!(out, " {b}");
         }
-        out.push('\n');
+        let _ = writeln!(
+            out,
+            " p50 {:?} p95 {:?} p99 {:?}",
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
     }
     for r in &w.ranks {
         let _ = writeln!(
             out,
-            "rank {} end {:?} spans {} dropped {}",
+            "rank {} start {:?} end {:?} spans {} msgs {}/{} dropped {}",
             r.rank,
+            r.start,
             r.end,
             r.spans.len(),
+            r.sends.len(),
+            r.recvs.len(),
             r.dropped_spans
         );
         // Aggregate spans by name, reported in sorted name order.
@@ -158,6 +174,7 @@ pub fn structural_summary(w: &WorldTrace) -> String {
             let _ = writeln!(out, "  links {}", links.join(" "));
         }
     }
+    out.push_str(&crate::analysis::analysis_report(w));
     out
 }
 

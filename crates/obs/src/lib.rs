@@ -27,12 +27,17 @@
 //! (`BTreeMap`, explicitly sorted vectors), so equal traces export to
 //! byte-identical text.
 
+pub mod analysis;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 
+pub use analysis::{
+    analysis_report, critical_path, efficiency, phase_efficiency, CriticalPath, Efficiency,
+    PhaseEff, SegKind, Segment,
+};
 pub use export::{chrome_trace_json, gantt, structural_summary};
 pub use metrics::{Histogram, Registry, FRACTION_BOUNDS, SIZE_BOUNDS_B, TIME_BOUNDS_S};
-pub use recorder::{RankTrace, Recorder, Span, WorldTrace};
+pub use recorder::{LinkClass, RankTrace, Recorder, RecvRec, SendRec, Span, WorldTrace};
 pub use sink::{NullSink, Sink};

@@ -91,6 +91,56 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Quantile estimate from the fixed bucket layout, `q` in `[0, 1]`.
+    ///
+    /// The rank `⌈q·count⌉` is located in its bucket and the value is
+    /// interpolated linearly across the bucket's `(lo, hi]` range (the
+    /// first bucket interpolates from 0). Observations in the overflow
+    /// bucket are reported as the last finite bound — a deliberate
+    /// under-estimate, and the reason layouts should cover the expected
+    /// range. Returns 0 for an empty histogram. Deterministic: a pure
+    /// fold over the bucket counts.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile wants q in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let into = (rank - seen) as f64 / n as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += n;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// String-keyed metrics store with deterministic iteration order.
@@ -210,6 +260,48 @@ mod tests {
         assert_eq!(h.buckets()[1], 1);
         assert_eq!(*h.buckets().last().unwrap(), 1);
         assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // FRACTION_BOUNDS buckets are 0.1 wide; put 10 observations in
+        // (0.2, 0.3] so ranks map linearly across that bucket.
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        for _ in 0..10 {
+            h.observe(0.25);
+        }
+        assert!((h.p50() - 0.25).abs() < 1e-12, "{}", h.p50());
+        assert!((h.quantile(0.1) - 0.21).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 0.30).abs() < 1e-12);
+        // q=0 clamps to rank 1 (the smallest observation's bucket).
+        assert!((h.quantile(0.0) - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_spans_buckets_and_handles_overflow() {
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        for _ in 0..90 {
+            h.observe(0.05); // bucket (0, 0.1]
+        }
+        for _ in 0..10 {
+            h.observe(1e6); // overflow
+        }
+        assert!(h.p50() <= 0.1);
+        assert!((h.p95() - 0.9).abs() < 1e-12, "overflow reports last bound");
+        assert!((h.p99() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(TIME_BOUNDS_S);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile wants q in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new(TIME_BOUNDS_S).quantile(1.5);
     }
 
     #[test]

@@ -19,6 +19,82 @@ pub struct Span {
     pub seq: u32,
 }
 
+/// Which fabric resource a message crossed, coarsened to the classes the
+/// paper's §3 contention analysis distinguishes. Lives here (not in
+/// `netsim`) so the analysis layer can attribute critical-path wire time
+/// without a dependency on the fabric model; `netsim` classifies routes
+/// into these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// Self-send: never leaves the node.
+    Local,
+    /// Same switch module: non-blocking crossbar ports.
+    Intra,
+    /// Crosses a module uplink within one chassis (6 Gbit measured).
+    Uplink,
+    /// Crosses the inter-switch trunk (8 Gbit) — the paper's >256p wall.
+    Trunk,
+}
+
+impl LinkClass {
+    pub const ALL: [LinkClass; 4] = [
+        LinkClass::Local,
+        LinkClass::Intra,
+        LinkClass::Uplink,
+        LinkClass::Trunk,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkClass::Local => "local",
+            LinkClass::Intra => "intra",
+            LinkClass::Uplink => "uplink",
+            LinkClass::Trunk => "trunk",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Sender half of a message edge in the happens-before DAG. `seq` is the
+/// sender's monotone edge counter; `(src rank, seq)` names the edge and
+/// joins it to the matching [`RecvRec`]. Recorded once per logical
+/// message — retransmissions reuse the original edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendRec {
+    pub dst: u32,
+    /// Per-sender monotone edge id.
+    pub seq: u64,
+    /// Virtual time the message left the sender (after send overhead).
+    pub t: f64,
+    /// Wire bytes (payload + header).
+    pub bytes: u64,
+    /// Virtual seconds the head of the message queued on contended
+    /// fabric resources (0 on an ideal crossbar).
+    pub queued: f64,
+    pub link: LinkClass,
+}
+
+/// Receiver half of a message edge. The receiver's record is
+/// authoritative for arrival: under retransmission the delivered copy's
+/// arrival is what mattered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvRec {
+    pub src: u32,
+    /// The sender's edge id; joins to [`SendRec`] on `(src, seq)`.
+    pub seq: u64,
+    /// Virtual time the message reached the receiver's mailbox.
+    pub arrival: f64,
+    /// Receiver's virtual clock after the receive completed.
+    pub t_end: f64,
+    /// Virtual seconds the receiver blocked past readiness; `wait > 0`
+    /// implies `t_end == arrival` (a blocked receive ends at arrival),
+    /// which is what lets the critical-path walk jump to the sender.
+    pub wait: f64,
+}
+
 /// Default span ring-buffer capacity per rank.
 const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 
@@ -42,6 +118,10 @@ pub struct Recorder {
     wait_s: Histogram,
     occupancy: Histogram,
     flops: f64,
+    /// Virtual time recording began (nonzero after a restart).
+    start: f64,
+    sends: Vec<SendRec>,
+    recvs: Vec<RecvRec>,
 }
 
 impl Recorder {
@@ -65,11 +145,20 @@ impl Recorder {
             wait_s: Histogram::new(TIME_BOUNDS_S),
             occupancy: Histogram::new(FRACTION_BOUNDS),
             flops: 0.0,
+            start: 0.0,
+            sends: Vec::new(),
+            recvs: Vec::new(),
         }
     }
 
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Mark where on the virtual timeline this recording starts (nonzero
+    /// after a checkpoint restart); the critical-path walk stops here.
+    pub fn start_at(&mut self, t: f64) {
+        self.start = t;
     }
 
     /// Open a span at virtual time `t`.
@@ -125,6 +214,40 @@ impl Recorder {
         self.wait_s.observe(wait);
     }
 
+    /// Record the sender half of a message edge. `t` is the virtual time
+    /// the message left this rank; `seq` must be monotone per sender.
+    pub fn on_msg_send(
+        &mut self,
+        t: f64,
+        dst: u32,
+        seq: u64,
+        bytes: u64,
+        queued: f64,
+        link: LinkClass,
+    ) {
+        self.sends.push(SendRec {
+            dst,
+            seq,
+            t,
+            bytes,
+            queued,
+            link,
+        });
+    }
+
+    /// Record the receiver half of a message edge: delivery of edge
+    /// `(src, seq)` arriving at `arrival`, completing at `t_end` after
+    /// blocking `wait` virtual seconds.
+    pub fn on_msg_recv(&mut self, src: u32, seq: u64, arrival: f64, t_end: f64, wait: f64) {
+        self.recvs.push(RecvRec {
+            src,
+            seq,
+            arrival,
+            t_end,
+            wait,
+        });
+    }
+
     /// Hot path: a modeled compute phase of `flops` at roofline
     /// `occupancy` (delivered fraction of peak flop rate).
     pub fn on_compute(&mut self, flops: f64, occupancy: f64) {
@@ -156,6 +279,10 @@ impl Recorder {
         if self.flops > 0.0 {
             metrics.add("node.flops", self.flops as u64);
         }
+        let mut sends = self.sends;
+        sends.sort_by_key(|s| s.seq);
+        let mut recvs = self.recvs;
+        recvs.sort_by(|a, b| a.t_end.total_cmp(&b.t_end).then(a.seq.cmp(&b.seq)));
         RankTrace {
             rank: self.rank,
             spans,
@@ -163,7 +290,10 @@ impl Recorder {
             link_bytes: self.link_bytes,
             link_msgs: self.link_msgs,
             dropped_spans: self.dropped,
+            start: self.start,
             end: t_end,
+            sends,
+            recvs,
         }
     }
 }
@@ -179,8 +309,25 @@ pub struct RankTrace {
     pub link_msgs: Vec<u64>,
     /// Spans evicted from the ring buffer (0 means the trace is complete).
     pub dropped_spans: u64,
+    /// Virtual clock when recording began (nonzero after a restart).
+    pub start: f64,
     /// Virtual clock at extraction.
     pub end: f64,
+    /// Sender halves of message edges, sorted by `seq`.
+    pub sends: Vec<SendRec>,
+    /// Receiver halves of message edges, sorted by `(t_end, seq)`.
+    pub recvs: Vec<RecvRec>,
+}
+
+impl RankTrace {
+    /// Look up the sender half of edge `seq` by binary search (sends are
+    /// sorted by the sender's monotone edge counter).
+    pub fn send_by_seq(&self, seq: u64) -> Option<&SendRec> {
+        self.sends
+            .binary_search_by(|s| s.seq.cmp(&seq))
+            .ok()
+            .map(|i| &self.sends[i])
+    }
 }
 
 /// All ranks' traces, merged on demand into one world timeline.
@@ -207,6 +354,14 @@ impl WorldTrace {
     /// Latest virtual time across all ranks.
     pub fn end_time(&self) -> f64 {
         self.ranks.iter().fold(0.0, |acc, r| acc.max(r.end))
+    }
+
+    /// Earliest recording start across ranks: 0 for a fresh world,
+    /// the restart clock after a checkpoint restore.
+    pub fn start_time(&self) -> f64 {
+        self.ranks
+            .iter()
+            .fold(self.end_time(), |acc, r| acc.min(r.start))
     }
 
     /// World timeline: every span of every rank, sorted by
@@ -297,6 +452,40 @@ impl WorldTrace {
                         "rank {}: histogram {name:?} bucket total != count",
                         r.rank
                     ));
+                }
+            }
+            for w in r.sends.windows(2) {
+                if w[1].seq <= w[0].seq {
+                    return Err(format!("rank {}: send edge seqs not monotone", r.rank));
+                }
+            }
+            for rec in &r.recvs {
+                if rec.wait < 0.0 {
+                    return Err(format!("rank {}: negative recv wait {}", r.rank, rec.wait));
+                }
+                if rec.t_end + 1e-12 < rec.arrival {
+                    return Err(format!(
+                        "rank {}: recv of ({}, {}) completes at {} before arrival {}",
+                        r.rank, rec.src, rec.seq, rec.t_end, rec.arrival
+                    ));
+                }
+            }
+        }
+        // Joined message edges respect happens-before: the send leaves
+        // the sender no later than it arrives at the receiver.
+        for r in &self.ranks {
+            for rec in &r.recvs {
+                let src = rec.src as usize;
+                if src >= self.ranks.len() {
+                    continue;
+                }
+                if let Some(s) = self.ranks[src].send_by_seq(rec.seq) {
+                    if s.t > rec.arrival + 1e-12 {
+                        return Err(format!(
+                            "edge ({src}, {}) sent at {} after arrival {} on rank {}",
+                            rec.seq, s.t, rec.arrival, r.rank
+                        ));
+                    }
                 }
             }
         }

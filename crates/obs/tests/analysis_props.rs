@@ -1,0 +1,203 @@
+//! Property tests pinning the trace-analysis invariants (ISSUE PR 4):
+//! whatever message-consistent world the generator produces,
+//!
+//! * the critical path tiles the world horizon exactly — its length
+//!   equals `end_time − start_time` and (a fortiori) is at least any
+//!   single rank's busy time;
+//! * every POP efficiency factor lies in `[0, 1]`;
+//! * the factorization is exact: load balance × transfer ×
+//!   serialization reproduces the measured parallel efficiency to
+//!   1e-9, world-level and per-phase.
+//!
+//! The generator replays a random op program through the real
+//! `Recorder` API in two passes: pass one runs every rank's program and
+//! collects its sends (edge seq, virtual send time, modeled arrival);
+//! pass two delivers each rank's incoming messages in arrival order
+//! with the same `ready/wait` arithmetic the `msg` layer uses. The
+//! result is a world whose send→recv edges genuinely join — the same
+//! shape `msg::run_observed` exports, without needing rank threads.
+
+use obs::{critical_path, efficiency, phase_efficiency, Recorder, WorldTrace};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["force", "exchange", "checkpoint", "restore"];
+const RECV_OVERHEAD_S: f64 = 1e-7;
+
+/// Op kinds: `(kind, dt, dst)`.
+/// 0 — compute `dt` inside a depth-0 span; 1 — send to `dst`;
+/// 2 — idle-wait `dt`; 3 — phantom recv (an edge that never joins,
+/// exercising the extractor's wait fallback).
+fn build_world(ops: &[(u8, f64, usize)], ranks: usize) -> WorldTrace {
+    // Pass 1: run every program, recording sends and collecting the
+    // in-flight messages (dst, src, seq, arrival).
+    let mut recorders = Vec::with_capacity(ranks);
+    let mut clocks = vec![0.0f64; ranks];
+    let mut busy = vec![0.0f64; ranks];
+    let mut inflight: Vec<(usize, u32, u64, f64)> = Vec::new();
+    for rank in 0..ranks {
+        let mut r = Recorder::new(rank, ranks);
+        r.start_at(0.0);
+        let mut seq = 0u64;
+        let mut phantoms = 0u64;
+        for (i, &(kind, dt, dst)) in ops.iter().enumerate() {
+            let clock = &mut clocks[rank];
+            match kind {
+                0 => {
+                    let name = NAMES[(i + rank) % NAMES.len()];
+                    r.enter(*clock, name);
+                    *clock += dt;
+                    busy[rank] += dt;
+                    r.exit(*clock, name);
+                }
+                1 => {
+                    let dst = dst % ranks;
+                    let bytes = 64 + (i * 131) % 100_000;
+                    let latency = 1e-6 + bytes as f64 * 1e-9;
+                    r.on_send(dst, bytes);
+                    r.on_msg_send(
+                        *clock,
+                        dst as u32,
+                        seq,
+                        bytes as u64,
+                        0.0,
+                        obs::LinkClass::Intra,
+                    );
+                    inflight.push((dst, rank as u32, seq, *clock + latency));
+                    seq += 1;
+                    *clock += 5e-7;
+                }
+                2 => {
+                    r.on_wait(dt);
+                    *clock += dt;
+                }
+                _ => {
+                    // Phantom: a recv whose (src, seq) joins nothing.
+                    phantoms += 1;
+                    let arrival = *clock;
+                    let t_end = arrival + RECV_OVERHEAD_S + dt;
+                    r.on_msg_recv(
+                        ((rank + 1) % ranks) as u32,
+                        u64::MAX - phantoms,
+                        arrival,
+                        t_end,
+                        dt,
+                    );
+                    *clock = t_end;
+                }
+            }
+        }
+        recorders.push(r);
+    }
+
+    // Pass 2: each rank drains its incoming messages in (arrival, src,
+    // seq) order with the transport's recv arithmetic.
+    inflight.sort_by(|a, b| {
+        (a.0, a.3, a.1, a.2)
+            .partial_cmp(&(b.0, b.3, b.1, b.2))
+            .unwrap()
+    });
+    for &(dst, src, seq, arrival) in &inflight {
+        let clock = &mut clocks[dst];
+        let ready = *clock + RECV_OVERHEAD_S;
+        let wait = (arrival - ready).max(0.0);
+        let t_end = ready + wait;
+        recorders[dst].on_msg_recv(src, seq, arrival, t_end, wait);
+        *clock = t_end;
+    }
+
+    let traces = recorders
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut r)| {
+            r.metrics.set_gauge("vt.compute_s", busy[rank]);
+            r.finish(clocks[rank])
+        })
+        .collect();
+    WorldTrace::from_ranks(traces)
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<(u8, f64, usize)>> {
+    proptest::collection::vec((0u8..4u8, 1e-6f64..0.3f64, 0usize..8usize), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The path partitions `[start, end]` and therefore bounds every
+    /// per-rank busy time from above.
+    #[test]
+    fn critical_path_tiles_the_horizon(ops in op_strategy(), ranks in 1usize..6usize) {
+        let w = build_world(&ops, ranks);
+        w.check_invariants().unwrap();
+        let cp = critical_path(&w);
+        let horizon = w.end_time() - w.start_time();
+        prop_assert!((cp.total() - horizon).abs() < 1e-9,
+            "path {} vs horizon {}", cp.total(), horizon);
+        // Segments tile the horizon: sorted by start they are
+        // contiguous, non-negative, and span [start, end]. (The stored
+        // order is walk order — backward from `t_end`.)
+        let mut segs = cp.segments.clone();
+        segs.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.t1.total_cmp(&b.t1)));
+        let mut cursor = w.start_time();
+        for s in &segs {
+            prop_assert!((s.t0 - cursor).abs() < 1e-9, "gap at {}", s.t0);
+            prop_assert!(s.t1 >= s.t0 - 1e-12);
+            cursor = s.t1;
+        }
+        prop_assert!((cursor - w.end_time()).abs() < 1e-9);
+        // ≥ any rank's busy time (gauge the efficiency pass consumes).
+        for r in &w.ranks {
+            let busy = r.metrics.gauge("vt.compute_s").unwrap_or(0.0);
+            prop_assert!(cp.total() + 1e-9 >= busy.min(horizon));
+        }
+    }
+
+    /// All world-level factors are probabilities and multiply out to
+    /// the measured parallel efficiency exactly (to 1e-9).
+    #[test]
+    fn efficiency_factors_are_bounded_and_exact(ops in op_strategy(), ranks in 1usize..6usize) {
+        let w = build_world(&ops, ranks);
+        let cp = critical_path(&w);
+        let eff = efficiency(&w, &cp);
+        for (name, v) in [
+            ("parallel", eff.parallel_efficiency),
+            ("load-balance", eff.load_balance),
+            ("comm", eff.comm_efficiency),
+            ("transfer", eff.transfer_efficiency),
+            ("serialization", eff.serialization_efficiency),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{name} = {v}");
+        }
+        let product = eff.load_balance * eff.transfer_efficiency * eff.serialization_efficiency;
+        prop_assert!((product - eff.parallel_efficiency).abs() < 1e-9,
+            "LB*TE*SerE = {product} vs PE = {}", eff.parallel_efficiency);
+        prop_assert!((eff.load_balance * eff.comm_efficiency - eff.parallel_efficiency).abs() < 1e-9);
+    }
+
+    /// Per-phase accounting obeys the same bounds and product identity.
+    #[test]
+    fn phase_factors_are_bounded_and_exact(ops in op_strategy(), ranks in 1usize..6usize) {
+        let w = build_world(&ops, ranks);
+        for ph in phase_efficiency(&w) {
+            for (name, v) in [
+                ("parallel", ph.parallel_efficiency),
+                ("load-balance", ph.load_balance),
+                ("comm", ph.comm_efficiency),
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{} {name} = {v}", ph.name);
+            }
+            let product = ph.load_balance * ph.comm_efficiency;
+            prop_assert!((product - ph.parallel_efficiency).abs() < 1e-9,
+                "{}: LB*Comm = {product} vs PE = {}", ph.name, ph.parallel_efficiency);
+        }
+    }
+
+    /// The analysis report, like every other exporter, is a pure
+    /// function of the trace.
+    #[test]
+    fn analysis_report_is_deterministic(ops in op_strategy(), ranks in 1usize..5usize) {
+        let a = build_world(&ops, ranks);
+        let b = build_world(&ops, ranks);
+        prop_assert_eq!(obs::analysis_report(&a), obs::analysis_report(&b));
+    }
+}

@@ -22,6 +22,10 @@ impl msg::payload::FixedWire for SphParticle {
     const WIRE: usize = 152;
 }
 
+/// Wire/memory footprint of one particle, for the compute-charge
+/// occupancy model.
+const PARTICLE_BYTES: usize = <SphParticle as msg::payload::FixedWire>::WIRE;
+
 /// Axis-aligned bounds of a particle set, grown by `pad`.
 fn bounds(parts: &[SphParticle], pad: f64) -> [f64; 6] {
     let mut lo = [f64::INFINITY; 3];
@@ -137,6 +141,12 @@ pub fn distributed_hydro(
             let nt = NeighborTree::build(&work);
             compute_density(&mut work, &nt);
             apply_eos(&mut work, eos);
+            // Charge the density pass to the virtual clock with the
+            // §4.4 cost model: ~120 neighbours/particle, density+EOS is
+            // the cheaper ~2/5 of the ~250 flops per interaction.
+            let flops = work.len() as f64 * 120.0 * 100.0;
+            comm.compute(flops, (work.len() * PARTICLE_BYTES) as f64);
+            comm.obs_count("sph.interactions", (work.len() as u64).saturating_mul(120));
         }
         work.truncate(n_own);
         mine = work;
@@ -165,6 +175,10 @@ pub fn distributed_hydro(
     }
     let nt = NeighborTree::build(&work);
     hydro_forces(&mut work, &nt, visc);
+    // Force pass: the remaining ~3/5 of the per-interaction flops.
+    let flops = work.len() as f64 * 120.0 * 150.0;
+    comm.compute(flops, (work.len() * PARTICLE_BYTES) as f64);
+    comm.obs_count("sph.interactions", (work.len() as u64).saturating_mul(120));
     work.truncate(n_own);
     comm.span_exit("sph.forces");
     work

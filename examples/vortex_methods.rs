@@ -8,6 +8,7 @@
 
 use space_simulator::hot::boundary::solve_sphere_flow;
 use space_simulator::hot::vortex::{direct_velocities, tree_velocities, vortex_ring};
+use std::f64::consts::FRAC_1_SQRT_2;
 use std::time::Instant;
 
 fn main() {
@@ -49,7 +50,7 @@ fn main() {
     println!("  tangency residual: {:.2e}", flow.tangency_residual());
     for (label, p) in [
         ("equator", [0.0, 1.0, 0.0]),
-        ("45 deg", [0.7071, 0.7071, 0.0]),
+        ("45 deg", [FRAC_1_SQRT_2, FRAC_1_SQRT_2, 0.0]),
         ("stagnation", [1.0, 0.0, 0.0]),
     ] {
         let v = flow.velocity(p);
