@@ -449,7 +449,12 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
 
 /// Diff `new` against the `baseline`; every returned string is a
 /// regression beyond `max_regress` (a fraction: 0.05 = 5%). Empty
-/// means pass. Improvements and new scenarios never fail.
+/// means pass. Improvements and new scenarios never fail. Besides
+/// directional drift this flags the absolute failures: a scenario or
+/// metric going missing (zero / non-finite where the baseline had a
+/// value — "infinitely better" readings are broken folds, not wins)
+/// and a scenario losing its byte-determinism claim, which would
+/// otherwise silently exempt every timing metric.
 pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> Vec<String> {
     let mut out = Vec::new();
     if baseline.schema_version != new.schema_version {
@@ -471,6 +476,16 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
             out.push(format!(
                 "{}: dominant_wire changed {:?} -> {:?}",
                 b.name, b.dominant_wire, n.dominant_wire
+            ));
+        }
+        // Losing the determinism claim would exempt every timing metric
+        // below — that is itself a regression, not a free pass. (Gaining
+        // determinism is an improvement; the baseline's noisy numbers
+        // just aren't comparable yet.)
+        if b.deterministic && !n.deterministic {
+            out.push(format!(
+                "{}: deterministic flipped true -> false (timing claims lost)",
+                b.name
             ));
         }
         // Timing metrics are only comparable when both sides claim
@@ -503,6 +518,17 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
             ("availability", b.availability, n.availability, true, true),
         ];
         for (metric, old, newv, higher_better, comparable) in checks {
+            // A metric that vanished — NaN, or zero where the baseline
+            // had a value — fails regardless of direction or noise:
+            // tolerance explains drift, not absence. (NaN would also
+            // sail through the comparisons below, which are all false.)
+            if !newv.is_finite() || (old > 0.0 && newv <= 0.0) {
+                out.push(format!(
+                    "{}: {metric} vanished: {old:.6e} -> {newv}",
+                    b.name
+                ));
+                continue;
+            }
             if !comparable {
                 continue;
             }
@@ -630,6 +656,46 @@ mod tests {
         let r = compare(&base, &lossy, 0.05);
         assert_eq!(r.len(), 1, "{r:?}");
         assert!(r[0].contains("availability"), "{r:?}");
+    }
+
+    #[test]
+    fn comparator_flags_vanished_and_nonfinite_metrics() {
+        let base = sample();
+        let mut zeroed = base.clone();
+        zeroed.scenarios[0].interactions_per_s = 0.0;
+        let r = compare(&base, &zeroed, 0.05);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("vanished"), "{r:?}");
+
+        let mut nan = base.clone();
+        nan.scenarios[0].end_vtime_s = f64::NAN;
+        let r = compare(&base, &nan, 0.05);
+        assert!(
+            r.iter()
+                .any(|m| m.contains("end_vtime_s") && m.contains("vanished")),
+            "{r:?}"
+        );
+
+        // A zeroed timing on a *non-deterministic* scenario still fails:
+        // scheduling noise explains drift, not absence.
+        let mut noisy_base = base.clone();
+        noisy_base.scenarios[0].deterministic = false;
+        let mut gone = noisy_base.clone();
+        gone.scenarios[0].end_vtime_s = 0.0;
+        let r = compare(&noisy_base, &gone, 0.05);
+        assert!(r.iter().any(|m| m.contains("vanished")), "{r:?}");
+    }
+
+    #[test]
+    fn comparator_flags_determinism_flip() {
+        let base = sample();
+        let mut flip = base.clone();
+        flip.scenarios[0].deterministic = false;
+        let r = compare(&base, &flip, 0.05);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("deterministic"), "{r:?}");
+        // Gaining determinism is an improvement, not a regression.
+        assert!(compare(&flip, &base, 0.05).is_empty());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Adversarial schedule checker for the golden worlds.
+//!
+//! Runs N seeds of the simcheck sweep (treecode16 / chaos16 / storm16,
+//! each under a reference schedule plus K adversarially permuted + time-
+//! jittered schedules) and checks every oracle on every schedule. On a
+//! violation the failing seed is minimized — smallest number of permuted
+//! scheduling decisions that still fails — and written to an artifact
+//! file for CI to upload; the process exits nonzero.
+//!
+//! ```text
+//! simcheck [--seeds N] [--base-seed S] [--schedules K] [--ranks R]
+//!          [--bodies B] [--steps T] [--jitter SECONDS] [--out PATH]
+//! SIMCHECK_SEED=123 simcheck    # replay exactly one seed, verbosely
+//! ```
+
+use cluster::simcheck::{check_seed, shrink, SimcheckConfig, Violation};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simcheck [--seeds N] [--base-seed S] [--schedules K] \
+         [--ranks R] [--bodies B] [--steps T] [--jitter SECONDS] [--out PATH]\n\
+         env SIMCHECK_SEED=N replays a single seed verbosely"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = SimcheckConfig::default();
+    let mut seeds: u64 = 64;
+    let mut base_seed: u64 = 0;
+    let mut out_path = String::from("simcheck-failure.txt");
+
+    fn next_val<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> &'a str {
+        it.next().map(String::as_str).unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        })
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| next_val(&mut it, name);
+        match flag.as_str() {
+            "--seeds" => seeds = val("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--base-seed" => base_seed = val("--base-seed").parse().unwrap_or_else(|_| usage()),
+            "--schedules" => cfg.schedules = val("--schedules").parse().unwrap_or_else(|_| usage()),
+            "--ranks" => cfg.ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--bodies" => cfg.bodies = val("--bodies").parse().unwrap_or_else(|_| usage()),
+            "--steps" => cfg.steps = val("--steps").parse().unwrap_or_else(|_| usage()),
+            "--jitter" => cfg.jitter_s = val("--jitter").parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = val("--out").to_string(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    // Replay mode: one seed, full reporting, no artifact.
+    if let Ok(s) = std::env::var("SIMCHECK_SEED") {
+        let seed: u64 = s.parse().unwrap_or_else(|_| {
+            eprintln!("SIMCHECK_SEED must be an integer, got {s:?}");
+            std::process::exit(2)
+        });
+        eprintln!(
+            "simcheck replay: seed {seed} ({} ranks, {} bodies, {} steps, {} schedules, jitter {:e})",
+            cfg.ranks, cfg.bodies, cfg.steps, cfg.schedules, cfg.jitter_s
+        );
+        let violations = check_seed(&cfg, seed);
+        if violations.is_empty() {
+            println!("seed {seed}: clean");
+            return;
+        }
+        for v in &violations {
+            println!("VIOLATION {v}");
+            if let Some(min) = shrink(&cfg, v) {
+                println!("  minimized: {min}");
+            }
+        }
+        std::process::exit(1);
+    }
+
+    let mut failures: Vec<Violation> = Vec::new();
+    for seed in base_seed..base_seed + seeds {
+        let violations = check_seed(&cfg, seed);
+        if violations.is_empty() {
+            eprintln!("seed {seed}: ok");
+        } else {
+            for v in &violations {
+                eprintln!("seed {seed}: VIOLATION {v}");
+            }
+            failures.extend(violations);
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "simcheck: {seeds} seeds x {} worlds x {} schedules clean \
+             ({} ranks, {} bodies, {} steps)",
+            cluster::simcheck::World::ALL.len(),
+            cfg.schedules + 1,
+            cfg.ranks,
+            cfg.bodies,
+            cfg.steps
+        );
+        return;
+    }
+
+    // Minimize and persist the failures so CI can attach them and a
+    // human can replay with SIMCHECK_SEED.
+    let mut report = String::new();
+    report.push_str(&format!(
+        "simcheck failures ({} ranks, {} bodies, {} steps, {} schedules, jitter {:e})\n\n",
+        cfg.ranks, cfg.bodies, cfg.steps, cfg.schedules, cfg.jitter_s
+    ));
+    for v in &failures {
+        report.push_str(&format!("VIOLATION {v}\n"));
+        match shrink(&cfg, v) {
+            Some(min) => report.push_str(&format!("  minimized: {min}\n")),
+            None => report.push_str("  minimized: did not reproduce during shrink\n"),
+        }
+        report.push_str(&format!(
+            "  replay: SIMCHECK_SEED={} simcheck --ranks {} --bodies {} --steps {} --schedules {}\n",
+            v.seed, cfg.ranks, cfg.bodies, cfg.steps, cfg.schedules
+        ));
+    }
+    eprint!("{report}");
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("could not write {out_path}: {e}");
+    } else {
+        eprintln!("failure report written to {out_path}");
+    }
+    std::process::exit(1);
+}

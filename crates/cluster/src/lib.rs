@@ -33,6 +33,7 @@ pub mod linpack_run;
 pub mod machines;
 pub mod npb_run;
 pub mod rack;
+pub mod simcheck;
 pub mod top500;
 pub mod treecode_run;
 
@@ -40,3 +41,4 @@ pub use chaos::{run_treecode, run_treecode_traced, ChaosConfig, ChaosReport};
 pub use exchange::bisection_exchange_traced;
 pub use ics::golden_ics;
 pub use machines::MachineSpec;
+pub use simcheck::{check_seed, shrink, SimcheckConfig, Violation, World};

@@ -30,6 +30,11 @@ pub struct Abm<M> {
     /// Batches sent and received, for the termination counter.
     pub sent: u64,
     pub received: u64,
+    /// Mutation-teeth switch (test builds only): reintroduce the PR-1
+    /// Safra send under-count — auto-flushed batches escape `sent` — so
+    /// the schedule checker can prove its oracles catch that bug class.
+    #[cfg(test)]
+    pub undercount_auto_flush: bool,
 }
 
 impl<M> Abm<M>
@@ -47,6 +52,8 @@ where
             tag: ABM_BIT | (channel as Tag),
             sent: 0,
             received: 0,
+            #[cfg(test)]
+            undercount_auto_flush: false,
         }
     }
 
@@ -54,23 +61,33 @@ where
     pub fn post(&mut self, comm: &mut Comm, dst: usize, m: M) {
         self.out[dst].push(m);
         if self.out[dst].len() >= self.batch_limit {
-            self.flush_one(comm, dst);
+            self.flush_one(comm, dst, true);
         }
     }
 
-    fn flush_one(&mut self, comm: &mut Comm, dst: usize) {
+    fn flush_one(&mut self, comm: &mut Comm, dst: usize, auto: bool) {
+        let _ = auto;
         if self.out[dst].is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.out[dst]);
         comm.send(dst, self.tag, batch);
+        #[cfg(test)]
+        if auto && self.undercount_auto_flush {
+            // The PR-1 bug, verbatim: a batch flushed from inside post()
+            // was sent on the wire but never counted, so Safra's global
+            // count goes negative and termination never fires (or fires
+            // early, losing the batch). Kept as a mutant for the teeth
+            // test in `crate::sched`.
+            return;
+        }
         self.sent += 1;
     }
 
     /// Flush every pending batch (call when out of other work).
     pub fn flush_all(&mut self, comm: &mut Comm) {
         for dst in 0..self.out.len() {
-            self.flush_one(comm, dst);
+            self.flush_one(comm, dst, false);
         }
     }
 

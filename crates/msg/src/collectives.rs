@@ -405,6 +405,144 @@ mod tests {
 }
 
 #[cfg(test)]
+mod reference_tests {
+    //! Exhaustive cross-checks of every collective against a naive
+    //! single-process reference, over world sizes 1..=17 — past both
+    //! power-of-two boundaries (8, 16) where the binomial / dissemination
+    //! algorithms change shape — and over *every* root.
+
+    use crate::comm::run;
+
+    /// The value rank `r` contributes — distinct per rank so ordering
+    /// bugs cannot cancel.
+    fn contrib(r: usize) -> u64 {
+        (r as u64 + 1) * 0x1_0001
+    }
+
+    /// Concatenation is associative but *not* commutative, so it pins the
+    /// order a reduction applies `op` in: vrank order (root, root+1, …,
+    /// wrapping), the order the binomial tree folds its subtrees.
+    #[allow(clippy::ptr_arg)]
+    fn concat(a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+        let mut out = a.clone();
+        out.extend_from_slice(b);
+        out
+    }
+
+    fn vrank_order(size: usize, root: usize) -> Vec<u64> {
+        (0..size).map(|v| contrib((root + v) % size)).collect()
+    }
+
+    #[test]
+    fn bcast_exhaustive_sizes_and_roots() {
+        for size in 1..=17usize {
+            for root in 0..size {
+                let got = run(size, move |c| {
+                    let v = (c.rank() == root).then(|| contrib(root));
+                    c.bcast(root, v)
+                });
+                assert!(
+                    got.iter().all(|&v| v == contrib(root)),
+                    "size {size} root {root}: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_applies_op_in_vrank_order() {
+        for size in 1..=17usize {
+            for root in 0..size {
+                let out = run(size, move |c| {
+                    c.reduce(root, vec![contrib(c.rank())], concat)
+                });
+                for (r, v) in out.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(
+                            v.as_ref(),
+                            Some(&vrank_order(size, root)),
+                            "size {size} root {root}"
+                        );
+                    } else {
+                        assert!(v.is_none(), "size {size}: non-root {r} returned Some");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_exhaustive_sizes_and_roots() {
+        for size in 1..=17usize {
+            for root in 0..size {
+                let out = run(size, move |c| c.gather(root, contrib(c.rank())));
+                let expect: Vec<u64> = (0..size).map(contrib).collect();
+                for (r, v) in out.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(v.as_ref(), Some(&expect), "size {size} root {root}");
+                    } else {
+                        assert!(v.is_none(), "size {size}: non-root {r} returned Some");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_and_allreduce_all_sizes() {
+        for size in 1..=17usize {
+            let out = run(size, move |c| {
+                let g = c.allgather(contrib(c.rank()));
+                // Reduce-to-0 + bcast: vrank order at root 0 IS rank order.
+                let a = c.allreduce(vec![contrib(c.rank())], concat);
+                (g, a)
+            });
+            let expect: Vec<u64> = (0..size).map(contrib).collect();
+            for (g, a) in out {
+                assert_eq!(g, expect, "allgather size {size}");
+                assert_eq!(a, expect, "allreduce size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_all_sizes_vs_prefix_reference() {
+        for size in 1..=17usize {
+            let out = run(size, move |c| c.exscan(vec![contrib(c.rank())], concat));
+            assert_eq!(out[0], None, "size {size}");
+            for (r, v) in out.iter().enumerate().skip(1) {
+                let expect: Vec<u64> = (0..r).map(contrib).collect();
+                assert_eq!(v.as_ref(), Some(&expect), "size {size} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_all_sizes_vs_transpose_reference() {
+        for size in 1..=17usize {
+            let out = run(size, move |c| {
+                // Ragged buckets: rank r sends r % 3 elements to each peer.
+                let data: Vec<Vec<u64>> = (0..size)
+                    .map(|d| {
+                        (0..c.rank() % 3)
+                            .map(|i| (c.rank() * 100 + d * 10 + i) as u64)
+                            .collect()
+                    })
+                    .collect();
+                c.alltoallv(data)
+            });
+            for (r, received) in out.iter().enumerate() {
+                for (s, v) in received.iter().enumerate() {
+                    let expect: Vec<u64> =
+                        (0..s % 3).map(|i| (s * 100 + r * 10 + i) as u64).collect();
+                    assert_eq!(v, &expect, "size {size} receiver {r} sender {s}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use crate::comm::run;
     use proptest::prelude::*;
@@ -438,6 +576,32 @@ mod prop_tests {
                 prop_assert_eq!(gathered, &expect);
                 for (s, v) in exchanged.iter().enumerate() {
                     prop_assert_eq!(v[0], (s + r) as u64);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_reduce_concat_matches_vrank_reference(
+            size in 1usize..=17,
+            root_pick in 0usize..17,
+            salt in 0u64..1000,
+        ) {
+            let root = root_pick % size;
+            let out = run(size, move |c| {
+                c.reduce(root, vec![c.rank() as u64 ^ salt], |a, b| {
+                    let mut o = a.clone();
+                    o.extend_from_slice(b);
+                    o
+                })
+            });
+            let expect: Vec<u64> = (0..size)
+                .map(|v| ((root + v) % size) as u64 ^ salt)
+                .collect();
+            for (r, v) in out.into_iter().enumerate() {
+                if r == root {
+                    prop_assert_eq!(v, Some(expect.clone()));
+                } else {
+                    prop_assert_eq!(v, None);
                 }
             }
         }

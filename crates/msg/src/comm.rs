@@ -16,6 +16,7 @@
 use crate::fault::{FaultCtx, RankCrash, WorldAborted};
 use crate::machine::Machine;
 use crate::payload::{AnyPayload, Payload};
+use crate::sched::{SchedCtx, Stall, StallAbort};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{RankTrace, Recorder, WorldTrace};
 use std::fmt;
@@ -160,6 +161,9 @@ pub struct Comm {
     stats: CommStats,
     /// Reliable transport + fault injection; `None` on fault-free worlds.
     pub(crate) fault: Option<Box<FaultCtx>>,
+    /// Adversarial delivery scheduler (`crate::sched`); `None` — the
+    /// default — keeps every path byte-identical to an unscheduled world.
+    pub(crate) sched: Option<Box<SchedCtx>>,
     /// Virtual-time recorder; `None` (the default) records nothing.
     obs: Option<Box<Recorder>>,
 }
@@ -187,7 +191,71 @@ impl Comm {
             edge_seq: 0,
             stats: CommStats::default(),
             fault,
+            sched: None,
             obs: None,
+        }
+    }
+
+    /// Arm the adversarial delivery scheduler (see `crate::sched`).
+    pub(crate) fn install_sched(&mut self, ctx: Box<SchedCtx>) {
+        assert!(self.sched.is_none(), "scheduler already installed");
+        self.sched = Some(ctx);
+    }
+
+    /// Mark this rank's program as finished for the deadlock detector.
+    /// Fault-mode ranks are accounted by the transport-drain parking
+    /// instead (counting both would double-count this rank).
+    pub(crate) fn sched_retire(&mut self) {
+        if let Some(s) = &self.sched {
+            if self.fault.is_none() {
+                s.shared.retired.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Account one packet pulled off this rank's channel (scheduled
+    /// worlds only; see `SchedShared::inflight`).
+    #[inline]
+    fn note_rx_pull(&self) {
+        if let Some(s) = &self.sched {
+            s.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Account one packet about to be pushed onto a channel. Must be
+    /// called *before* the push so the in-flight count never reads low.
+    #[inline]
+    fn note_tx(&self) {
+        if let Some(s) = &self.sched {
+            s.shared.inflight.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Seeded extra delivery delay in `[0, jitter_s)`; zero (and no RNG
+    /// draw) when jitter is off or no scheduler is armed.
+    #[inline]
+    fn draw_jitter(&mut self) -> f64 {
+        match &mut self.sched {
+            Some(s) if s.jitter_s > 0.0 => s.rng_jitter.unit() * s.jitter_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Liveness watchdog checks for scheduled worlds: tear down if some
+    /// rank already stalled, and flag this rank if its virtual clock has
+    /// left the schedule's budget (livelock detection).
+    fn check_sched(&mut self) {
+        let Some(s) = &self.sched else { return };
+        if s.shared.stalled.load(Ordering::Relaxed) {
+            panic_any(StallAbort);
+        }
+        if self.clock > s.budget_s {
+            s.shared.stalled.store(true, Ordering::SeqCst);
+            panic_any(Stall {
+                rank: self.rank,
+                at: self.clock,
+                deadlock: false,
+            });
         }
     }
 
@@ -329,17 +397,19 @@ impl Comm {
     /// passed, or if another rank already died and the world is aborting.
     /// A no-op on fault-free worlds.
     pub(crate) fn check_liveness(&mut self) {
-        let Some(ctx) = &self.fault else { return };
-        if self.clock >= ctx.crash_at {
-            ctx.abort.store(true, Ordering::SeqCst);
-            panic_any(RankCrash {
-                rank: self.rank,
-                at: self.clock,
-            });
+        if let Some(ctx) = &self.fault {
+            if self.clock >= ctx.crash_at {
+                ctx.abort.store(true, Ordering::SeqCst);
+                panic_any(RankCrash {
+                    rank: self.rank,
+                    at: self.clock,
+                });
+            }
+            if ctx.abort.load(Ordering::Relaxed) {
+                panic_any(WorldAborted);
+            }
         }
-        if ctx.abort.load(Ordering::Relaxed) {
-            panic_any(WorldAborted);
-        }
+        self.check_sched();
     }
 
     /// Send `value` to `dst` with `tag`. Never blocks.
@@ -355,6 +425,7 @@ impl Comm {
             .machine
             .fabric
             .transfer(self.rank as u32, dst as u32, bytes, self.clock);
+        let arrival = out.arrival + self.draw_jitter();
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
         let edge = self.edge_seq;
@@ -367,16 +438,25 @@ impl Comm {
         let pkt = Packet {
             src: self.rank,
             tag,
-            arrival: out.arrival,
+            arrival,
             kind: WireKind::Raw,
             corrupt: false,
             edge,
             data: Box::new(value),
         };
-        // The receiver thread can only have hung up on panic; propagate.
-        self.senders[dst]
-            .send(pkt)
-            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+        self.note_tx();
+        if self.senders[dst].send(pkt).is_err() {
+            // During a stall teardown a peer legitimately disappears; bow
+            // out quietly so the watchdog's verdict (not this send) names
+            // the failure. Otherwise the receiver thread can only have
+            // hung up on panic; propagate.
+            if let Some(s) = &self.sched {
+                if s.shared.stalled.load(Ordering::SeqCst) {
+                    panic_any(StallAbort);
+                }
+            }
+            panic!("rank {dst} hung up");
+        }
     }
 
     fn matches(pkt: &Packet, src: Option<usize>, tag: Tag) -> bool {
@@ -384,6 +464,53 @@ impl Comm {
     }
 
     fn take_from_mailbox(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {
+        // Scheduler hook: a wildcard receive with several sources queued
+        // is a real arrival race, so the adversary may pick any source's
+        // head-of-line packet. Only the *first* match per source is a
+        // candidate — per-(src, tag) FIFO is preserved by construction.
+        // Every wildcard take is logged (replay follows the log: the
+        // match waits for the logged source, which removes the one
+        // wall-clock race a wildcard receive has — whether a slower
+        // source's packet had really arrived when the pick was made).
+        if src.is_none() {
+            if let Some(sched) = self.sched.as_deref_mut() {
+                if let Some(want) = sched.replay_want() {
+                    let idx = self
+                        .mailbox
+                        .iter()
+                        .position(|p| p.tag == tag && p.src == want)?;
+                    sched.log_match(want, true);
+                    return Some(self.mailbox.remove(idx));
+                }
+                if sched.replay.is_none() && sched.perturbed < sched.perturb_limit {
+                    sched.seen.iter_mut().for_each(|s| *s = false);
+                    sched.heads.clear();
+                    for (i, p) in self.mailbox.iter().enumerate() {
+                        if p.tag == tag && !sched.seen[p.src] {
+                            sched.seen[p.src] = true;
+                            sched.heads.push(i);
+                        }
+                    }
+                    let idx = match sched.heads.len() {
+                        0 => return None,
+                        1 => sched.heads[0],
+                        n => {
+                            // A decision point: one deviation spent even
+                            // if the draw lands on the first match, so
+                            // perturb_limit counts decisions, and shrink
+                            // prefixes are schedule-stable.
+                            sched.perturbed += 1;
+                            sched.heads[(sched.rng_match.next_u64() % n as u64) as usize]
+                        }
+                    };
+                    let pkt = self.mailbox.remove(idx);
+                    if let Some(s) = self.sched.as_deref_mut() {
+                        s.log_match(pkt.src, false);
+                    }
+                    return Some(pkt);
+                }
+            }
+        }
         let idx = self
             .mailbox
             .iter()
@@ -392,7 +519,13 @@ impl Comm {
         // order or a (src, tag) stream with three or more queued packets
         // gets reordered, breaking protocols that rely on FIFO delivery
         // (e.g. the treecode's part/terminator reply streams).
-        Some(self.mailbox.remove(idx))
+        let pkt = self.mailbox.remove(idx);
+        if src.is_none() {
+            if let Some(s) = self.sched.as_deref_mut() {
+                s.log_match(pkt.src, false);
+            }
+        }
+        Some(pkt)
     }
 
     fn accept<T: Payload>(&mut self, pkt: Packet) -> (usize, T) {
@@ -424,12 +557,63 @@ impl Comm {
         if self.fault.is_some() {
             return self.recv_fault(src, tag);
         }
+        if self.sched.is_some() {
+            return self.recv_sched(src, tag);
+        }
         loop {
             if let Some(pkt) = self.take_from_mailbox(src, tag) {
                 return self.accept(pkt);
             }
             let pkt = self.rx.recv().expect("world disconnected");
             self.mailbox.push(pkt);
+        }
+    }
+
+    /// Scheduled fault-free blocking receive: identical matching to the
+    /// plain path (modulo the scheduler's permutation), but parks under
+    /// the watchdog's eye so a world where every rank is blocked with
+    /// nothing in flight is reported as a deadlock instead of hanging.
+    fn recv_sched<T: Payload>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
+        loop {
+            self.check_sched();
+            while let Ok(pkt) = self.rx.try_recv() {
+                self.note_rx_pull();
+                self.mailbox.push(pkt);
+            }
+            if let Some(pkt) = self.take_from_mailbox(src, tag) {
+                return self.accept(pkt);
+            }
+            let shared = self.sched.as_ref().expect("sched ctx").shared.clone();
+            shared.parked.fetch_add(1, Ordering::SeqCst);
+            match self.rx.recv_timeout(POLL_WALL) {
+                Ok(pkt) => {
+                    shared.parked.fetch_sub(1, Ordering::SeqCst);
+                    self.note_rx_pull();
+                    self.mailbox.push(pkt);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Run the deadlock check while this rank still counts
+                    // as parked, or the all-parked state is unreachable.
+                    if shared.stalled.load(Ordering::SeqCst) {
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                        panic_any(StallAbort);
+                    }
+                    let everyone_blocked = shared.parked.load(Ordering::SeqCst)
+                        + shared.retired.load(Ordering::SeqCst)
+                        >= shared.size;
+                    if everyone_blocked && shared.inflight.load(Ordering::SeqCst) <= 0 {
+                        shared.stalled.store(true, Ordering::SeqCst);
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                        panic_any(Stall {
+                            rank: self.rank,
+                            at: self.clock,
+                            deadlock: true,
+                        });
+                    }
+                    shared.parked.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("world disconnected"),
+            }
         }
     }
 
@@ -441,20 +625,56 @@ impl Comm {
             let mut ctx = self.fault.take().expect("fault ctx");
             self.service_transport(&mut ctx);
             while let Ok(pkt) = self.rx.try_recv() {
+                self.note_rx_pull();
                 self.ingest(&mut ctx, pkt);
             }
             let poll_s = ctx.cfg.poll_s;
+            // A rank with unacked or held packets will make progress on
+            // its own (timers fire as the poll charge advances its
+            // clock), so only a transport-idle rank counts as parked for
+            // the deadlock detector.
+            let idle =
+                ctx.tx.iter().all(|t| t.unacked.is_empty()) && ctx.held.iter().all(Option::is_none);
             self.fault = Some(ctx);
             if let Some(pkt) = self.take_from_mailbox(src, tag) {
                 return self.accept(pkt);
             }
+            let parked = match &self.sched {
+                Some(s) if idle => {
+                    let shared = s.shared.clone();
+                    shared.parked.fetch_add(1, Ordering::SeqCst);
+                    Some(shared)
+                }
+                _ => None,
+            };
             match self.rx.recv_timeout(POLL_WALL) {
                 Ok(pkt) => {
+                    if let Some(shared) = parked {
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    self.note_rx_pull();
                     let mut ctx = self.fault.take().expect("fault ctx");
                     self.ingest(&mut ctx, pkt);
                     self.fault = Some(ctx);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    if let Some(shared) = parked {
+                        // Deadlock check while this rank still counts as
+                        // parked (see recv_sched for the rationale).
+                        let everyone_blocked = shared.parked.load(Ordering::SeqCst)
+                            + shared.retired.load(Ordering::SeqCst)
+                            >= shared.size;
+                        if everyone_blocked && shared.inflight.load(Ordering::SeqCst) <= 0 {
+                            shared.stalled.store(true, Ordering::SeqCst);
+                            shared.parked.fetch_sub(1, Ordering::SeqCst);
+                            panic_any(Stall {
+                                rank: self.rank,
+                                at: self.clock,
+                                deadlock: true,
+                            });
+                        }
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                    }
                     // Charge an idle polling quantum so virtual time moves
                     // and ack timeouts can expire while we sit here.
                     self.clock += poll_s;
@@ -473,6 +693,7 @@ impl Comm {
             let mut ctx = self.fault.take().expect("fault ctx");
             self.service_transport(&mut ctx);
             while let Ok(pkt) = self.rx.try_recv() {
+                self.note_rx_pull();
                 self.ingest(&mut ctx, pkt);
             }
             let probe_s = ctx.cfg.probe_s;
@@ -488,10 +709,23 @@ impl Comm {
             };
         }
         while let Ok(pkt) = self.rx.try_recv() {
+            self.note_rx_pull();
             self.mailbox.push(pkt);
         }
-        let pkt = self.take_from_mailbox(src, tag)?;
-        Some(self.accept(pkt))
+        match self.take_from_mailbox(src, tag) {
+            Some(pkt) => Some(self.accept(pkt)),
+            None => {
+                // Scheduled worlds charge an empty probe so fault-free
+                // spin loops advance toward the liveness budget instead
+                // of livelocking at a frozen virtual time.
+                if let Some(s) = &self.sched {
+                    let probe_s = s.probe_s;
+                    self.clock += probe_s;
+                    self.check_sched();
+                }
+                None
+            }
+        }
     }
 
     /// Blocking receive with a real-time budget. On timeout, returns a
@@ -509,11 +743,13 @@ impl Comm {
             if let Some(mut ctx) = self.fault.take() {
                 self.service_transport(&mut ctx);
                 while let Ok(pkt) = self.rx.try_recv() {
+                    self.note_rx_pull();
                     self.ingest(&mut ctx, pkt);
                 }
                 self.fault = Some(ctx);
             } else {
                 while let Ok(pkt) = self.rx.try_recv() {
+                    self.note_rx_pull();
                     self.mailbox.push(pkt);
                 }
             }
@@ -536,6 +772,7 @@ impl Comm {
             let slice = POLL_WALL.min(deadline - now);
             match self.rx.recv_timeout(slice) {
                 Ok(pkt) => {
+                    self.note_rx_pull();
                     if let Some(mut ctx) = self.fault.take() {
                         self.ingest(&mut ctx, pkt);
                         self.fault = Some(ctx);
@@ -621,6 +858,7 @@ impl Comm {
             .machine
             .fabric
             .transfer(self.rank as u32, dst as u32, bytes, self.clock);
+        let arrival = out.arrival + self.draw_jitter();
         if !out.delivered() {
             // A dead switch port ate it; the retransmit timer recovers.
             self.stats.fault.drops += 1;
@@ -643,7 +881,7 @@ impl Comm {
         let pkt = Packet {
             src: self.rank,
             tag,
-            arrival: out.arrival,
+            arrival,
             kind: WireKind::Data { seq },
             corrupt,
             edge,
@@ -672,6 +910,10 @@ impl Comm {
     }
 
     fn push_wire(&self, dst: usize, pkt: Packet) {
+        // Counted before the push so the watchdog never reads low; a
+        // frame to a dead NIC leaks its count, which can only delay a
+        // deadlock report (the world is crashing anyway), never fake one.
+        self.note_tx();
         // A crashed rank drops its receiver; frames to a dead NIC vanish.
         let _ = self.senders[dst].send(pkt);
     }
@@ -798,6 +1040,7 @@ impl Comm {
             let mut ctx = self.fault.take().expect("fault ctx");
             self.service_transport(&mut ctx);
             while let Ok(pkt) = self.rx.try_recv() {
+                self.note_rx_pull();
                 self.ingest(&mut ctx, pkt);
             }
             let empty =
@@ -814,13 +1057,52 @@ impl Comm {
             if drained.load(Ordering::SeqCst) >= size {
                 return;
             }
+            // A drained rank waiting out its peers counts as parked for
+            // the deadlock detector: if a peer is deadlocked mid-program
+            // the drain would otherwise mask the all-blocked state.
+            let parked = match &self.sched {
+                Some(s) if empty => {
+                    let shared = s.shared.clone();
+                    shared.parked.fetch_add(1, Ordering::SeqCst);
+                    Some(shared)
+                }
+                _ => None,
+            };
             match self.rx.recv_timeout(POLL_WALL) {
                 Ok(pkt) => {
+                    if let Some(shared) = parked {
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    self.note_rx_pull();
                     let mut ctx = self.fault.take().expect("fault ctx");
                     self.ingest(&mut ctx, pkt);
                     self.fault = Some(ctx);
                 }
-                Err(RecvTimeoutError::Timeout) => self.clock += poll_s,
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(shared) = parked {
+                        // Every drained rank ends up here at normal
+                        // termination, so re-check the exit condition
+                        // before calling an all-parked world deadlocked.
+                        if drained.load(Ordering::SeqCst) >= size {
+                            shared.parked.fetch_sub(1, Ordering::SeqCst);
+                            return;
+                        }
+                        let everyone_blocked = shared.parked.load(Ordering::SeqCst)
+                            + shared.retired.load(Ordering::SeqCst)
+                            >= shared.size;
+                        if everyone_blocked && shared.inflight.load(Ordering::SeqCst) <= 0 {
+                            shared.stalled.store(true, Ordering::SeqCst);
+                            shared.parked.fetch_sub(1, Ordering::SeqCst);
+                            panic_any(Stall {
+                                rank: self.rank,
+                                at: self.clock,
+                                deadlock: true,
+                            });
+                        }
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    self.clock += poll_s;
+                }
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         }

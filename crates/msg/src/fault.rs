@@ -284,15 +284,19 @@ pub struct RankCrash {
 #[derive(Debug, Clone, Copy)]
 pub struct WorldAborted;
 
-/// Keep the default panic hook from spamming stderr for the two expected,
-/// caught panic payloads above; real panics still print.
-fn install_quiet_hook() {
+/// Keep the default panic hook from spamming stderr for the expected,
+/// caught panic payloads (crash/abort teardown and the scheduler's stall
+/// verdicts); real panics still print.
+pub(crate) fn install_quiet_hook() {
     static QUIET: Once = Once::new();
     QUIET.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let p = info.payload();
-            if p.downcast_ref::<RankCrash>().is_none() && p.downcast_ref::<WorldAborted>().is_none()
+            if p.downcast_ref::<RankCrash>().is_none()
+                && p.downcast_ref::<WorldAborted>().is_none()
+                && p.downcast_ref::<crate::sched::Stall>().is_none()
+                && p.downcast_ref::<crate::sched::StallAbort>().is_none()
             {
                 prev(info);
             }
@@ -378,7 +382,7 @@ pub(crate) struct FaultCtx {
 }
 
 impl FaultCtx {
-    fn new(
+    pub(crate) fn new(
         plan: &FaultPlan,
         rank: usize,
         size: usize,

@@ -39,9 +39,10 @@ pub mod fault;
 pub mod group;
 pub mod machine;
 pub mod payload;
+pub mod sched;
 pub mod sort;
 
-pub use abm::Abm;
+pub use abm::{Abm, Termination};
 pub use comm::{run, run_observed, run_with, Comm, CommStats, FaultStats, MailboxTimeout, Tag};
 pub use fault::{
     run_with_faults, run_with_faults_observed, CrashEvent, FaultPlan, RetransmitConfig,
@@ -50,3 +51,8 @@ pub use fault::{
 pub use group::Group;
 pub use machine::Machine;
 pub use payload::Payload;
+pub use sched::{
+    replay_with_faults_and_schedule_observed, replay_with_schedule_observed,
+    run_with_faults_and_schedule, run_with_faults_and_schedule_observed, run_with_schedule,
+    run_with_schedule_observed, SchedOutcome, SchedPlan, ScheduleLog,
+};

@@ -76,12 +76,29 @@ where
         splitters.push(u64::MAX);
     }
 
-    // 4. Partition the local shard by splitter and exchange.
+    // 4. Partition the local shard by splitter and exchange. A heavily
+    // duplicated key collapses several consecutive splitters onto the
+    // same value, which makes every bucket in `[lo, hi]` a valid
+    // destination for that key (bucket `j` accepts `s[j-1] <= k <= s[j]`,
+    // and the collapsed splitters all equal `k`). Sending every tie to
+    // bucket `lo` — the natural single-`partition_point` rule — piles the
+    // entire duplicate mass onto one rank; spreading ties round-robin
+    // across the eligible range keeps the decomposition balanced while
+    // preserving the cross-shard ordering contract (equal keys may
+    // straddle a boundary).
     let mut buckets: Vec<Vec<T>> = (0..size).map(|_| Vec::new()).collect();
+    let mut tie_rr = comm.rank(); // stagger the spread's phase per rank
     for item in local {
         let k = key(&item);
-        // First bucket whose upper splitter is >= k.
-        let dst = splitters.partition_point(|&spl| spl < k);
+        let lo = splitters.partition_point(|&spl| spl < k);
+        let hi = splitters.partition_point(|&spl| spl <= k);
+        let dst = if hi > lo {
+            let d = lo + tie_rr % (hi - lo + 1);
+            tie_rr = tie_rr.wrapping_add(1);
+            d
+        } else {
+            lo
+        };
         buckets[dst].push(item);
     }
     let received = comm.alltoallv(buckets);
@@ -220,5 +237,59 @@ mod tests {
         });
         let total: usize = shards.iter().map(Vec::len).sum();
         assert_eq!(total, 250 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn all_equal_keys_stay_balanced_across_8_ranks() {
+        // Every splitter collapses onto the single key value, so every
+        // bucket is an eligible destination for every item; the round-
+        // robin tie spread must keep the shards near-even instead of
+        // sending the whole world to rank 0.
+        let shards = run(8, |c| {
+            let local = vec![7u64; 400];
+            sample_sort(c, local, |&k| k, 32)
+        });
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 8 * 400);
+        check_global_order(&shards);
+        for (r, s) in shards.iter().enumerate() {
+            let ratio = s.len() as f64 / 400.0;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "rank {r} holds {} of {} items",
+                s.len(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_splitters_spread_heavy_ties() {
+        // 75% of all keys share one value: several splitters collapse
+        // onto it, and the tie traffic must spread across the collapsed
+        // bucket range rather than landing on its first bucket.
+        let shards = run(4, |c| {
+            let mut rng = SmallRng::seed_from_u64(9 + c.rank() as u64);
+            let local: Vec<u64> = (0..1000)
+                .map(|_| {
+                    if rng.gen_bool(0.75) {
+                        500
+                    } else {
+                        rng.gen_range(0..1000)
+                    }
+                })
+                .collect();
+            sample_sort(c, local, |&k| k, 64)
+        });
+        check_global_order(&shards);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 4000);
+        for (r, s) in shards.iter().enumerate() {
+            assert!(
+                s.len() < 2200,
+                "rank {r} holds {} of 4000 items — duplicate mass not spread",
+                s.len()
+            );
+        }
     }
 }

@@ -178,6 +178,64 @@ pub fn structural_summary(w: &WorldTrace) -> String {
     out
 }
 
+/// Schedule-invariant summary: what a world trace looks like with every
+/// timestamp and every wall-clock-racy quantity stripped out.
+///
+/// Two runs of the same deterministic program must produce *identical*
+/// schedule summaries no matter how an adversarial scheduler permuted
+/// message deliveries or jittered arrivals — this is the structural
+/// half of `cluster::simcheck`'s determinism oracle. Included per rank,
+/// in rank order: span counts by name (not their times), message-record
+/// counts, and monotone program counters. Excluded, with reasons:
+///
+/// * span/trace *times* and `vt.*` gauges — legitimately schedule-
+///   dependent (that is what the scheduler perturbs);
+/// * histograms — they bucket virtual times;
+/// * `fault.*` counters and `msg.bytes_sent` — retransmit-timer firings
+///   race wall-clock polling, so drop/retransmit tallies (and the bytes
+///   they add) are not schedule-invariant under injection.
+pub fn schedule_summary(w: &WorldTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schedule-summary v1");
+    let _ = writeln!(out, "ranks {}", w.size());
+    for r in &w.ranks {
+        let _ = writeln!(
+            out,
+            "rank {} spans {} msgs {}/{} dropped {}",
+            r.rank,
+            r.spans.len(),
+            r.sends.len(),
+            r.recvs.len(),
+            r.dropped_spans
+        );
+        let mut agg: std::collections::BTreeMap<&str, u64> = Default::default();
+        for s in &r.spans {
+            *agg.entry(s.name).or_insert(0) += 1;
+        }
+        for (name, count) in agg {
+            let _ = writeln!(out, "  span {name} {count}");
+        }
+        for (name, v) in r.metrics.counters() {
+            if name.starts_with("fault.") || name == "msg.bytes_sent" {
+                continue;
+            }
+            let _ = writeln!(out, "  counter {name} {v}");
+        }
+    }
+    out
+}
+
+/// FNV-1a hash of [`schedule_summary`] — the one number simcheck
+/// compares across schedules of the same world.
+pub fn schedule_digest(w: &WorldTrace) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in schedule_summary(w).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +296,34 @@ mod tests {
         assert!(a.contains("counter walk.interactions 84"));
         assert!(a.contains("span force count 1"));
         assert!(a.contains("links 1:128/1"), "{a}");
+    }
+
+    #[test]
+    fn schedule_summary_ignores_times_but_not_structure() {
+        // Same program shape, different timings: summaries (and digests)
+        // must agree. Different structure: they must differ.
+        let world_with = |stretch: f64, extra_span: bool| {
+            let mut r = Recorder::new(0, 1);
+            r.enter(0.0, "step");
+            r.exit(1.0 * stretch, "step");
+            if extra_span {
+                r.enter(1.1 * stretch, "force");
+                r.exit(1.2 * stretch, "force");
+            }
+            r.metrics.add("walk.interactions", 7);
+            r.metrics.add("fault.drops", 3); // wall-racy: must be ignored
+            r.metrics.set_gauge("vt.wait_s", 0.5 * stretch);
+            WorldTrace::from_ranks(vec![r.finish(2.0 * stretch)])
+        };
+        let a = world_with(1.0, false);
+        let b = world_with(3.5, false);
+        assert_eq!(schedule_summary(&a), schedule_summary(&b));
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        let c = world_with(1.0, true);
+        assert_ne!(schedule_digest(&a), schedule_digest(&c));
+        assert!(schedule_summary(&a).contains("counter walk.interactions 7"));
+        assert!(!schedule_summary(&a).contains("fault.drops"));
+        assert!(!schedule_summary(&a).contains("vt.wait_s"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use analysis::{
     analysis_report, critical_path, efficiency, phase_efficiency, CriticalPath, Efficiency,
     PhaseEff, SegKind, Segment,
 };
-pub use export::{chrome_trace_json, gantt, structural_summary};
+pub use export::{chrome_trace_json, gantt, schedule_digest, schedule_summary, structural_summary};
 pub use metrics::{Histogram, Registry, FRACTION_BOUNDS, SIZE_BOUNDS_B, TIME_BOUNDS_S};
 pub use recorder::{LinkClass, RankTrace, Recorder, RecvRec, SendRec, Span, WorldTrace};
 pub use sink::{NullSink, Sink};

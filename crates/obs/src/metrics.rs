@@ -44,7 +44,19 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// A histogram over `bounds`, which must be non-empty, finite, and
+    /// strictly increasing — [`Histogram::quantile`] interpolates across
+    /// `(bounds[i-1], bounds[i]]` and reports overflow as the last bound,
+    /// so a malformed layout would silently produce garbage estimates.
     pub fn new(bounds: &'static [f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()) && bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be finite and strictly increasing: {bounds:?}"
+        );
         Histogram {
             bounds,
             buckets: vec![0; bounds.len() + 1],
@@ -100,7 +112,10 @@ impl Histogram {
     /// bucket are reported as the last finite bound — a deliberate
     /// under-estimate, and the reason layouts should cover the expected
     /// range. Returns 0 for an empty histogram. Deterministic: a pure
-    /// fold over the bucket counts.
+    /// fold over the bucket counts. The estimate is monotone in `q`,
+    /// always lies in `(0, bounds.last()]` for a non-empty histogram,
+    /// and lands in the same bucket as the exact empirical quantile
+    /// (bucket width is the full error bound).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile wants q in [0,1]");
         if self.count == 0 {
@@ -302,6 +317,18 @@ mod tests {
     #[should_panic(expected = "quantile wants q in [0,1]")]
     fn quantile_rejects_out_of_range() {
         Histogram::new(TIME_BOUNDS_S).quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket bound")]
+    fn empty_bounds_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! buckets accounting for every observation, the merged world timeline
 //! totally ordered, and the exporters byte-deterministic.
 
-use obs::{structural_summary, Recorder, Registry, WorldTrace};
+use obs::{structural_summary, Histogram, Recorder, Registry, WorldTrace, FRACTION_BOUNDS};
 use proptest::prelude::*;
 
 /// Fixed span-name pool (`&'static str`, as the hot paths require).
@@ -129,6 +129,85 @@ proptest! {
         prop_assert_eq!(totals.counter("c"), sum);
         prop_assert_eq!(w.counter_total("c"), sum);
         prop_assert_eq!(totals.gauge("g"), Some(max));
+    }
+
+    /// Quantile estimates are monotone in `q` and bounded by the layout:
+    /// never below 0, never above the last bound.
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        vals in proptest::collection::vec(0.0f64..2.0f64, 1..200),
+        qs_milli in proptest::collection::vec(0u32..=1000u32, 2..20),
+    ) {
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        for &v in &vals {
+            h.observe(v);
+        }
+        let last = *FRACTION_BOUNDS.last().unwrap();
+        let mut qs: Vec<f64> = qs_milli.iter().map(|&m| m as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0.0f64;
+        for &q in &qs {
+            let e = h.quantile(q);
+            prop_assert!(e > 0.0 && e <= last + 1e-12, "quantile({q}) = {e}");
+            prop_assert!(e >= prev - 1e-12, "quantile not monotone: {prev} then {e} at q={q}");
+            prev = e;
+        }
+    }
+
+    /// The estimate lands in the same bucket as the exact empirical
+    /// quantile — bucket width is the full error bound of the sketch.
+    #[test]
+    fn quantile_brackets_the_empirical_quantile(
+        vals in proptest::collection::vec(0.0f64..2.0f64, 1..200),
+        q_milli in 0u32..=1000u32,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        for &v in &vals {
+            h.observe(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        let bucket = FRACTION_BOUNDS.partition_point(|&b| b < exact);
+        if bucket >= FRACTION_BOUNDS.len() {
+            // Exact quantile overflows the layout: reported as last bound.
+            prop_assert_eq!(est, *FRACTION_BOUNDS.last().unwrap());
+        } else {
+            let lo = if bucket == 0 { 0.0 } else { FRACTION_BOUNDS[bucket - 1] };
+            let hi = FRACTION_BOUNDS[bucket];
+            prop_assert!(
+                est > lo - 1e-12 && est <= hi + 1e-12,
+                "estimate {est} outside exact quantile's bucket ({lo}, {hi}] at q={q}"
+            );
+        }
+    }
+
+    /// Merging histograms is equivalent to observing the concatenated
+    /// stream: identical buckets, hence identical quantiles.
+    #[test]
+    fn quantile_commutes_with_merge(
+        a in proptest::collection::vec(0.0f64..2.0f64, 1..100),
+        b in proptest::collection::vec(0.0f64..2.0f64, 1..100),
+    ) {
+        let mut ha = Histogram::new(FRACTION_BOUNDS);
+        let mut hb = Histogram::new(FRACTION_BOUNDS);
+        let mut hall = Histogram::new(FRACTION_BOUNDS);
+        for &v in &a {
+            ha.observe(v);
+            hall.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            hall.observe(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.buckets(), hall.buckets());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 1.0] {
+            prop_assert_eq!(ha.quantile(q).to_bits(), hall.quantile(q).to_bits());
+        }
     }
 
     /// Equal traces export to byte-identical text — the property the
