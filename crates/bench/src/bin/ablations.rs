@@ -7,7 +7,11 @@
 //! 6. per-body walks vs group (interaction-list) walks;
 //! 7. in-core vs out-of-core traversal (I/O accounting);
 //! 8. fault injection: availability and restart overhead vs the §2.1
-//!    failure rates, time-compressed (virtual time on the chaos harness).
+//!    failure rates, time-compressed (virtual time on the chaos harness);
+//! 9. the latency-hiding 2x2: deferred walks on/off x adaptive ABM
+//!    aggregation on/off on the 16-rank treecode (virtual time). Pass
+//!    `--out PATH` to also write this exhibit to a file for CI to
+//!    archive.
 
 use hot::gravity::{GravityConfig, MacKind};
 use hot::models::plummer;
@@ -38,7 +42,51 @@ fn vtime_of(all: &[Body], ranks: usize, cfg: &ParallelConfig) -> f64 {
     times.into_iter().fold(0.0, f64::max)
 }
 
+/// The tentpole's 2x2: deferred-walk latency hiding x adaptive ABM
+/// aggregation, on a 16-rank run of the ablation Plummer model. Virtual
+/// seconds per cell, so the exhibit is host-independent.
+fn overlap_exhibit(all: &[Body]) -> String {
+    let cell = |latency_hiding: bool, adaptive: bool| {
+        vtime_of(
+            all,
+            16,
+            &ParallelConfig {
+                latency_hiding,
+                adaptive,
+                ..Default::default()
+            },
+        )
+    };
+    let hide_adapt = cell(true, true);
+    let hide_fixed = cell(true, false);
+    let block_adapt = cell(false, true);
+    let block_fixed = cell(false, false);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "overlap ablation: {} bodies, 16 ranks, virtual step seconds\n",
+        all.len()
+    ));
+    out.push_str("                     adaptive ABM   eager batches\n");
+    out.push_str(&format!(
+        "  deferred walks     {hide_adapt:>12.6}   {hide_fixed:>13.6}\n"
+    ));
+    out.push_str(&format!(
+        "  blocking walks     {block_adapt:>12.6}   {block_fixed:>13.6}\n"
+    ));
+    out.push_str(&format!(
+        "  deferred+adaptive vs blocking+eager: x{:.2}\n",
+        block_fixed / hide_adapt
+    ));
+    out
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exhibit_out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out wants a path").clone());
+
     // 1. Karp vs libm (wall time on this host).
     let kb = KernelBench::new(64, 2048, 1);
     let (libm, karp) = kb.measure(8);
@@ -110,6 +158,16 @@ fn main() {
         print!("batch={batch}: {t:.4}  ");
     }
     println!();
+
+    // 9. The latency-hiding 2x2 exhibit.
+    {
+        let exhibit = overlap_exhibit(&all);
+        print!("[9] {exhibit}");
+        if let Some(path) = &exhibit_out {
+            std::fs::write(path, &exhibit).expect("write exhibit");
+            println!("    wrote {path}");
+        }
+    }
 
     // 6. Walk strategy on a 100k Plummer model: the seed's per-body
     // scalar walk, the per-body SoA walk, and the group walk over the

@@ -8,13 +8,17 @@
 //! `BENCH_report.json` (see `bench::report` for the format).
 //!
 //!     cargo run -p bench --bin bench_report [-- --out PATH]
-//!     cargo run -p bench --bin bench_report -- --compare BASELINE NEW [--max-regress PCT]
+//!     cargo run -p bench --bin bench_report -- --compare BASELINE NEW \
+//!         [--max-regress PCT] [--floor SCENARIO:METRIC:MIN]...
 //!
 //! Compare mode diffs two report files and exits nonzero if any metric
 //! regressed beyond the tolerance (default 5%); CI runs it against the
-//! committed baseline at the repo root.
+//! committed baseline at the repo root. `--floor` (repeatable) adds an
+//! absolute ratchet on the NEW report: the named metric must hold at
+//! least MIN, so a hard-won level cannot erode back one sub-tolerance
+//! step at a time.
 
-use bench::report::{compare, from_json, to_json, BenchReport, ScenarioReport};
+use bench::report::{check_floors, compare, from_json, to_json, BenchReport, ScenarioReport};
 use cluster::chaos::{run_treecode_traced, ChaosConfig};
 use cluster::{bisection_exchange_traced, golden_ics};
 use hot::gravity::GravityConfig;
@@ -199,6 +203,25 @@ fn main() -> ExitCode {
             },
             None => 0.05,
         };
+        let mut floors: Vec<(String, String, f64)> = Vec::new();
+        for (j, a) in args.iter().enumerate() {
+            if a != "--floor" {
+                continue;
+            }
+            let spec = args.get(j + 1).map(String::as_str).unwrap_or("");
+            let parts: Vec<&str> = spec.split(':').collect();
+            let parsed = match parts.as_slice() {
+                [s, m, v] => v.parse::<f64>().ok().map(|min| (*s, *m, min)),
+                _ => None,
+            };
+            match parsed {
+                Some((s, m, min)) => floors.push((s.to_string(), m.to_string(), min)),
+                None => {
+                    eprintln!("--floor wants SCENARIO:METRIC:MIN, got {spec:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
         let load = |path: &str| -> Result<BenchReport, String> {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -213,12 +236,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let regressions = compare(&base, &new, max_regress);
+        let mut regressions = compare(&base, &new, max_regress);
+        regressions.extend(check_floors(&new, &floors));
         if regressions.is_empty() {
             println!(
-                "OK: {} scenarios within {:.1}% of baseline",
+                "OK: {} scenarios within {:.1}% of baseline, {} floor(s) held",
                 base.scenarios.len(),
-                max_regress * 100.0
+                max_regress * 100.0,
+                floors.len()
             );
             return ExitCode::SUCCESS;
         }

@@ -553,6 +553,50 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
     out
 }
 
+/// Resolve a floorable metric by name. Only ratio-style metrics (and
+/// the throughput headline) make sense as absolute floors; timing
+/// totals scale with scenario size and belong to `compare`.
+fn metric_value(s: &ScenarioReport, metric: &str) -> Option<f64> {
+    Some(match metric {
+        "interactions_per_s" => s.interactions_per_s,
+        "availability" => s.availability,
+        "parallel_efficiency" => s.parallel_efficiency,
+        "load_balance" => s.load_balance,
+        "comm_efficiency" => s.comm_efficiency,
+        "transfer_efficiency" => s.transfer_efficiency,
+        "serialization_efficiency" => s.serialization_efficiency,
+        _ => return None,
+    })
+}
+
+/// A ratchet: each floor is `(scenario, metric, min)` and the metric
+/// must hold at least `min` absolutely. `compare` bounds *drift*
+/// against the previous report, so a big win can erode back one
+/// sub-tolerance step at a time; a committed floor pins the level
+/// itself. Returns one message per violated/unresolvable floor.
+pub fn check_floors(r: &BenchReport, floors: &[(String, String, f64)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (scenario, metric, min) in floors {
+        let Some(s) = r.scenario(scenario) else {
+            out.push(format!(
+                "floor {scenario}:{metric}: scenario missing from report"
+            ));
+            continue;
+        };
+        let Some(val) = metric_value(s, metric) else {
+            out.push(format!("floor {scenario}:{metric}: unknown metric"));
+            continue;
+        };
+        // `!(>=)` rather than `<` so a NaN reading also trips.
+        if !(val >= *min) {
+            out.push(format!(
+                "{scenario}: {metric} {val:.6} below committed floor {min:.6}"
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,6 +740,28 @@ mod tests {
         assert!(r[0].contains("deterministic"), "{r:?}");
         // Gaining determinism is an improvement, not a regression.
         assert!(compare(&flip, &base, 0.05).is_empty());
+    }
+
+    #[test]
+    fn floors_hold_pass_and_trip() {
+        let base = sample();
+        let f = |s: &str, m: &str, v: f64| (s.to_string(), m.to_string(), v);
+        // At 0.06 parallel efficiency the committed floor of 0.05 holds.
+        assert!(check_floors(&base, &[f("treecode16", "parallel_efficiency", 0.05)]).is_empty());
+        // A floor above the reading trips with the level, not a delta.
+        let r = check_floors(&base, &[f("treecode16", "parallel_efficiency", 0.12)]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("below committed floor"), "{r:?}");
+        // NaN readings trip rather than vacuously pass.
+        let mut nan = base.clone();
+        nan.scenarios[0].parallel_efficiency = f64::NAN;
+        let r = check_floors(&nan, &[f("treecode16", "parallel_efficiency", 0.05)]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        // Missing scenarios and unknown metrics are errors, not passes.
+        let r = check_floors(&base, &[f("nope", "parallel_efficiency", 0.0)]);
+        assert!(r[0].contains("missing"), "{r:?}");
+        let r = check_floors(&base, &[f("treecode16", "not_a_metric", 0.0)]);
+        assert!(r[0].contains("unknown metric"), "{r:?}");
     }
 
     #[test]

@@ -81,23 +81,28 @@ impl Default for SimcheckConfig {
 /// The golden worlds a sweep drives. `Treecode` is the fault-free
 /// replicated-KDK treecode (the treecode16 bench scenario's physics
 /// without its checkpoint machinery), `Chaos` is the same physics under
-/// duplicate + reorder injection (the chaos16 class), and `Storm` is an
-/// ABM message cascade with Safra termination under the same faults.
+/// duplicate + reorder injection (the chaos16 class), `Storm` is an
+/// ABM message cascade with Safra termination under the same faults, and
+/// `Overlap` is the distributed HOT traversal (`hot::parallel`) whose
+/// deferred-walk queue and adaptive ABM batching the scheduler jitters
+/// directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum World {
     Treecode,
     Chaos,
     Storm,
+    Overlap,
 }
 
 impl World {
-    pub const ALL: [World; 3] = [World::Treecode, World::Chaos, World::Storm];
+    pub const ALL: [World; 4] = [World::Treecode, World::Chaos, World::Storm, World::Overlap];
 
     pub fn name(self) -> &'static str {
         match self {
             World::Treecode => "treecode16",
             World::Chaos => "chaos16",
             World::Storm => "storm16",
+            World::Overlap => "overlap16",
         }
     }
 
@@ -106,6 +111,7 @@ impl World {
             World::Treecode => 1,
             World::Chaos => 2,
             World::Storm => 3,
+            World::Overlap => 4,
         }
     }
 }
@@ -186,7 +192,7 @@ pub fn sched_plan(cfg: &SimcheckConfig, world: World, seed: u64, schedule: u64) 
 /// duplicates exercise.
 pub fn fault_plan(world: World, seed: u64, schedule: u64) -> Option<FaultPlan> {
     match world {
-        World::Treecode => None,
+        World::Treecode | World::Overlap => None,
         World::Chaos | World::Storm => Some(
             FaultPlan::none(mix(world, seed, schedule) ^ 0xFA17_0000_0000_0001)
                 .with_duplicate(0.2)
@@ -339,6 +345,53 @@ fn treecode_world(comm: &mut Comm, ics: &[Body], gcfg: &GravityConfig, steps: u6
     digest
 }
 
+/// The latency-hiding world: the distributed HOT traversal
+/// ([`hot::parallel`]) on a strided split of the golden ICs. Every remote
+/// fetch parks a walk on the deferred queue, and every ABM poll is a
+/// wildcard receive — so the adversarial scheduler directly permutes the
+/// order parked walks resume. The physics digest then proves the
+/// deferred-walk engine is schedule-independent: rank-ordered partial-
+/// moment merges and single-evaluation interaction lists must make the
+/// forces bit-identical no matter how replies raced. Message *structure*
+/// (batch fill, deadline flushes, request counts) is schedule-dependent
+/// by design, so — like the storm world — overlap16 is exempt from the
+/// structure oracle, and a recorded decision log is only replayable as a
+/// prefix (shrink's fallback mode), never as a full pinned execution.
+fn overlap_world(comm: &mut Comm, ics: &[Body], gcfg: &GravityConfig) -> u64 {
+    let size = comm.size();
+    let rank = comm.rank();
+    let mine: Vec<Body> = ics
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % size == rank)
+        .map(|(_, b)| *b)
+        .collect();
+    let pcfg = hot::parallel::ParallelConfig {
+        gravity: *gcfg,
+        ..Default::default()
+    };
+    let r = hot::parallel::parallel_accelerations(comm, mine, &pcfg);
+    let mut digest = digest_state(&r.bodies, &r.accel);
+    if rank == 0 {
+        // Same rank-ordered fold as the treecode world: any replica's
+        // divergence reaches rank 0's digest.
+        let mut peers = vec![0u64; size];
+        peers[0] = digest;
+        for _ in 0..size - 1 {
+            let (src, d): (usize, u64) = comm.recv(None, DIGEST_TAG);
+            peers[src] = d;
+        }
+        let mut h = FNV_OFFSET;
+        for d in &peers {
+            h = fnv1a(h, &d.to_le_bytes());
+        }
+        digest = h;
+    } else {
+        comm.send(0, DIGEST_TAG, digest);
+    }
+    digest
+}
+
 /// The ABM storm body: every rank posts `per_rank` identified messages to
 /// pseudo-random destinations (a pure hash of the id — no RNG state, so
 /// every schedule posts the identical multiset), then drains and polls
@@ -427,6 +480,15 @@ fn run_world(
     let (outcome, trace, log) = match world {
         World::Treecode => {
             let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01);
+            match replay {
+                None => run_with_schedule_observed(machine, cfg.ranks, splan, body),
+                Some((log, prefix)) => {
+                    replay_with_schedule_observed(machine, cfg.ranks, splan, log, prefix, body)
+                }
+            }
+        }
+        World::Overlap => {
+            let body = |c: &mut Comm| overlap_world(c, &ics, &gcfg);
             match replay {
                 None => run_with_schedule_observed(machine, cfg.ranks, splan, body),
                 Some((log, prefix)) => {
@@ -682,10 +744,12 @@ fn check_schedule(
                     format!("per-rank digests diverged from reference on ranks {diff:?}"),
                 ));
             }
-            // Token traffic in the storm world is schedule-dependent by
-            // design (an unlucky token round just relaunches), so the
-            // structural digest is only pinned for the physics worlds.
-            if world != World::Storm {
+            // Token traffic in the storm world and batch/flush structure
+            // in the overlap world are schedule-dependent by design (an
+            // unlucky token round just relaunches; a jittered reply moves
+            // a deadline flush), so the structural digest is only pinned
+            // for the replicated-physics worlds.
+            if !matches!(world, World::Storm | World::Overlap) {
                 let d = obs::schedule_digest(&trace);
                 if d != reference.trace_digest {
                     v.push(mk(
@@ -753,7 +817,7 @@ pub fn check_seed(cfg: &SimcheckConfig, seed: u64) -> Vec<Violation> {
                     }
                 }
             }
-            World::Storm => {}
+            World::Storm | World::Overlap => {}
         }
         for schedule in 1..=cfg.schedules {
             out.extend(check_schedule(cfg, world, seed, schedule, &reference, None).0);
@@ -848,6 +912,20 @@ mod tests {
         // content is pinned there.)
         let cfg = small();
         for world in World::ALL {
+            if world == World::Overlap {
+                // The overlap world runs the real deferred-walk engine,
+                // whose message *structure* (ABM batch boundaries,
+                // deadline flushes, coalesced requests) is wall-timing-
+                // dependent by design — a recorded source sequence is not
+                // a faithful encoding of its execution, and a full-log
+                // replay can wait forever on a forced source whose batch
+                // never re-forms. Shrink still works there through prefix
+                // replays with free-choice fallback; the binding oracle
+                // is the schedule-independent physics digest, which
+                // `clean_sweep_over_a_few_seeds` checks across jittered
+                // schedules.
+                continue;
+            }
             let reference = run_reference(&cfg, world, 7).expect("reference completes");
             let splan = sched_plan(&cfg, world, 7, 1).with_budget(budget_for(&reference));
             let (rec, log) = run_world(&cfg, world, 7, 1, &splan, None);

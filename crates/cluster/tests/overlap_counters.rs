@@ -1,0 +1,71 @@
+//! The latency-hiding telemetry contract: a distributed deferred-walk
+//! run must surface its overlap counters (`walk.deferred`,
+//! `walk.resumed`, `abm.coalesced`, `abm.flush_deadline`) in the
+//! structural summary, and on a fault-free machine every parked walk
+//! must be resumed exactly as many times as it parked. The golden-trace
+//! worlds replicate physics on every rank and never exercise the
+//! distributed engine, so this is the test that keeps the overlap
+//! telemetry observable end to end (engine -> Comm recorder -> merged
+//! WorldTrace -> summary text).
+
+use cluster::ics::golden_ics;
+use hot::parallel::{parallel_accelerations, ParallelConfig};
+use msg::Machine;
+
+const RANKS: usize = 4;
+
+/// Total for `name` from the summary's leading `totals` block
+/// (`  counter <name> <value>`); the per-rank sections repeat the
+/// counter, but the totals block always lists it first.
+fn counter_total(summary: &str, name: &str) -> u64 {
+    let needle = format!("counter {name} ");
+    let line = summary
+        .lines()
+        .find(|l| l.trim_start().starts_with(&needle))
+        .unwrap_or_else(|| panic!("counter {name} missing from structural summary"));
+    line.rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable counter line: {line}"))
+}
+
+#[test]
+fn overlap_counters_surface_in_structural_summary() {
+    let ics = golden_ics(96, 42);
+    let (_, trace) = msg::run_observed(Machine::ideal(RANKS as u32), RANKS, |comm| {
+        let size = comm.size();
+        let rank = comm.rank();
+        let mine: Vec<_> = ics
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % size == rank)
+            .map(|(_, b)| *b)
+            .collect();
+        parallel_accelerations(comm, mine, &ParallelConfig::default());
+    });
+    let summary = obs::structural_summary(&trace);
+
+    for name in [
+        "walk.deferred",
+        "walk.resumed",
+        "abm.coalesced",
+        "abm.flush_deadline",
+    ] {
+        assert!(
+            summary.contains(&format!("counter {name} ")),
+            "structural summary lost the {name} counter:\n{summary}"
+        );
+    }
+
+    // A 4-rank strided split of a Plummer ball cannot satisfy every MAC
+    // test locally, so the engine must actually have overlapped: walks
+    // parked on remote fetches, and every park was matched by exactly
+    // one resume once its reply landed.
+    let deferred = counter_total(&summary, "walk.deferred");
+    let resumed = counter_total(&summary, "walk.resumed");
+    assert!(deferred > 0, "no walk ever deferred on a remote fetch");
+    assert_eq!(
+        deferred, resumed,
+        "parked walks leaked: {deferred} parks vs {resumed} resumes"
+    );
+}

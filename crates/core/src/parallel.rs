@@ -89,6 +89,11 @@ pub struct ParallelConfig {
     /// Disable latency hiding: process one walk to completion at a time,
     /// blocking on every remote fetch (the ablation baseline).
     pub latency_hiding: bool,
+    /// Adaptive ABM aggregation: flush request/reply batches when they
+    /// reach a byte budget or a virtual-time deadline, not only when the
+    /// message count fills. Keeps parked walks from waiting on a batch
+    /// sized for peak throughput during the sparse tail of a walk phase.
+    pub adaptive: bool,
 }
 
 impl Default for ParallelConfig {
@@ -98,7 +103,27 @@ impl Default for ParallelConfig {
             batch: 64,
             cpu_eff: 790.0 / 5060.0,
             latency_hiding: true,
+            adaptive: true,
         }
+    }
+}
+
+/// Wire budget per adaptive batch (about one TCP segment of requests).
+const ADAPTIVE_BYTES: usize = 4096;
+/// Virtual age at which a partially-filled batch is flushed anyway
+/// (a couple of network latencies; see `netsim::LibraryProfile::tcp`).
+const ADAPTIVE_DEADLINE_S: f64 = 2.0e-4;
+
+fn tune<M>(abm: Abm<M>, adaptive: bool) -> Abm<M>
+where
+    M: Send + 'static,
+    Vec<M>: msg::payload::Payload,
+{
+    if adaptive {
+        abm.with_byte_budget(ADAPTIVE_BYTES)
+            .with_deadline(ADAPTIVE_DEADLINE_S)
+    } else {
+        abm
     }
 }
 
@@ -108,6 +133,14 @@ struct Walk {
     out: Accel,
     p2p: u64,
     m2p: u64,
+    /// Interaction list accumulated across suspensions: accepted
+    /// multipoles (with their evaluation point) and gathered leaf
+    /// bodies. Evaluated exactly once, at walk completion, so the
+    /// floating-point summation order — and hence the accelerations —
+    /// are a pure function of the traversal, independent of where the
+    /// walk happened to suspend or how messages were scheduled.
+    icells: Vec<([f64; 3], Multipole)>,
+    ibodies: Vec<([f64; 3], f64)>,
 }
 
 enum StepOutcome {
@@ -123,8 +156,12 @@ struct Ghost {
 
 struct PendingChildren {
     remaining: usize,
-    moms: HashMap<u8, Vec<Multipole>>,
-    counts: HashMap<u8, u32>,
+    /// Partial child moments per octant, tagged with the contributing
+    /// rank. Merged in (octant, rank) order at completion so the M2M
+    /// combine — and the merged moments' floating-point values — depend
+    /// only on the decomposition, never on reply arrival order.
+    moms: [Vec<(usize, Multipole)>; 8],
+    counts: [u32; 8],
     waiting: Vec<u32>,
 }
 
@@ -150,6 +187,18 @@ struct Engine<'a> {
     rep_children: Abm<CellPartial>,
     req_bodies: Abm<u64>,
     rep_bodies: Abm<BodyPart>,
+    /// Walk suspensions (context switches to another walk while a remote
+    /// fetch is in flight).
+    deferred: u64,
+    /// Parked walks woken by a completed fetch.
+    resumed: u64,
+    /// Requests collapsed into an already-in-flight pending fetch: a
+    /// second walk asking for a cell someone already requested joins the
+    /// waiter list instead of generating wire traffic. The ABM batches
+    /// have their own duplicate check ([`Abm::post_unique`]), but the
+    /// pending map catches duplicates first, so this is where nearly all
+    /// coalescing lands.
+    coalesced: u64,
     /// Interactions accumulated since the last virtual-time charge.
     uncharged: u64,
     /// Batches already reported to the termination counter; lets
@@ -177,10 +226,13 @@ impl<'a> Engine<'a> {
             ghost_bodies: HashMap::new(),
             pending_children: HashMap::new(),
             pending_bodies: HashMap::new(),
-            req_children: Abm::new(comm.size(), 1, cfg.batch),
-            rep_children: Abm::new(comm.size(), 2, cfg.batch * 4),
-            req_bodies: Abm::new(comm.size(), 3, cfg.batch),
-            rep_bodies: Abm::new(comm.size(), 4, cfg.batch * 4),
+            req_children: tune(Abm::new(comm.size(), 1, cfg.batch), cfg.adaptive),
+            rep_children: tune(Abm::new(comm.size(), 2, cfg.batch * 4), cfg.adaptive),
+            req_bodies: tune(Abm::new(comm.size(), 3, cfg.batch), cfg.adaptive),
+            rep_bodies: tune(Abm::new(comm.size(), 4, cfg.batch * 4), cfg.adaptive),
+            deferred: 0,
+            resumed: 0,
+            coalesced: 0,
             uncharged: 0,
             reported_sent: 0,
         }
@@ -290,7 +342,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        for (_src, parts) in self.rep_children.poll(comm) {
+        for (src, parts) in self.rep_children.poll(comm) {
             received += 1;
             for p in parts {
                 let Some(pending) = self.pending_children.get_mut(&p.parent) else {
@@ -303,13 +355,16 @@ impl<'a> Engine<'a> {
                         self.finalize_children(Key(p.parent), done, &mut wake);
                     }
                 } else {
-                    pending.moms.entry(p.oct).or_default().push(Multipole {
-                        mass: p.mass,
-                        com: p.com,
-                        quad: p.quad,
-                        bmax: p.bmax,
-                    });
-                    *pending.counts.entry(p.oct).or_insert(0) += p.nbody;
+                    pending.moms[p.oct as usize].push((
+                        src,
+                        Multipole {
+                            mass: p.mass,
+                            com: p.com,
+                            quad: p.quad,
+                            bmax: p.bmax,
+                        },
+                    ));
+                    pending.counts[p.oct as usize] += p.nbody;
                 }
             }
         }
@@ -322,7 +377,11 @@ impl<'a> Engine<'a> {
                 if p.id == u64::MAX {
                     pending.remaining -= 1;
                     if pending.remaining == 0 {
-                        let done = self.pending_bodies.remove(&p.cell).unwrap();
+                        let mut done = self.pending_bodies.remove(&p.cell).unwrap();
+                        // Canonical order: body ids are globally unique,
+                        // so sorting makes the P2P summation order (and
+                        // the resulting forces) schedule-independent.
+                        done.bodies.sort_unstable_by_key(|b| b.id);
                         wake.extend(done.waiting.iter().copied());
                         self.ghost_bodies.insert(p.cell, done.bodies);
                     }
@@ -331,24 +390,29 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.resumed += wake.len() as u64;
         (wake, received)
     }
 
-    fn finalize_children(&mut self, parent: Key, done: PendingChildren, wake: &mut Vec<u32>) {
-        let mut kids: Vec<(u8, Key)> = Vec::new();
-        for (oct, moms) in &done.moms {
-            let merged = Multipole::combine(moms);
-            let nbody = done.counts[oct];
-            if nbody == 0 {
+    fn finalize_children(&mut self, parent: Key, mut done: PendingChildren, wake: &mut Vec<u32>) {
+        let mut kids: Vec<Key> = Vec::new();
+        for oct in 0..8u8 {
+            let moms = &mut done.moms[oct as usize];
+            let nbody = done.counts[oct as usize];
+            if moms.is_empty() || nbody == 0 {
                 continue;
             }
-            let ck = parent.child(*oct);
+            // Rank order, not arrival order: the M2M combine is a
+            // floating-point sum, so this fixes the merged moments
+            // bit-for-bit across message schedules.
+            moms.sort_unstable_by_key(|&(src, _)| src);
+            let parts: Vec<Multipole> = moms.iter().map(|&(_, m)| m).collect();
+            let merged = Multipole::combine(&parts);
+            let ck = parent.child(oct);
             self.ghost.insert(ck.0, Ghost { mom: merged, nbody });
-            kids.push((*oct, ck));
+            kids.push(ck);
         }
-        kids.sort_by_key(|&(o, _)| o);
-        self.ghost_children
-            .insert(parent.0, kids.into_iter().map(|(_, k)| k).collect());
+        self.ghost_children.insert(parent.0, kids);
         wake.extend(done.waiting.iter().copied());
     }
 
@@ -356,25 +420,30 @@ impl<'a> Engine<'a> {
     fn request_children(&mut self, comm: &mut Comm, key: Key, walk_id: u32) {
         if let Some(p) = self.pending_children.get_mut(&key.0) {
             p.waiting.push(walk_id);
+            self.coalesced += 1;
             return;
         }
         let owners = self.decomp.owners_of(key);
         let remote: Vec<usize> = owners.into_iter().filter(|&r| r != self.rank).collect();
         let mut pending = PendingChildren {
             remaining: remote.len(),
-            moms: HashMap::new(),
-            counts: HashMap::new(),
+            moms: Default::default(),
+            counts: [0; 8],
             waiting: vec![walk_id],
         };
-        // Fold in our own partial immediately.
+        // Fold in our own partial immediately, tagged with our rank so
+        // the merge sorts it into the same slot every schedule.
         for part in self.partial_children(key) {
-            pending.moms.entry(part.oct).or_default().push(Multipole {
-                mass: part.mass,
-                com: part.com,
-                quad: part.quad,
-                bmax: part.bmax,
-            });
-            *pending.counts.entry(part.oct).or_insert(0) += part.nbody;
+            pending.moms[part.oct as usize].push((
+                self.rank,
+                Multipole {
+                    mass: part.mass,
+                    com: part.com,
+                    quad: part.quad,
+                    bmax: part.bmax,
+                },
+            ));
+            pending.counts[part.oct as usize] += part.nbody;
         }
         if pending.remaining == 0 {
             let mut wake = Vec::new();
@@ -383,7 +452,7 @@ impl<'a> Engine<'a> {
             return;
         }
         for dst in remote {
-            self.req_children.post(comm, dst, key.0);
+            self.req_children.post_unique(comm, dst, key.0);
         }
         self.pending_children.insert(key.0, pending);
     }
@@ -392,6 +461,7 @@ impl<'a> Engine<'a> {
     fn request_bodies(&mut self, comm: &mut Comm, key: Key, walk_id: u32) {
         if let Some(p) = self.pending_bodies.get_mut(&key.0) {
             p.waiting.push(walk_id);
+            self.coalesced += 1;
             return;
         }
         let owners = self.decomp.owners_of(key);
@@ -402,24 +472,30 @@ impl<'a> Engine<'a> {
             waiting: vec![walk_id],
         };
         if pending.remaining == 0 {
+            // Same canonical id order as the remote-merge path in
+            // `service`, so the two ways a leaf list can materialize
+            // yield identical summation order.
+            pending.bodies.sort_unstable_by_key(|b| b.id);
             self.ghost_bodies
                 .insert(key.0, std::mem::take(&mut pending.bodies));
             return;
         }
         for dst in remote {
-            self.req_bodies.post(comm, dst, key.0);
+            self.req_bodies.post_unique(comm, dst, key.0);
         }
         self.pending_bodies.insert(key.0, pending);
     }
 
     /// Advance one walk until it completes or suspends.
     ///
-    /// Accepted multipoles and leaf bodies are gathered into the
-    /// thread-local SoA scratch ([`crate::ilist`]) and evaluated as
-    /// spans when the walk exits (completion or suspension) — the same
-    /// engine the single-address-space walks use. Flushing at every
-    /// suspension point keeps the scratch free for other walks that run
-    /// while this one waits on remote data.
+    /// Accepted multipoles and leaf bodies accumulate in the walk's own
+    /// interaction list, which survives suspensions; on completion the
+    /// list is loaded into the thread-local SoA scratch
+    /// ([`crate::ilist`]) and evaluated as spans in one pass — the same
+    /// engine the single-address-space walks use. A single evaluation
+    /// (rather than one per suspension) means the summation order never
+    /// depends on where remote fetches happened to break the walk, so
+    /// deferred and blocking traversals produce bit-identical forces.
     fn run_walk(&mut self, comm: &mut Comm, walks: &mut [Walk], walk_id: u32) -> StepOutcome {
         let leaf_max = self.cfg.gravity.leaf_max;
         let quadrupole = self.cfg.gravity.quadrupole;
@@ -428,113 +504,121 @@ impl<'a> Engine<'a> {
         let pos = tree.bodies[w.body as usize].pos;
         let my_id = tree.bodies[w.body as usize].id;
 
-        let outcome = crate::ilist::with_scratch(|sc| {
-            sc.clear();
-            while let Some(key) = w.stack.pop() {
-                if self.decomp.purely_local(key, self.rank) {
-                    // Entirely ours: use the local tree (or the raw body range
-                    // when the local tree didn't subdivide this far).
-                    if let Some(idx) = tree.map.get(key) {
-                        let cell = &tree.cells[idx as usize];
-                        if cell.nbody == 0 {
-                            continue;
-                        }
-                        if self.mac.accept(cell, pos) {
-                            sc.push_cell(cell.mom.com, cell);
-                            w.m2p += 1;
-                        } else if cell.is_leaf {
-                            let first = cell.first_body as usize;
-                            for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
-                                if first + j == w.body as usize {
-                                    continue;
-                                }
-                                sc.push_body(b.pos, b.mass);
-                                w.p2p += 1;
-                            }
-                        } else {
-                            for &ch in &cell.children {
-                                if ch != crate::tree::NO_CELL {
-                                    w.stack.push(tree.cells[ch as usize].key);
-                                }
-                            }
-                        }
-                    } else {
-                        // No local cell: p2p over the (small) raw range.
-                        let (a, b) = {
-                            let (lo, hi) = key.key_range();
-                            let a = tree.keys.partition_point(|k| k.0 < lo.0);
-                            let b = tree.keys.partition_point(|k| k.0 <= hi.0);
-                            (a, b)
-                        };
-                        for j in a..b {
-                            if j == w.body as usize {
+        while let Some(key) = w.stack.pop() {
+            if self.decomp.purely_local(key, self.rank) {
+                // Entirely ours: use the local tree (or the raw body range
+                // when the local tree didn't subdivide this far).
+                if let Some(idx) = tree.map.get(key) {
+                    let cell = &tree.cells[idx as usize];
+                    if cell.nbody == 0 {
+                        continue;
+                    }
+                    if self.mac.accept(cell, pos) {
+                        w.icells.push((cell.mom.com, cell.mom));
+                        w.m2p += 1;
+                    } else if cell.is_leaf {
+                        let first = cell.first_body as usize;
+                        for (j, b) in tree.leaf_bodies(cell).iter().enumerate() {
+                            if first + j == w.body as usize {
                                 continue;
                             }
-                            let bd = &tree.bodies[j];
-                            sc.push_body(bd.pos, bd.mass);
+                            w.ibodies.push((b.pos, b.mass));
                             w.p2p += 1;
                         }
+                    } else {
+                        for &ch in &cell.children {
+                            if ch != crate::tree::NO_CELL {
+                                w.stack.push(tree.cells[ch as usize].key);
+                            }
+                        }
                     }
-                    continue;
-                }
-
-                // Shared or remote cell: use the ghost store.
-                let Some(g) = self.ghost.get(&key.0) else {
-                    panic!("walk reached key {key:?} with no ghost entry");
-                };
-                let g = g.clone();
-                if g.nbody == 0 {
-                    continue;
-                }
-                let side = if key == Key::ROOT {
-                    f64::INFINITY
                 } else {
-                    2.0 * self.decomp.bbox.cell_geometry(key).1
-                };
-                if key != Key::ROOT && self.mac.accept_raw(side, &g.mom, pos) {
-                    sc.push_mom(g.mom.com, &g.mom);
-                    w.m2p += 1;
-                } else if g.nbody as usize <= leaf_max || key.level() == MAX_LEVEL {
-                    if let Some(parts) = self.ghost_bodies.get(&key.0) {
-                        for p in parts {
-                            if p.id == my_id {
-                                continue;
-                            }
-                            sc.push_body(p.pos, p.mass);
-                            w.p2p += 1;
-                        }
-                    } else {
-                        w.stack.push(key);
-                        let wid = walk_id;
-                        self.request_bodies(comm, key, wid);
-                        if self.ghost_bodies.contains_key(&key.0) {
-                            // Satisfied locally without any remote owner.
+                    // No local cell: p2p over the (small) raw range.
+                    let (a, b) = {
+                        let (lo, hi) = key.key_range();
+                        let a = tree.keys.partition_point(|k| k.0 < lo.0);
+                        let b = tree.keys.partition_point(|k| k.0 <= hi.0);
+                        (a, b)
+                    };
+                    for j in a..b {
+                        if j == w.body as usize {
                             continue;
                         }
-                        sc.eval(pos, self.eps2, quadrupole, &mut w.out);
-                        return StepOutcome::Suspended;
+                        let bd = &tree.bodies[j];
+                        w.ibodies.push((bd.pos, bd.mass));
+                        w.p2p += 1;
                     }
-                } else if let Some(kids) = self.ghost_children.get(&key.0) {
-                    for k in kids {
-                        w.stack.push(*k);
+                }
+                continue;
+            }
+
+            // Shared or remote cell: use the ghost store.
+            let Some(g) = self.ghost.get(&key.0) else {
+                panic!("walk reached key {key:?} with no ghost entry");
+            };
+            let g = g.clone();
+            if g.nbody == 0 {
+                continue;
+            }
+            let side = if key == Key::ROOT {
+                f64::INFINITY
+            } else {
+                2.0 * self.decomp.bbox.cell_geometry(key).1
+            };
+            if key != Key::ROOT && self.mac.accept_raw(side, &g.mom, pos) {
+                w.icells.push((g.mom.com, g.mom));
+                w.m2p += 1;
+            } else if g.nbody as usize <= leaf_max || key.level() == MAX_LEVEL {
+                if let Some(parts) = self.ghost_bodies.get(&key.0) {
+                    for p in parts {
+                        if p.id == my_id {
+                            continue;
+                        }
+                        w.ibodies.push((p.pos, p.mass));
+                        w.p2p += 1;
                     }
                 } else {
                     w.stack.push(key);
-                    self.request_children(comm, key, walk_id);
-                    if self.ghost_children.contains_key(&key.0) {
+                    let wid = walk_id;
+                    self.request_bodies(comm, key, wid);
+                    if self.ghost_bodies.contains_key(&key.0) {
+                        // Satisfied locally without any remote owner.
                         continue;
                     }
-                    sc.eval(pos, self.eps2, quadrupole, &mut w.out);
+                    self.deferred += 1;
                     return StepOutcome::Suspended;
                 }
+            } else if let Some(kids) = self.ghost_children.get(&key.0) {
+                for k in kids {
+                    w.stack.push(*k);
+                }
+            } else {
+                w.stack.push(key);
+                self.request_children(comm, key, walk_id);
+                if self.ghost_children.contains_key(&key.0) {
+                    continue;
+                }
+                self.deferred += 1;
+                return StepOutcome::Suspended;
+            }
+        }
+
+        // Single evaluation of the whole gathered list.
+        crate::ilist::with_scratch(|sc| {
+            sc.clear();
+            for (com, mom) in &w.icells {
+                sc.push_mom(*com, mom);
+            }
+            for (p, m) in &w.ibodies {
+                sc.push_body(*p, *m);
             }
             sc.eval(pos, self.eps2, quadrupole, &mut w.out);
-            StepOutcome::Complete
         });
-        if matches!(outcome, StepOutcome::Complete) {
-            self.uncharged += w.p2p + w.m2p;
-        }
-        outcome
+        // Completed walks never run again; return the list's memory.
+        w.icells = Vec::new();
+        w.ibodies = Vec::new();
+        self.uncharged += w.p2p + w.m2p;
+        StepOutcome::Complete
     }
 
     /// Charge accumulated interactions to the virtual clock.
@@ -614,6 +698,8 @@ pub fn parallel_accelerations(
             out: Accel::default(),
             p2p: 0,
             m2p: 0,
+            icells: Vec::new(),
+            ibodies: Vec::new(),
         })
         .collect();
     let mut active: VecDeque<u32> = (0..nlocal as u32).collect();
@@ -692,6 +778,26 @@ pub fn parallel_accelerations(
     // replicated chaos driver records).
     comm.obs_count("walk.interactions", stats.p2p + stats.m2p);
     comm.obs_count("walk.requests", requests);
+    // Latency-hiding telemetry: how often walks context-switched on a
+    // remote fetch, how often a reply woke one, and how much the adaptive
+    // aggregation reshaped wire traffic.
+    comm.obs_count("walk.deferred", engine.deferred);
+    comm.obs_count("walk.resumed", engine.resumed);
+    comm.obs_count(
+        "abm.coalesced",
+        engine.coalesced
+            + engine.req_children.coalesced
+            + engine.rep_children.coalesced
+            + engine.req_bodies.coalesced
+            + engine.rep_bodies.coalesced,
+    );
+    comm.obs_count(
+        "abm.flush_deadline",
+        engine.req_children.deadline_flushes
+            + engine.rep_children.deadline_flushes
+            + engine.req_bodies.deadline_flushes
+            + engine.rep_bodies.deadline_flushes,
+    );
     let vtime = comm.time();
     ParallelResult {
         bodies: tree.map_or(Vec::new(), |t| t.bodies),
@@ -798,6 +904,44 @@ mod tests {
         let par = run_parallel(&all, 2, &cfg);
         let ser = serial_reference(&all, &cfg.gravity);
         assert_close(&par, &ser, 1e-3);
+    }
+
+    #[test]
+    fn deferred_walk_forces_bit_identical_to_blocking() {
+        // The latency-hiding engine gathers each walk's interaction list
+        // across suspensions and evaluates it once, merges partial
+        // moments in rank order, and keeps leaf imports in id order — so
+        // the deferred traversal must reproduce the blocking traversal's
+        // forces bit for bit, at any rank count, regardless of how the
+        // message schedule interleaved the fetches.
+        let all = plummer(192, 77);
+        for &nranks in &[1usize, 2, 4, 16] {
+            let mode = |hide: bool| {
+                let cfg = ParallelConfig {
+                    latency_hiding: hide,
+                    ..Default::default()
+                };
+                run_parallel(&all, nranks, &cfg)
+            };
+            let deferred = mode(true);
+            let blocking = mode(false);
+            assert_eq!(deferred.len(), blocking.len());
+            for ((id_d, a), (id_b, b)) in deferred.iter().zip(&blocking) {
+                assert_eq!(id_d, id_b);
+                assert_eq!(
+                    a.pot.to_bits(),
+                    b.pot.to_bits(),
+                    "{nranks} ranks, body {id_d}: potential differs"
+                );
+                for d in 0..3 {
+                    assert_eq!(
+                        a.acc[d].to_bits(),
+                        b.acc[d].to_bits(),
+                        "{nranks} ranks, body {id_d}, axis {d}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

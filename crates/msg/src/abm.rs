@@ -23,13 +23,34 @@ const TOKEN_TAG: Tag = (1 << 61) | 1;
 const DONE_TAG: Tag = (1 << 61) | 2;
 
 /// A batching sender/receiver for messages of type `M`.
+///
+/// Batches flush through **one** routine ([`Abm::flush_dst`]) regardless of
+/// what triggered the flush — count limit, byte budget, deadline, or an
+/// explicit [`Abm::flush_all`] — so the Safra `sent` counter is updated in
+/// exactly one place and cannot diverge between flush paths again (the
+/// PR-1/PR-5 mutant family).
 pub struct Abm<M> {
     out: Vec<Vec<M>>,
     batch_limit: usize,
+    /// Flush a destination once its queued batch would occupy this many
+    /// wire bytes (the paper's "a few kilobytes"), even below the count
+    /// limit. `None` disables byte budgeting.
+    byte_budget: Option<usize>,
+    /// Flush a destination once its oldest queued message has waited this
+    /// long in virtual time. Checked in [`Abm::poll`]. `None` disables
+    /// deadlines.
+    deadline_s: Option<f64>,
+    /// Virtual time the oldest queued message was posted, per dst
+    /// (`f64::INFINITY` when the queue is empty).
+    oldest_s: Vec<f64>,
     tag: Tag,
     /// Batches sent and received, for the termination counter.
     pub sent: u64,
     pub received: u64,
+    /// Duplicate messages collapsed by [`Abm::post_unique`].
+    pub coalesced: u64,
+    /// Batches flushed because their virtual-time deadline expired.
+    pub deadline_flushes: u64,
     /// Mutation-teeth switch (test builds only): reintroduce the PR-1
     /// Safra send under-count — auto-flushed batches escape `sent` — so
     /// the schedule checker can prove its oracles catch that bug class.
@@ -49,28 +70,85 @@ where
         Abm {
             out: (0..size).map(|_| Vec::new()).collect(),
             batch_limit,
+            byte_budget: None,
+            deadline_s: None,
+            oldest_s: vec![f64::INFINITY; size],
             tag: ABM_BIT | (channel as Tag),
             sent: 0,
             received: 0,
+            coalesced: 0,
+            deadline_flushes: 0,
             #[cfg(test)]
             undercount_auto_flush: false,
         }
     }
 
-    /// Queue `m` for `dst`, flushing that destination's batch if full.
+    /// Also flush a destination when its queued batch reaches `bytes` on
+    /// the wire. Keeps latency-bound request channels from waiting for a
+    /// count limit sized for small messages.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1);
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// Also flush a destination once its oldest queued message has aged
+    /// `seconds` of virtual time (checked on every [`Abm::poll`]).
+    /// Bounds the latency a partially-filled batch can add to a parked
+    /// remote request.
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Queue `m` for `dst`, flushing that destination's batch if the
+    /// count limit or byte budget is reached.
     pub fn post(&mut self, comm: &mut Comm, dst: usize, m: M) {
+        if self.out[dst].is_empty() {
+            self.oldest_s[dst] = comm.time();
+        }
         self.out[dst].push(m);
-        if self.out[dst].len() >= self.batch_limit {
-            self.flush_one(comm, dst, true);
+        let full = self.out[dst].len() >= self.batch_limit
+            || self
+                .byte_budget
+                .is_some_and(|b| self.out[dst].wire_bytes() >= b);
+        if full {
+            self.flush_dst(comm, dst, true);
         }
     }
 
-    fn flush_one(&mut self, comm: &mut Comm, dst: usize, auto: bool) {
+    /// Queue `m` for `dst` unless an identical message is already queued
+    /// there, in which case the duplicate is dropped and counted in
+    /// [`Abm::coalesced`]. Returns whether the message was queued.
+    ///
+    /// This is request coalescing for fetch-type channels: two walks
+    /// asking the same owner for the same cell inside one batching window
+    /// collapse into a single wire request (the caller fans the one reply
+    /// out to every waiter).
+    pub fn post_unique(&mut self, comm: &mut Comm, dst: usize, m: M) -> bool
+    where
+        M: PartialEq,
+    {
+        if self.out[dst].contains(&m) {
+            self.coalesced += 1;
+            return false;
+        }
+        self.post(comm, dst, m);
+        true
+    }
+
+    /// The single flush routine: every trigger funnels here so `sent`
+    /// accounting has exactly one home. `auto` marks flushes initiated
+    /// by the batcher itself (limit/budget/deadline) rather than by an
+    /// explicit `flush_all`.
+    fn flush_dst(&mut self, comm: &mut Comm, dst: usize, auto: bool) {
         let _ = auto;
         if self.out[dst].is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.out[dst]);
+        self.oldest_s[dst] = f64::INFINITY;
         comm.send(dst, self.tag, batch);
         #[cfg(test)]
         if auto && self.undercount_auto_flush {
@@ -87,12 +165,29 @@ where
     /// Flush every pending batch (call when out of other work).
     pub fn flush_all(&mut self, comm: &mut Comm) {
         for dst in 0..self.out.len() {
-            self.flush_one(comm, dst, false);
+            self.flush_dst(comm, dst, false);
+        }
+    }
+
+    /// Flush destinations whose oldest queued message has outlived the
+    /// deadline. No-op unless [`Abm::with_deadline`] was set.
+    fn flush_expired(&mut self, comm: &mut Comm) {
+        let Some(deadline) = self.deadline_s else {
+            return;
+        };
+        let now = comm.time();
+        for dst in 0..self.out.len() {
+            if now - self.oldest_s[dst] >= deadline {
+                self.flush_dst(comm, dst, true);
+                self.deadline_flushes += 1;
+            }
         }
     }
 
     /// Drain all currently available batches: `(source, messages)` pairs.
+    /// Also retires any batches whose flush deadline has expired.
     pub fn poll(&mut self, comm: &mut Comm) -> Vec<(usize, Vec<M>)> {
+        self.flush_expired(comm);
         let mut got = Vec::new();
         while let Some((src, batch)) = comm.try_recv::<Vec<M>>(None, self.tag) {
             self.received += 1;
@@ -235,6 +330,92 @@ mod tests {
                 }
                 got.sort_unstable();
                 assert_eq!(got, (0..7).collect::<Vec<u64>>());
+            }
+        });
+    }
+
+    #[test]
+    fn byte_budget_flushes_before_count_limit() {
+        run(2, |c| {
+            // Count limit 1000 would never trip; the 32-byte budget does,
+            // every 4 u64s.
+            let mut abm: Abm<u64> = Abm::new(c.size(), 0, 1000).with_byte_budget(32);
+            if c.rank() == 0 {
+                for i in 0..10u64 {
+                    abm.post(c, 1, i);
+                }
+                assert_eq!(abm.pending(), 2); // 10 = 4 + 4 + 2 queued
+                assert_eq!(abm.sent, 2);
+                abm.flush_all(c);
+                assert_eq!(abm.sent, 3);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 10 {
+                    for (_, batch) in abm.poll(c) {
+                        got.extend(batch);
+                    }
+                    std::thread::yield_now();
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..10).collect::<Vec<u64>>());
+            }
+        });
+    }
+
+    #[test]
+    fn deadline_flushes_aged_batches_on_poll() {
+        run(2, |c| {
+            let mut abm: Abm<u64> = Abm::new(c.size(), 0, 1000).with_deadline(1.0e-3);
+            if c.rank() == 0 {
+                abm.post(c, 1, 7);
+                // Young batch: polling now must not flush it.
+                let _ = abm.poll(c);
+                assert_eq!(abm.pending(), 1);
+                assert_eq!(abm.deadline_flushes, 0);
+                // Age past the deadline in virtual time, then poll.
+                c.elapse(2.0e-3);
+                let _ = abm.poll(c);
+                assert_eq!(abm.pending(), 0);
+                assert_eq!(abm.deadline_flushes, 1);
+                assert_eq!(abm.sent, 1);
+            } else {
+                let mut got = Vec::new();
+                while got.is_empty() {
+                    for (_, batch) in abm.poll(c) {
+                        got.extend(batch);
+                    }
+                    std::thread::yield_now();
+                }
+                assert_eq!(got, vec![7]);
+            }
+        });
+    }
+
+    #[test]
+    fn post_unique_coalesces_duplicates_in_window() {
+        run(2, |c| {
+            let mut abm: Abm<u64> = Abm::new(c.size(), 0, 100);
+            if c.rank() == 0 {
+                assert!(abm.post_unique(c, 1, 42));
+                assert!(!abm.post_unique(c, 1, 42)); // duplicate: dropped
+                assert!(abm.post_unique(c, 1, 43));
+                assert_eq!(abm.coalesced, 1);
+                assert_eq!(abm.pending(), 2);
+                abm.flush_all(c);
+                // After the flush the window is clear: same key queues again.
+                assert!(abm.post_unique(c, 1, 42));
+                assert_eq!(abm.coalesced, 1);
+                abm.flush_all(c);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 3 {
+                    for (_, batch) in abm.poll(c) {
+                        got.extend(batch);
+                    }
+                    std::thread::yield_now();
+                }
+                got.sort_unstable();
+                assert_eq!(got, vec![42, 42, 43]);
             }
         });
     }

@@ -1,9 +1,11 @@
 //! Collective operations built on point-to-point messaging.
 //!
-//! All collectives use logarithmic algorithms (binomial trees,
-//! dissemination, recursive doubling) — the same family MPICH and LAM used
-//! on the Space Simulator. Every rank must call collectives in the same
-//! order; a per-`Comm` sequence number keeps consecutive collectives from
+//! Collectives use the algorithm families MPICH and LAM used on the Space
+//! Simulator: logarithmic trees (binomial, dissemination, recursive
+//! doubling) where the dependency chain matters, and direct exchanges
+//! where overlapped small messages beat extra rounds (allgather,
+//! alltoallv). Every rank must call collectives in the same order; a
+//! per-`Comm` sequence number keeps consecutive collectives from
 //! interfering.
 
 use crate::comm::{Comm, Tag};
@@ -160,7 +162,19 @@ impl Comm {
         Some(slots.into_iter().map(Option::unwrap).collect())
     }
 
-    /// Every rank gets every rank's value, in rank order (ring algorithm).
+    /// Every rank gets every rank's value, in rank order (staggered direct
+    /// exchange).
+    ///
+    /// For the small per-rank contributions a treecode exchanges (a few
+    /// hundred bytes) the ring algorithm is a poor fit: its critical path
+    /// is `P-1` *serialized* hops of one-way latency each, ~1.2 ms at
+    /// P = 16 on the 79 µs gigabit fabric. Sends here are asynchronous, so
+    /// posting all `P-1` copies up front and then receiving from each peer
+    /// costs one latency plus `P-1` serialization/overhead terms — the
+    /// round-trips all overlap. The wire message count per rank is the
+    /// same as the ring's (`P-1` sends); only the dependency chain changes.
+    /// Destinations are staggered (`rank+1, rank+2, …`) so no receiver's
+    /// NIC sees all senders at the same instant.
     pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
         self.with_span("coll.allgather", |c| c.allgather_inner(value))
     }
@@ -170,15 +184,14 @@ impl Comm {
         let (rank, size) = (self.rank(), self.size());
         let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
         slots[rank] = Some(value.clone());
-        let right = (rank + 1) % size;
-        let left = (rank + size - 1) % size;
-        let mut carry = value;
-        for step in 0..size - 1 {
-            self.send(right, tag, carry);
-            let (_, v) = self.recv::<T>(Some(left), tag);
-            let origin = (rank + size - 1 - step) % size;
-            slots[origin] = Some(v.clone());
-            carry = v;
+        for k in 1..size {
+            let dst = (rank + k) % size;
+            self.send(dst, tag, value.clone());
+        }
+        for k in 1..size {
+            let src = (rank + k) % size;
+            let (_, v) = self.recv::<T>(Some(src), tag);
+            slots[src] = Some(v);
         }
         slots.into_iter().map(Option::unwrap).collect()
     }

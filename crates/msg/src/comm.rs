@@ -19,6 +19,7 @@ use crate::payload::{AnyPayload, Payload};
 use crate::sched::{SchedCtx, Stall, StallAbort};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{RankTrace, Recorder, WorldTrace};
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::panic_any;
 use std::sync::atomic::Ordering;
@@ -35,6 +36,13 @@ pub const HEADER_BYTES: usize = 32;
 /// Real time a fault-mode rank blocks on its channel between transport
 /// timer checks (retransmits must fire even when no message ever comes).
 const POLL_WALL: Duration = Duration::from_micros(100);
+
+/// Consecutive empty channel polls before the event-driven idle skip may
+/// warp the virtual clock to the next transport deadline. 64 polls of
+/// `POLL_WALL` gives a busy peer ~6.4 ms of wall time to reply — slightly
+/// more than the default tuning's old creep allowed (40 wakeups per RTO)
+/// — before a retransmit can fire early.
+const IDLE_WARP_POLLS: u32 = 64;
 
 /// What a packet is at the transport level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +85,64 @@ impl Packet {
             edge: self.edge,
             data: self.data.clone_box(),
         }
+    }
+}
+
+/// Arena-backed mailbox. Packets live in stable slots; arrival order is a
+/// deque of slot ids. A `Vec<Packet>` mailbox pays a memmove of every
+/// queued packet on each in-order take (quadratic over a burst, and each
+/// moved element is a fat `Packet` with a boxed payload), which dominated
+/// profiles once ABM batching let hundreds of packets queue per rank. Here
+/// the common FIFO take is a `pop_front` of a `u32`, matching scans walk
+/// ids instead of moving packets, and freed slots recycle so a long run
+/// settles into a fixed allocation footprint instead of churning the
+/// allocator per message.
+#[derive(Default)]
+struct Mailbox {
+    slots: Vec<Option<Packet>>,
+    /// Slot ids in arrival order — the FIFO contract lives here.
+    order: VecDeque<u32>,
+    free: Vec<u32>,
+}
+
+impl Mailbox {
+    fn push(&mut self, pkt: Packet) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(pkt);
+                id
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.order.push_back(id);
+    }
+
+    /// Queued packets in arrival order.
+    fn iter(&self) -> impl Iterator<Item = &Packet> + '_ {
+        self.order
+            .iter()
+            .map(|&id| self.slots[id as usize].as_ref().expect("live slot"))
+    }
+
+    /// Arrival-order position of the first packet matching `pred`.
+    fn position(&self, mut pred: impl FnMut(&Packet) -> bool) -> Option<usize> {
+        self.iter().position(&mut pred)
+    }
+
+    /// Remove and return the packet at arrival-order position `pos`.
+    /// Removal from the order deque keeps every other packet in place:
+    /// the mailbox must stay in arrival order or a (src, tag) stream
+    /// with three or more queued packets gets reordered, breaking
+    /// protocols that rely on FIFO delivery (e.g. the treecode's
+    /// part/terminator reply streams).
+    fn remove(&mut self, pos: usize) -> Packet {
+        let id = self.order.remove(pos).expect("position in order");
+        let pkt = self.slots[id as usize].take().expect("live slot");
+        self.free.push(id);
+        pkt
     }
 }
 
@@ -153,12 +219,15 @@ pub struct Comm {
     machine: Machine,
     senders: Vec<Sender<Packet>>,
     rx: Receiver<Packet>,
-    mailbox: Vec<Packet>,
+    mailbox: Mailbox,
     pub(crate) coll_seq: u64,
     /// Monotone happens-before edge counter (one per logical message,
     /// shared across destinations, so sends are seq-sorted by time).
     edge_seq: u64,
     stats: CommStats,
+    /// Consecutive empty channel polls; resets on any packet pull. Gates
+    /// the event-driven idle skip (see `idle_quantum`).
+    idle_polls: u32,
     /// Reliable transport + fault injection; `None` on fault-free worlds.
     pub(crate) fault: Option<Box<FaultCtx>>,
     /// Adversarial delivery scheduler (`crate::sched`); `None` — the
@@ -186,10 +255,11 @@ impl Comm {
             machine,
             senders,
             rx,
-            mailbox: Vec::new(),
+            mailbox: Mailbox::default(),
             coll_seq: 0,
             edge_seq: 0,
             stats: CommStats::default(),
+            idle_polls: 0,
             fault,
             sched: None,
             obs: None,
@@ -216,7 +286,8 @@ impl Comm {
     /// Account one packet pulled off this rank's channel (scheduled
     /// worlds only; see `SchedShared::inflight`).
     #[inline]
-    fn note_rx_pull(&self) {
+    fn note_rx_pull(&mut self) {
+        self.idle_polls = 0;
         if let Some(s) = &self.sched {
             s.shared.inflight.fetch_sub(1, Ordering::SeqCst);
         }
@@ -459,6 +530,73 @@ impl Comm {
         }
     }
 
+    /// Virtual seconds to charge for one empty poll of the channel.
+    ///
+    /// Event-driven skip: an idle rank used to creep toward its next
+    /// retransmit deadline one `poll_s` quantum at a time — at the default
+    /// tuning that is 40 empty wakeups (each a real 100 µs channel wait)
+    /// per RTO, and it dominated wall-clock time in large fault scenarios.
+    /// When the transport has a pending self-driven event (a retransmit
+    /// deadline with data outstanding, or a reorder hold's release), jump
+    /// the clock straight to it: no message can originate from *this* rank
+    /// in between, so the intermediate quanta were pure spin. The jump is
+    /// capped at the rank's scheduled crash time so a crash still fires at
+    /// the same virtual instant, and never fires when the transport is
+    /// idle (only a peer can wake us; keep the modeled polling charge) or
+    /// when `poll_s == 0` (the deterministic profile parks retransmit
+    /// deadlines at 1e9 s precisely so the clock never moves on a poll).
+    ///
+    /// Hysteresis: virtual clocks are per-rank, so an outstanding packet's
+    /// ack may still be in flight *in wall time* even though our virtual
+    /// deadline is near. Warping on the first empty poll would fire
+    /// spurious retransmits whenever a peer needs more than one 100 µs
+    /// channel wait to respond. Only warp once `IDLE_WARP_POLLS`
+    /// consecutive polls have come back empty — that keeps the wall-clock
+    /// grace close to what the old quantum creep allowed (deadline/poll_s
+    /// wakeups), while still collapsing the long tail (backed-off RTOs,
+    /// reorder holds) into a single jump.
+    fn idle_quantum(&self, ctx: &FaultCtx) -> f64 {
+        let poll = ctx.cfg.poll_s;
+        if poll <= 0.0 {
+            return poll;
+        }
+        if self.idle_polls < IDLE_WARP_POLLS {
+            return poll;
+        }
+        let mut next = f64::INFINITY;
+        for tx in &ctx.tx {
+            if !tx.unacked.is_empty() {
+                next = next.min(tx.deadline);
+            }
+        }
+        for held in ctx.held.iter().flatten() {
+            next = next.min(held.release_at);
+        }
+        if !next.is_finite() {
+            return poll;
+        }
+        next = next.min(ctx.crash_at);
+        if next > self.clock + poll {
+            next - self.clock
+        } else {
+            poll
+        }
+    }
+
+    /// `idle_quantum` plus the hysteresis bookkeeping: call once per
+    /// channel-poll attempt. A warp consumes the accumulated idle credit
+    /// (the next warp needs a fresh run of empty polls); an ordinary
+    /// quantum accrues one.
+    fn idle_step(&mut self, ctx: &FaultCtx) -> f64 {
+        let dt = self.idle_quantum(ctx);
+        if dt > ctx.cfg.poll_s {
+            self.idle_polls = 0;
+        } else {
+            self.idle_polls = self.idle_polls.saturating_add(1);
+        }
+        dt
+    }
+
     fn matches(pkt: &Packet, src: Option<usize>, tag: Tag) -> bool {
         pkt.tag == tag && src.is_none_or(|s| pkt.src == s)
     }
@@ -475,10 +613,7 @@ impl Comm {
         if src.is_none() {
             if let Some(sched) = self.sched.as_deref_mut() {
                 if let Some(want) = sched.replay_want() {
-                    let idx = self
-                        .mailbox
-                        .iter()
-                        .position(|p| p.tag == tag && p.src == want)?;
+                    let idx = self.mailbox.position(|p| p.tag == tag && p.src == want)?;
                     sched.log_match(want, true);
                     return Some(self.mailbox.remove(idx));
                 }
@@ -511,14 +646,7 @@ impl Comm {
                 }
             }
         }
-        let idx = self
-            .mailbox
-            .iter()
-            .position(|p| Self::matches(p, src, tag))?;
-        // Plain remove, not swap_remove: the mailbox must stay in arrival
-        // order or a (src, tag) stream with three or more queued packets
-        // gets reordered, breaking protocols that rely on FIFO delivery
-        // (e.g. the treecode's part/terminator reply streams).
+        let idx = self.mailbox.position(|p| Self::matches(p, src, tag))?;
         let pkt = self.mailbox.remove(idx);
         if src.is_none() {
             if let Some(s) = self.sched.as_deref_mut() {
@@ -628,7 +756,7 @@ impl Comm {
                 self.note_rx_pull();
                 self.ingest(&mut ctx, pkt);
             }
-            let poll_s = ctx.cfg.poll_s;
+            let idle_dt = self.idle_step(&ctx);
             // A rank with unacked or held packets will make progress on
             // its own (timers fire as the poll charge advances its
             // clock), so only a transport-idle rank counts as parked for
@@ -675,10 +803,11 @@ impl Comm {
                         }
                         shared.parked.fetch_sub(1, Ordering::SeqCst);
                     }
-                    // Charge an idle polling quantum so virtual time moves
-                    // and ack timeouts can expire while we sit here.
-                    self.clock += poll_s;
-                    self.stats.wait_s += poll_s;
+                    // Charge the idle quantum so virtual time moves and
+                    // ack timeouts can expire while we sit here (jumping
+                    // straight to the next timer when one is pending).
+                    self.clock += idle_dt;
+                    self.stats.wait_s += idle_dt;
                 }
                 Err(RecvTimeoutError::Disconnected) => panic!("world disconnected"),
             }
@@ -781,8 +910,9 @@ impl Comm {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if let Some(ctx) = &self.fault {
-                        let dt = ctx.cfg.poll_s;
+                    if let Some(ctx) = self.fault.take() {
+                        let dt = self.idle_step(&ctx);
+                        self.fault = Some(ctx);
                         self.clock += dt;
                         self.stats.wait_s += dt;
                     }
@@ -1045,7 +1175,7 @@ impl Comm {
             }
             let empty =
                 ctx.tx.iter().all(|t| t.unacked.is_empty()) && ctx.held.iter().all(Option::is_none);
-            let poll_s = ctx.cfg.poll_s;
+            let idle_dt = self.idle_step(&ctx);
             let drained = ctx.drained.clone();
             self.fault = Some(ctx);
             if empty && !counted {
@@ -1101,7 +1231,7 @@ impl Comm {
                         }
                         shared.parked.fetch_sub(1, Ordering::SeqCst);
                     }
-                    self.clock += poll_s;
+                    self.clock += idle_dt;
                 }
                 Err(RecvTimeoutError::Disconnected) => return,
             }
@@ -1281,6 +1411,39 @@ mod tests {
                 assert_eq!(got, vec![1, 2, 3]);
             }
         });
+    }
+
+    fn raw_pkt(src: usize, tag: Tag) -> Packet {
+        Packet {
+            src,
+            tag,
+            arrival: 0.0,
+            kind: WireKind::Raw,
+            corrupt: false,
+            edge: NO_EDGE,
+            data: Box::new(0u64),
+        }
+    }
+
+    #[test]
+    fn mailbox_arena_preserves_fifo_across_slot_reuse() {
+        let mut mb = Mailbox::default();
+        for tag in 0..4 {
+            mb.push(raw_pkt(0, tag));
+        }
+        // An out-of-order take from the middle frees a slot...
+        let idx = mb.position(|p| p.tag == 1).expect("tag 1 queued");
+        assert_eq!(mb.remove(idx).tag, 1);
+        // ...which the next push must recycle without disturbing the
+        // arrival order of everything already queued.
+        mb.push(raw_pkt(0, 4));
+        let tags: Vec<Tag> = mb.iter().map(|p| p.tag).collect();
+        assert_eq!(tags, vec![0, 2, 3, 4]);
+        assert_eq!(mb.slots.len(), 4, "freed slot recycled, arena did not grow");
+        for want in [0, 2, 3, 4] {
+            assert_eq!(mb.remove(0).tag, want);
+        }
+        assert!(mb.iter().next().is_none());
     }
 
     #[test]

@@ -711,6 +711,47 @@ mod tests {
     }
 
     #[test]
+    fn idle_rank_jumps_to_retransmit_deadline() {
+        // A dead port eats the first copy; the only recovery is the
+        // retransmit timer at t = 200 s virtual. Creeping there one 50 µs
+        // poll quantum per 100 µs wall wakeup would take ~4e6 wakeups
+        // (minutes of wall time); the event-driven skip completes this
+        // test in milliseconds by jumping the blocked sender's clock
+        // straight to the deadline.
+        let slow = RetransmitConfig {
+            rto0_s: 200.0,
+            rto_max_s: 200.0,
+            backoff: 1.0,
+            ..RetransmitConfig::default()
+        };
+        let plan = FaultPlan::none(3)
+            .with_link_fault(LinkFault::dead(1, 0.0, 100.0))
+            .with_retransmit(slow);
+        let out = run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
+            if c.rank() == 0 {
+                c.send(1, 4, 99u64);
+                let (_, echo) = c.recv::<u64>(Some(1), 4);
+                (echo, c.time(), c.stats().fault.retransmits)
+            } else {
+                let (_, v) = c.recv::<u64>(Some(0), 4);
+                c.send(0, 4, v);
+                (v, c.time(), c.stats().fault.retransmits)
+            }
+        })
+        .expect_completed("port cured before the retransmit fires");
+        assert_eq!(out[0].0, 99);
+        assert_eq!(out[1].0, 99);
+        // The echo cannot exist before the t = 200 s retransmit delivered
+        // the original, so both clocks must have crossed the deadline.
+        assert!(out[0].1 >= 200.0, "rank 0 finished at t={}", out[0].1);
+        assert!(out[1].1 >= 200.0, "rank 1 finished at t={}", out[1].1);
+        assert!(
+            out[0].2 >= 1,
+            "recovery must come from the retransmit timer"
+        );
+    }
+
+    #[test]
     fn corruption_and_duplication_are_transparent() {
         let plan = FaultPlan::none(chaos_seed())
             .with_corrupt(0.2)

@@ -1,0 +1,3 @@
+//! Vendored stand-in for `bytes`: the workspace declares the dependency
+//! but does not use it; messages travel in-process as `Box<dyn Any>` with
+//! wire sizes accounted analytically (see `msg::payload`).

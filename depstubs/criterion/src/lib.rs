@@ -1,0 +1,233 @@
+//! Vendored stand-in for the `criterion` API surface this workspace's
+//! benches use. Runs each benchmark a handful of times, reports the
+//! fastest wall-clock sample (plus derived throughput) as plain text.
+//! No statistics, no HTML — enough to compile under
+//! `clippy --all-targets` and to give order-of-magnitude numbers from
+//! `cargo bench`.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Measured-quantity annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    best_s: f64,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher {
+            samples,
+            best_s: f64::INFINITY,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup, then timed samples; keep the fastest.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < self.best_s {
+                self.best_s = dt;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < self.best_s {
+                self.best_s = dt;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the stub just bounds its loop count.
+        self.samples = (n as u32).clamp(1, 20);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    fn report(&self, label: &str, best_s: f64) {
+        let mut line = format!("{}/{}: {:.3e} s", self.name, label, best_s);
+        match self.throughput {
+            Some(Throughput::Bytes(b)) if best_s > 0.0 => {
+                line += &format!(" ({:.2} GiB/s)", b as f64 / best_s / (1u64 << 30) as f64);
+            }
+            Some(Throughput::Elements(e)) if best_s > 0.0 => {
+                line += &format!(" ({:.3e} elem/s)", e as f64 / best_s);
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut b = Bencher::new(self.samples.min(5));
+        f(&mut b);
+        self.report(&label, b.best_s);
+        self
+    }
+
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut b = Bencher::new(self.samples.min(5));
+        f(&mut b, input);
+        self.report(&label, b.best_s);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            samples: 3,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut b = Bencher::new(3);
+        f(&mut b);
+        println!("{}: {:.3e} s", label, b.best_s);
+        self
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,155 @@
+//! Vendored stand-in for the `rayon` API surface this workspace uses.
+//!
+//! Everything runs **sequentially on the calling thread**. The parallel
+//! iterator adapters (`map`, `enumerate`, `zip`, `collect`,
+//! `reduce(identity, op)`) and `par_sort_by_key` produce exactly the
+//! results real rayon would — rayon's contract is order-independence, and
+//! sequential submission order trivially satisfies it — just without the
+//! thread pool. Host-parallel speed is not load-bearing anywhere in this
+//! repository: the physics runs under the virtual-time simulator, whose
+//! clocks are charged analytically.
+
+/// A "parallel" iterator: a thin wrapper over a standard iterator that
+/// exposes rayon's adapter names (notably the two-argument `reduce`).
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
+        Par(self.0.zip(other))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// rayon-style reduce: fold from an identity element. Sequential
+    /// left fold — equivalent for the associative ops rayon requires.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// `collection.into_par_iter()` for anything iterable (vectors, ranges).
+pub trait IntoParallelIterator {
+    type It: Iterator;
+    fn into_par_iter(self) -> Par<Self::It>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type It = I::IntoIter;
+    fn into_par_iter(self) -> Par<Self::It> {
+        Par(self.into_iter())
+    }
+}
+
+/// `slice.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type It: Iterator;
+    fn par_iter(&'a self) -> Par<Self::It>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type It = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::It> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type It = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::It> {
+        Par(self.iter())
+    }
+}
+
+/// `slice.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type It: Iterator;
+    fn par_iter_mut(&'a mut self) -> Par<Self::It>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type It = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::It> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type It = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::It> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `slice.par_sort_by_key(..)` and friends.
+pub trait ParallelSliceMut<T> {
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_by_key(f)
+    }
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+        self.sort_by(f)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let total: i32 = (0..10).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, 285);
+        let max = v.par_iter().map(|&x| x as f64).reduce(|| 0.0, f64::max);
+        assert_eq!(max, 3.0);
+        let mut w = vec![(3, 'c'), (1, 'a'), (2, 'b')];
+        w.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(w, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        let mut m = vec![1, 2, 3];
+        m.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(m, vec![11, 12, 13]);
+    }
+}

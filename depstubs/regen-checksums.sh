@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerate .cargo-checksum.json for every stub crate. Run from anywhere;
+# required after editing any file under depstubs/ (cargo verifies the
+# sha256 of each file in a directory-registry package).
+set -eu
+cd "$(dirname "$0")"
+for crate in */; do
+    crate="${crate%/}"
+    [ -f "$crate/Cargo.toml" ] || continue
+    (
+        cd "$crate"
+        {
+            printf '{"files":{'
+            find . -type f ! -name '.cargo-checksum.json*' | LC_ALL=C sort \
+                | while read -r f; do
+                    printf '"%s":"%s",' "${f#./}" "$(sha256sum "$f" | cut -d' ' -f1)"
+                done \
+                | sed 's/,$//'
+            printf '},"package":""}'
+        } > .cargo-checksum.json.tmp
+        mv .cargo-checksum.json.tmp .cargo-checksum.json
+    )
+    echo "checksummed $crate"
+done

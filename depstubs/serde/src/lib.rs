@@ -1,0 +1,15 @@
+//! Vendored stand-in for `serde`: the trait names exist so `#[derive]`
+//! attributes and `use serde::{Serialize, Deserialize}` compile, but
+//! nothing in this workspace actually serializes — reports are written
+//! with hand-rolled formatters — so the derives expand to nothing and
+//! the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub trait Serializer {}
+
+pub trait Deserializer<'de> {}

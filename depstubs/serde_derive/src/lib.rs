@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derive macros: the workspace only uses
+//! the derives as annotations (nothing serializes), so they expand to an
+//! empty token stream.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
