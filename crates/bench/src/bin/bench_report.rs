@@ -1,7 +1,8 @@
 //! The bench-trajectory harness (ISSUE PR 4).
 //!
 //! Default mode runs the standard scenarios — the golden 16-rank
-//! treecode, the same run under injected faults, and the 288-rank
+//! treecode, the same run under injected faults (restart recovery and
+//! detector-armed degraded-mode shard recovery), and the 288-rank
 //! bisection exchange on both the two-switch Space Simulator fabric and
 //! an ideal crossbar — folds each trace through the critical-path and
 //! efficiency analyses, and writes a schema-versioned
@@ -19,16 +20,25 @@
 //! step at a time.
 
 use bench::report::{check_floors, compare, from_json, to_json, BenchReport, ScenarioReport};
-use cluster::chaos::{run_treecode_traced, ChaosConfig};
+use cluster::chaos::{run_treecode, run_treecode_traced, ChaosConfig};
 use cluster::{bisection_exchange_traced, golden_ics};
 use hot::gravity::GravityConfig;
-use msg::{FaultPlan, Machine, RetransmitConfig};
+use msg::{FaultPlan, HeartbeatConfig, Machine, RetransmitConfig};
+use netsim::LinkFault;
 use obs::WorldTrace;
 use std::process::ExitCode;
 
 const EXCHANGE_RANKS: usize = 288;
 const EXCHANGE_BYTES: usize = 512 * 1024;
 const EXCHANGE_ROUNDS: u32 = 4;
+
+/// Horizon of the degraded-mode scenario. Long enough that the failure
+/// detector's verdict latency (~158 heartbeat intervals of virtual
+/// silence: suspicion threshold plus confirmation window) plus the lost
+/// work since the last shard commit stays under a tenth of the run, so
+/// the availability >= 0.90 ratchet measures recovery quality rather
+/// than detection overhead.
+const DEGRADED_STEPS: u64 = 128;
 
 fn golden_chaos() -> ChaosConfig {
     ChaosConfig {
@@ -111,6 +121,100 @@ fn chaos16(clean_vtime: f64) -> ScenarioReport {
     fold("chaos16", &trace, interactions, report.availability)
 }
 
+/// The graceful-degradation scenario (ISSUE PR 7): failure detector
+/// armed, per-rank checkpoint shards, one guaranteed mid-run crash,
+/// a dead switch port that heals, and a permanently slow node. The
+/// condemned rank must fail over from its own shard — zero world
+/// restarts — with physics bit-identical to the fault-free control and
+/// availability >= 0.90 (the CI ratchet).
+fn chaos_degraded16() -> ScenarioReport {
+    // Tight heartbeat cadence keeps verdict latency (suspicion floor +
+    // confirmation aging, ~158 intervals of virtual silence) small
+    // against the horizon. The confirmation window stays at its default
+    // *count*: idle-warp aging advances one interval per hysteresis
+    // window of polls, so the wall-clock grace against stalls is
+    // measured in intervals and shrinking `every_s` does not erode it.
+    let hb = HeartbeatConfig {
+        every_s: 2.0e-5,
+        ..Default::default()
+    };
+    let chaos = ChaosConfig {
+        checkpoint_every: 4,
+        // Spare-node failover on the bench's compressed horizon: scaled
+        // like chaos16's restart penalty, but two orders smaller — the
+        // whole point of shard recovery is that it is not a reboot.
+        failover_penalty_s: 2.0e-4,
+        ..Default::default()
+    };
+    // Fault-free control run: fixes the crash placement mid-run and
+    // pins the degraded run's physics.
+    let (clean_bodies, clean) = run_treecode(
+        &Machine::ideal(16),
+        16,
+        &clean_plan(),
+        &chaos,
+        golden_ics(192, 42),
+        &golden_gravity(),
+        DEGRADED_STEPS,
+        0.01,
+    );
+    assert!(
+        clean.completed && clean.restarts == 0,
+        "degraded control failed: {clean:?}"
+    );
+    let horizon = clean.final_vtime;
+    let plan = FaultPlan::none(11)
+        .with_heartbeat(hb)
+        .with_crash(5, 0.55 * horizon)
+        // A switch port dies for a window an order of magnitude shorter
+        // than the verdict latency: suspicion may rise but must be
+        // retracted once the port heals and retransmits flush through.
+        .with_link_fault(LinkFault::dead(3, 0.30 * horizon, 0.30 * horizon + 1.0e-3))
+        // One node behind a port at quarter speed for the whole run —
+        // the health-weighted decomposition sheds work off it instead
+        // of letting it pace every step.
+        .with_link_fault(LinkFault::degraded(9, 0.0, 0.25));
+    let (bodies, report, trace) = run_treecode_traced(
+        &Machine::ideal(16),
+        16,
+        &plan,
+        &chaos,
+        golden_ics(192, 42),
+        &golden_gravity(),
+        DEGRADED_STEPS,
+        0.01,
+    );
+    assert!(report.completed, "chaos_degraded16 failed: {report:?}");
+    assert_eq!(
+        report.restarts, 0,
+        "degraded mode must never restart the world: {report:?}"
+    );
+    assert_eq!(
+        report.shard_recoveries, 1,
+        "exactly one shard failover expected: {report:?}"
+    );
+    assert!(report.diagnosis.is_none(), "diagnosed: {report:?}");
+    // Recovery must reproduce the fault-free universe bit for bit.
+    assert_eq!(bodies.len(), clean_bodies.len());
+    for (d, c) in bodies.iter().zip(&clean_bodies) {
+        assert_eq!(d.pos, c.pos, "degraded recovery changed the physics");
+        assert_eq!(d.vel, c.vel, "degraded recovery changed the physics");
+    }
+    let trace = trace.expect("traced run yields a trace");
+    let interactions = trace.counter_total("walk.interactions");
+    let mut row = fold(
+        "chaos_degraded16",
+        &trace,
+        interactions,
+        report.availability,
+    );
+    // Verdict timing rides the retransmit timer and the poll cadence,
+    // both wall-racy; the comparator pins only availability (floored)
+    // and the structural facts asserted above.
+    row.deterministic = false;
+    row
+}
+
 /// 288-rank bisection exchange on the two-switch fabric: the scenario
 /// whose report must name the 8 Gbit trunk as the dominant
 /// critical-path resource.
@@ -141,6 +245,11 @@ fn run_all() -> BenchReport {
         "ran chaos16: end {:.6}s availability {:.4}",
         ch.end_vtime_s, ch.availability
     );
+    let dg = chaos_degraded16();
+    eprintln!(
+        "ran chaos_degraded16: end {:.6}s availability {:.4}",
+        dg.end_vtime_s, dg.availability
+    );
     let tr = bisection_trunk();
     eprintln!(
         "ran bisection288_trunk: end {:.6}s dominant {}",
@@ -151,7 +260,7 @@ fn run_all() -> BenchReport {
         "ran bisection288_xbar: end {:.6}s dominant {}",
         xb.end_vtime_s, xb.dominant_wire
     );
-    BenchReport::new(vec![tc, ch, tr, xb])
+    BenchReport::new(vec![tc, ch, dg, tr, xb])
 }
 
 fn summary_table(r: &BenchReport) -> String {

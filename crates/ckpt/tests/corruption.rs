@@ -6,7 +6,7 @@
 //! that survived a soft error is only trustworthy if the format cannot
 //! lie.
 
-use ckpt::{load, save, CkptError};
+use ckpt::{load, load_shard, save, save_shard, CkptError, ShardHeader};
 
 type State = ((u64, f64), Vec<[f64; 3]>);
 
@@ -18,6 +18,19 @@ fn sample_state() -> State {
         })
         .collect();
     ((0xDEAD_BEEF_u64, 0.015625), bodies)
+}
+
+fn sample_shard() -> Vec<u8> {
+    let ((_, time), bodies) = sample_state();
+    save_shard(
+        &ShardHeader {
+            rank: 5,
+            of_ranks: 16,
+            step: 12,
+            time,
+        },
+        &bodies,
+    )
 }
 
 #[test]
@@ -79,6 +92,40 @@ fn error_kinds_match_the_damaged_region() {
     let last = c.len() - 1;
     c[last] ^= 0x01;
     assert!(matches!(load::<State>(&c), Err(CkptError::BadCrc { .. })));
+}
+
+#[test]
+fn every_single_bit_flip_in_a_shard_is_detected() {
+    // Per-rank shards carry the same guarantee as whole-world frames:
+    // any bit flip — in the rank/step header as much as the payload —
+    // surfaces as a typed error, so degraded recovery falls back to the
+    // previous complete generation instead of restoring rot.
+    let bytes = sample_shard();
+    assert!(
+        load_shard::<Vec<[f64; 3]>>(&bytes).is_ok(),
+        "pristine shard must load"
+    );
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut c = bytes.clone();
+            c[i] ^= 1 << bit;
+            assert!(
+                load_shard::<Vec<[f64; 3]>>(&c).is_err(),
+                "bit {bit} of shard byte {i} flipped but the frame still decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_shard_truncation_is_detected() {
+    let bytes = sample_shard();
+    for len in 0..bytes.len() {
+        assert!(
+            load_shard::<Vec<[f64; 3]>>(&bytes[..len]).is_err(),
+            "shard truncation to {len} bytes decoded"
+        );
+    }
 }
 
 #[test]

@@ -39,11 +39,27 @@ pub struct ChaosConfig {
     /// on the real machine is minutes; the default keeps test runs short
     /// while staying much larger than a step time.
     pub restart_penalty_s: f64,
+    /// Failover dead time for a degraded-mode recovery: reassign the
+    /// condemned rank to a spare node and restore *its* shard while the
+    /// survivors hold at the last commit. Much smaller than a
+    /// whole-world restart — that asymmetry is the point of sharding.
+    pub failover_penalty_s: f64,
     /// Give up after this many attempts (a plan can be lethal, e.g. a
     /// crash scheduled before the first commit plus a zero horizon).
     pub max_attempts: usize,
+    /// Give up after this many *consecutive* recoveries that resumed
+    /// from the same commit (zero forward progress). An attacker
+    /// scheduling crashes faster than the checkpoint cadence would
+    /// otherwise burn all of `max_attempts` replaying the identical
+    /// doomed interval.
+    pub max_futile_attempts: usize,
     /// Fraction of peak the force kernel sustains (virtual-time model).
     pub cpu_eff: f64,
+    /// Test hook modeling at-rest bit rot: after the shard generation at
+    /// this step is committed, one byte of this `(rank, step)`'s shard
+    /// flips on "disk", to be discovered by the next recovery's decode.
+    #[cfg(test)]
+    pub corrupt_shard: Option<(usize, u64)>,
 }
 
 impl Default for ChaosConfig {
@@ -51,8 +67,12 @@ impl Default for ChaosConfig {
         ChaosConfig {
             checkpoint_every: 4,
             restart_penalty_s: 5.0,
+            failover_penalty_s: 0.5,
             max_attempts: 8,
+            max_futile_attempts: 3,
             cpu_eff: 790.0 / 5060.0, // P4/gcc gravity micro-kernel
+            #[cfg(test)]
+            corrupt_shard: None,
         }
     }
 }
@@ -79,8 +99,21 @@ pub struct ChaosReport {
     pub availability: f64,
     /// Checkpoint commits that reached stable storage.
     pub commits: u64,
-    /// Size of one checkpoint on disk.
+    /// Size of one checkpoint on disk (degraded mode: sum of all shards
+    /// in the newest complete generation).
     pub checkpoint_bytes: usize,
+    /// Degraded-mode recoveries: a condemned rank restored from its own
+    /// shard while the survivors rolled back in place (no world restart).
+    pub shard_recoveries: u64,
+    /// Virtual seconds spent failing over condemned ranks from shards.
+    pub shard_recovery_overhead_s: f64,
+    /// Size of one rank's shard in the newest complete generation.
+    pub shard_bytes: usize,
+    /// Recoveries that found a rotten shard in the newest generation and
+    /// fell back to the previous complete commit instead of crashing.
+    pub shard_fallbacks: u64,
+    /// Why the harness gave up (`None` while healthy or completed).
+    pub diagnosis: Option<String>,
     /// Injected-fault and recovery traffic, summed over ranks of the
     /// final (successful) attempt.
     pub drops: u64,
@@ -135,6 +168,80 @@ fn decode_state(bytes: &[u8]) -> Result<State, CkptError> {
 /// The index range of the acceleration stripe rank `r` owns.
 fn stripe(n: usize, size: usize, r: usize) -> std::ops::Range<usize> {
     (r * n / size)..((r + 1) * n / size)
+}
+
+/// One complete per-rank shard generation in stable storage: `of_ranks`
+/// crc-framed fragments that together hold the integrator state at
+/// `step`. Two generations are retained so a shard discovered rotten at
+/// recovery time falls back to the previous complete commit.
+/// One rank's shard as logged from inside the faulted world:
+/// `(step, commit vtime, rank, crc-framed bytes)`.
+type ShardCommit = (u64, f64, usize, Vec<u8>);
+
+/// A possibly-incomplete generation being reassembled from the log:
+/// one `(commit vtime, bytes)` slot per rank.
+type ShardSlots = Vec<Option<(f64, Vec<u8>)>>;
+
+struct Gen {
+    step: u64,
+    /// Virtual commit time (max over ranks; the commit barrier keeps the
+    /// spread to one barrier's skew).
+    vtime: f64,
+    shards: Vec<Vec<u8>>,
+}
+
+/// Cut a full replica state into per-rank shard files.
+fn encode_shards(
+    step: u64,
+    time: f64,
+    bodies: &[Body],
+    accel: &[Accel],
+    size: usize,
+) -> Vec<Vec<u8>> {
+    (0..size)
+        .map(|r| {
+            let range = stripe(bodies.len(), size, r);
+            let payload = (bodies[range.clone()].to_vec(), accel[range].to_vec());
+            ckpt::save_shard(
+                &ckpt::ShardHeader {
+                    rank: r as u32,
+                    of_ranks: size as u32,
+                    step,
+                    time,
+                },
+                &payload,
+            )
+        })
+        .collect()
+}
+
+/// Decode and reassemble a generation's shards into a full replica state.
+/// `None` if any fragment is rotten or inconsistent — the caller falls
+/// back to an older generation.
+fn assemble(gen: &Gen, size: usize) -> Option<State> {
+    let mut bodies = Vec::new();
+    let mut accel = Vec::new();
+    let mut time = 0.0;
+    for (r, bytes) in gen.shards.iter().enumerate() {
+        let (h, (b, a)): (ckpt::ShardHeader, (Vec<Body>, Vec<Accel>)) =
+            ckpt::load_shard(bytes).ok()?;
+        if h.rank != r as u32
+            || h.of_ranks != size as u32
+            || h.step != gen.step
+            || b.len() != a.len()
+        {
+            return None;
+        }
+        time = h.time;
+        bodies.extend(b);
+        accel.extend(a);
+    }
+    Some(State {
+        step: gen.step,
+        time,
+        bodies,
+        accel,
+    })
 }
 
 /// Run an `nranks`-way treecode for `steps` KDK steps of `dt` under the
@@ -193,24 +300,83 @@ fn run_treecode_impl(
 ) -> (Vec<Body>, ChaosReport, Option<obs::WorldTrace>) {
     assert!(nranks >= 1 && steps >= 1 && dt > 0.0);
     let io = IoModel::space_simulator(nranks as u32);
+    // A plan with the failure detector armed runs in *degraded* mode:
+    // crashes are silent (survivors must reach a quorum verdict naming
+    // the dead rank), commits are per-rank shards, and recovery fails
+    // over the one condemned rank instead of restarting the world.
+    let degraded = plan.heartbeat.is_some();
     // Initial forces, then the step-0 "checkpoint" is the ICs themselves.
     let tree = Tree::build(bodies, cfg.leaf_max);
     let (accel, _) = group_accelerations(&tree, cfg);
     let mut committed = (0u64, 0.0f64, encode_state(0, 0.0, &tree.bodies, &accel));
+    // Degraded-mode stable storage: complete shard generations, newest
+    // last; two are retained so a rotten shard falls back one commit.
+    let mut gens: Vec<Gen> = if degraded {
+        vec![Gen {
+            step: 0,
+            vtime: 0.0,
+            shards: encode_shards(0, 0.0, &tree.bodies, &accel, nranks),
+        }]
+    } else {
+        Vec::new()
+    };
 
     let mut report = ChaosReport {
         checkpoint_bytes: committed.2.len(),
+        shard_bytes: gens
+            .last()
+            .map_or(0, |g| g.shards.iter().map(Vec::len).max().unwrap_or(0)),
         ..Default::default()
     };
     let mut clock0 = 0.0;
+    let mut futile = 0usize;
 
     while report.attempts < chaos.max_attempts {
         report.attempts += 1;
-        // Stable storage for commits made during this attempt: rank 0
-        // writes `(step, commit vtime, bytes)` outside the faulted world,
-        // so a later crash cannot claw a commit back.
+        // Choose the state to (re)launch from. Degraded mode reassembles
+        // the newest shard generation whose every fragment decodes
+        // cleanly, discarding rotten generations (and accounting the
+        // extra rolled-back interval as lost work).
+        let start_bytes: Vec<u8> = if degraded {
+            let mut picked = None;
+            while let Some(gen) = gens.last() {
+                match assemble(gen, nranks) {
+                    Some(st) => {
+                        picked = Some(encode_state(st.step, st.time, &st.bodies, &st.accel));
+                        break;
+                    }
+                    None => {
+                        let rotten = gens.pop().expect("non-empty");
+                        report.shard_fallbacks += 1;
+                        let prev_vtime = gens.last().map_or(0.0, |g| g.vtime);
+                        report.lost_vtime += (rotten.vtime - prev_vtime).max(0.0);
+                    }
+                }
+            }
+            match picked {
+                Some(b) => b,
+                None => {
+                    report.diagnosis =
+                        Some("every retained checkpoint generation is corrupt".to_string());
+                    break;
+                }
+            }
+        } else {
+            committed.2.clone()
+        };
+        let progress_floor = if degraded {
+            gens.last().map_or(0, |g| g.step)
+        } else {
+            committed.0
+        };
+        // Stable storage for commits made during this attempt: written
+        // outside the faulted world, so a later crash cannot claw a
+        // commit back. Whole-world mode stores rank 0's full snapshot;
+        // degraded mode logs every rank's shard.
         let store: Mutex<Option<(u64, f64, Vec<u8>)>> = Mutex::new(None);
-        let start_bytes = &committed.2;
+        let shard_log: Mutex<Vec<ShardCommit>> = Mutex::new(Vec::new());
+        let start_bytes = &start_bytes;
+        let shard_log_ref = &shard_log;
         let world = |comm: &mut Comm| {
             comm.span_enter("chaos.restore");
             let State {
@@ -284,13 +450,38 @@ fn run_treecode_impl(
                     // local disk (Figure 7's parallel I/O path), then the
                     // barrier makes the commit atomic-at-a-step.
                     comm.span_enter("chaos.checkpoint");
-                    let bytes = encode_state(step, time, &bodies, &accel);
-                    comm.obs_count("ckpt.bytes", bytes.len() as u64);
-                    comm.obs_count("ckpt.commits", 1);
-                    comm.elapse(io.snapshot_time(bytes.len() as f64 / size as f64));
-                    comm.barrier();
-                    if comm.rank() == 0 {
-                        *store.lock().unwrap() = Some((step, comm.time(), bytes));
+                    if degraded {
+                        // Per-rank shard commit: each rank frames only
+                        // its own stripe, so a later recovery re-reads
+                        // one shard instead of the whole world.
+                        let range = stripe(n, size, comm.rank());
+                        let payload = (bodies[range.clone()].to_vec(), accel[range].to_vec());
+                        let shard = ckpt::save_shard(
+                            &ckpt::ShardHeader {
+                                rank: comm.rank() as u32,
+                                of_ranks: size as u32,
+                                step,
+                                time,
+                            },
+                            &payload,
+                        );
+                        comm.obs_count("ckpt.bytes", shard.len() as u64);
+                        comm.obs_count("ckpt.commits", 1);
+                        comm.elapse(io.snapshot_time(shard.len() as f64));
+                        comm.barrier();
+                        shard_log_ref
+                            .lock()
+                            .unwrap()
+                            .push((step, comm.time(), comm.rank(), shard));
+                    } else {
+                        let bytes = encode_state(step, time, &bodies, &accel);
+                        comm.obs_count("ckpt.bytes", bytes.len() as u64);
+                        comm.obs_count("ckpt.commits", 1);
+                        comm.elapse(io.snapshot_time(bytes.len() as f64 / size as f64));
+                        comm.barrier();
+                        if comm.rank() == 0 {
+                            *store.lock().unwrap() = Some((step, comm.time(), bytes));
+                        }
                     }
                     comm.span_exit("chaos.checkpoint");
                 }
@@ -314,6 +505,48 @@ fn run_treecode_impl(
                 committed = (step, vtime, bytes);
             }
         }
+        // Promote complete shard generations: a step commits only once
+        // every rank's shard for it reached stable storage (a crash
+        // between the barrier and some rank's write leaves a torn,
+        // unpromotable generation — exactly a torn parallel commit).
+        {
+            let mut by_step: std::collections::BTreeMap<u64, ShardSlots> =
+                std::collections::BTreeMap::new();
+            for (step, vtime, rank, bytes) in shard_log.into_inner().unwrap() {
+                by_step.entry(step).or_insert_with(|| vec![None; nranks])[rank] =
+                    Some((vtime, bytes));
+            }
+            for (step, slots) in by_step {
+                if step <= gens.last().map_or(0, |g| g.step) || !slots.iter().all(Option::is_some) {
+                    continue;
+                }
+                let vtime = slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("complete").0)
+                    .fold(0.0, f64::max);
+                #[allow(unused_mut)]
+                let mut shards: Vec<Vec<u8>> =
+                    slots.into_iter().map(|s| s.expect("complete").1).collect();
+                #[cfg(test)]
+                if let Some((r, s)) = chaos.corrupt_shard {
+                    if s == step {
+                        let mid = shards[r].len() / 2;
+                        shards[r][mid] ^= 0x40;
+                    }
+                }
+                report.commits += 1;
+                report.checkpoint_bytes = shards.iter().map(Vec::len).sum();
+                report.shard_bytes = shards.iter().map(Vec::len).max().unwrap_or(0);
+                gens.push(Gen {
+                    step,
+                    vtime,
+                    shards,
+                });
+                if gens.len() > 2 {
+                    gens.remove(0);
+                }
+            }
+        }
         match outcome {
             WorldOutcome::Completed(results) => {
                 report.completed = true;
@@ -331,27 +564,75 @@ fn run_treecode_impl(
                     report.acks += stats.fault.acks;
                 }
                 report.availability = if report.final_vtime > 0.0 {
-                    1.0 - (report.lost_vtime + report.restart_overhead_s) / report.final_vtime
+                    1.0 - (report.lost_vtime
+                        + report.restart_overhead_s
+                        + report.shard_recovery_overhead_s)
+                        / report.final_vtime
                 } else {
                     1.0
                 };
                 return (final_bodies, report, trace);
             }
-            WorldOutcome::Crashed { at, .. } => {
-                report.restarts += 1;
-                // Work since the last commit is gone; reboot, re-read the
-                // checkpoint, and resume the virtual clock past all of it.
-                report.lost_vtime += (at - committed.1).max(0.0);
-                let restore_s =
-                    chaos.restart_penalty_s + io.snapshot_time(committed.2.len() as f64);
-                report.restart_overhead_s += restore_s;
-                clock0 = at + restore_s;
+            WorldOutcome::Crashed { rank, at } => {
+                if degraded {
+                    // Quorum verdict named the dead rank; only its shard
+                    // is re-read and only its node pays the failover
+                    // penalty. Survivors roll back in place — no world
+                    // restart, so `restarts` stays untouched.
+                    report.shard_recoveries += 1;
+                    let base_vtime = gens.last().map_or(0.0, |g| g.vtime);
+                    report.lost_vtime += (at - base_vtime).max(0.0);
+                    let shard_len = gens
+                        .last()
+                        .map_or(0, |g| g.shards.get(rank).map_or(0, Vec::len));
+                    let restore_s = chaos.failover_penalty_s + io.snapshot_time(shard_len as f64);
+                    report.shard_recovery_overhead_s += restore_s;
+                    clock0 = at + restore_s;
+                } else {
+                    report.restarts += 1;
+                    // Work since the last commit is gone; reboot, re-read
+                    // the checkpoint, and resume the virtual clock past
+                    // all of it.
+                    report.lost_vtime += (at - committed.1).max(0.0);
+                    let restore_s =
+                        chaos.restart_penalty_s + io.snapshot_time(committed.2.len() as f64);
+                    report.restart_overhead_s += restore_s;
+                    clock0 = at + restore_s;
+                }
+                // Livelock guard: recoveries that never advance the
+                // committed frontier (crash-before-first-checkpoint in a
+                // loop) get a bounded number of identical retries, then a
+                // diagnosis instead of an infinite restart storm.
+                let frontier = if degraded {
+                    gens.last().map_or(0, |g| g.step)
+                } else {
+                    committed.0
+                };
+                futile = if frontier > progress_floor {
+                    0
+                } else {
+                    futile + 1
+                };
+                if futile >= chaos.max_futile_attempts {
+                    report.diagnosis = Some(format!(
+                        "livelock: {futile} consecutive recoveries with no commit \
+                         progress (rank {rank} died at t={at:.4}, frontier stuck at \
+                         step {frontier})"
+                    ));
+                    break;
+                }
             }
         }
     }
     report.completed = false;
     report.final_vtime = clock0;
     report.availability = 0.0;
+    if report.diagnosis.is_none() {
+        report.diagnosis = Some(format!(
+            "gave up: max_attempts ({}) exhausted without completing",
+            chaos.max_attempts
+        ));
+    }
     (Vec::new(), report, None)
 }
 
@@ -470,6 +751,131 @@ mod tests {
         assert!(delta < 1e-12, "physics diverged by {delta}");
     }
 
+    /// The degraded-mode acceptance run: with the failure detector armed,
+    /// a crash is *silent* — no oracle flags the dead rank; survivors
+    /// must reach a quorum verdict naming it — and recovery restores only
+    /// the condemned rank's shard instead of restarting the world. The
+    /// recovered physics is still bit-for-bit the fault-free physics.
+    #[test]
+    fn degraded_failover_restores_one_shard_with_same_physics() {
+        let machine = ss_machine();
+        let cfg = test_cfg();
+        let ics = plummer(300, 42);
+        let steps = 6;
+        let chaos = ChaosConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let (clean_bodies, clean) = run_treecode(
+            &machine,
+            4,
+            &FaultPlan::none(21),
+            &chaos,
+            ics.clone(),
+            &cfg,
+            steps,
+            0.01,
+        );
+        assert!(clean.completed && clean.restarts == 0);
+
+        let plan = FaultPlan::none(21)
+            .with_heartbeat(msg::HeartbeatConfig::default())
+            .with_crash(2, 0.6 * clean.final_vtime);
+        let (bodies, report) = run_treecode(&machine, 4, &plan, &chaos, ics, &cfg, steps, 0.01);
+        assert!(report.completed, "degraded run failed: {report:?}");
+        // The whole point: a detected crash costs one rank's failover,
+        // never a world restart.
+        assert_eq!(report.restarts, 0, "{report:?}");
+        assert_eq!(report.shard_recoveries, 1, "{report:?}");
+        assert_eq!(report.shard_fallbacks, 0, "{report:?}");
+        assert!(report.shard_recovery_overhead_s > 0.0);
+        assert!(report.commits >= 1);
+        assert!(report.shard_bytes > 0 && report.shard_bytes < report.checkpoint_bytes);
+        assert!(report.availability > 0.0 && report.availability < 1.0);
+        assert!(report.diagnosis.is_none(), "{report:?}");
+        let delta = max_pos_delta(&clean_bodies, &bodies);
+        assert!(delta < 1e-12, "physics diverged by {delta}");
+    }
+
+    /// At-rest rot in a committed shard is discovered at recovery decode
+    /// time; recovery falls back to the previous complete generation
+    /// instead of restoring rot (or crashing the recovery itself).
+    #[test]
+    fn corrupt_shard_falls_back_one_generation() {
+        let machine = ss_machine();
+        let cfg = test_cfg();
+        let ics = plummer(250, 33);
+        let steps = 4;
+        let chaos = ChaosConfig {
+            checkpoint_every: 2,
+            corrupt_shard: Some((1, 2)),
+            ..Default::default()
+        };
+        let (clean_bodies, clean) = run_treecode(
+            &machine,
+            4,
+            &FaultPlan::none(35),
+            &chaos,
+            ics.clone(),
+            &cfg,
+            steps,
+            0.01,
+        );
+        assert!(clean.completed, "{clean:?}");
+
+        let plan = FaultPlan::none(35)
+            .with_heartbeat(msg::HeartbeatConfig::default())
+            .with_crash(1, 0.7 * clean.final_vtime);
+        let (bodies, report) = run_treecode(&machine, 4, &plan, &chaos, ics, &cfg, steps, 0.01);
+        assert!(report.completed, "fallback run failed: {report:?}");
+        assert_eq!(report.restarts, 0, "{report:?}");
+        assert_eq!(report.shard_recoveries, 1, "{report:?}");
+        assert!(
+            report.shard_fallbacks >= 1,
+            "rotten generation never discarded: {report:?}"
+        );
+        let delta = max_pos_delta(&clean_bodies, &bodies);
+        assert!(delta < 1e-12, "physics diverged by {delta}");
+    }
+
+    /// The livelock guard: an attacker crashing faster than the restart
+    /// penalty produces identical recoveries that never advance the
+    /// commit frontier. After `max_futile_attempts` of those, the run
+    /// fails *with a diagnosis* instead of burning all of `max_attempts`
+    /// (or, with a large cap, looping near-forever).
+    #[test]
+    fn repeated_crash_livelock_is_diagnosed() {
+        let chaos = ChaosConfig {
+            max_attempts: 50,
+            max_futile_attempts: 3,
+            restart_penalty_s: 0.0,
+            // Commit only at the end: every mid-run crash lands before
+            // any progress reaches stable storage.
+            checkpoint_every: 10_000,
+            ..Default::default()
+        };
+        let mut plan = FaultPlan::none(5);
+        for k in 0..2000 {
+            plan = plan.with_crash(1, (k + 1) as f64 * 5e-3);
+        }
+        let (_, report) = run_treecode(
+            &ss_machine(),
+            4,
+            &plan,
+            &chaos,
+            plummer(200, 9),
+            &test_cfg(),
+            200,
+            0.01,
+        );
+        assert!(!report.completed);
+        assert_eq!(report.attempts, 3, "futile cap ignored: {report:?}");
+        assert_eq!(report.restarts, 3);
+        assert_eq!(report.availability, 0.0);
+        let diag = report.diagnosis.expect("livelock must carry a diagnosis");
+        assert!(diag.contains("livelock"), "unhelpful diagnosis: {diag}");
+    }
+
     #[test]
     fn lethal_plan_reports_failure_instead_of_hanging() {
         // Crash immediately on every attempt: repeated deaths before the
@@ -499,6 +905,7 @@ mod tests {
         assert!(!report.completed);
         assert_eq!(report.attempts, 3);
         assert_eq!(report.availability, 0.0);
+        assert!(report.diagnosis.is_some(), "failure must explain itself");
     }
 
     #[test]

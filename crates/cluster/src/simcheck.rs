@@ -82,20 +82,31 @@ impl Default for SimcheckConfig {
 /// replicated-KDK treecode (the treecode16 bench scenario's physics
 /// without its checkpoint machinery), `Chaos` is the same physics under
 /// duplicate + reorder injection (the chaos16 class), `Storm` is an
-/// ABM message cascade with Safra termination under the same faults, and
+/// ABM message cascade with Safra termination under the same faults,
 /// `Overlap` is the distributed HOT traversal (`hot::parallel`) whose
 /// deferred-walk queue and adaptive ABM batching the scheduler jitters
-/// directly.
+/// directly, and `Degraded` is the treecode physics with the failure
+/// detector armed and one rank dragging a large per-step compute skew —
+/// every exchange then rides a suspicion storm (raise, vote, retract)
+/// whose verdicts must all stay withheld, with physics bit-identical to
+/// `Treecode`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum World {
     Treecode,
     Chaos,
     Storm,
     Overlap,
+    Degraded,
 }
 
 impl World {
-    pub const ALL: [World; 4] = [World::Treecode, World::Chaos, World::Storm, World::Overlap];
+    pub const ALL: [World; 5] = [
+        World::Treecode,
+        World::Chaos,
+        World::Storm,
+        World::Overlap,
+        World::Degraded,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -103,6 +114,7 @@ impl World {
             World::Chaos => "chaos16",
             World::Storm => "storm16",
             World::Overlap => "overlap16",
+            World::Degraded => "degraded16",
         }
     }
 
@@ -112,9 +124,16 @@ impl World {
             World::Chaos => 2,
             World::Storm => 3,
             World::Overlap => 4,
+            World::Degraded => 5,
         }
     }
 }
+
+/// Virtual compute skew the degraded world's straggler rank (the highest
+/// rank) drags behind every step: two orders of magnitude above the
+/// heartbeat cadence, so each exchange forces a real suspicion storm that
+/// the confirmation window must then retract.
+const DRAG_S: f64 = 0.05;
 
 /// One oracle violation. The `(world, seed, schedule)` triple identifies
 /// the failing run; [`shrink`] re-records it and minimizes the recorded
@@ -198,6 +217,12 @@ pub fn fault_plan(world: World, seed: u64, schedule: u64) -> Option<FaultPlan> {
                 .with_duplicate(0.2)
                 .with_reorder(0.2),
         ),
+        // The degraded world injects no message faults: the adversary is
+        // the failure detector itself, fed a straggler's clock skew.
+        World::Degraded => Some(
+            FaultPlan::none(mix(world, seed, schedule) ^ 0xFA17_0000_0000_0002)
+                .with_heartbeat(msg::HeartbeatConfig::default()),
+        ),
     }
 }
 
@@ -250,7 +275,14 @@ fn stripe(n: usize, size: usize, r: usize) -> std::ops::Range<usize> {
 /// other rank's digest (gathered with one more wildcard recv loop), so a
 /// divergent replica changes rank 0's answer even if its own stripe was
 /// consistent.
-fn treecode_world(comm: &mut Comm, ics: &[Body], gcfg: &GravityConfig, steps: u64, dt: f64) -> u64 {
+fn treecode_world(
+    comm: &mut Comm,
+    ics: &[Body],
+    gcfg: &GravityConfig,
+    steps: u64,
+    dt: f64,
+    drag: Option<(usize, f64)>,
+) -> u64 {
     let n = ics.len();
     let size = comm.size();
     let rank = comm.rank();
@@ -282,6 +314,14 @@ fn treecode_world(comm: &mut Comm, ics: &[Body], gcfg: &GravityConfig, steps: u6
             std::mem::size_of_val(ics) as f64 * share,
             790.0 / 5060.0,
         );
+        // The degraded world's straggler: one rank's force phase drags a
+        // large extra virtual cost, so its silence (as seen by virtual
+        // clocks) crosses the suspicion threshold every step.
+        if let Some((slow_rank, drag_s)) = drag {
+            if rank == slow_rank {
+                comm.elapse(drag_s);
+            }
+        }
         comm.span_exit("simcheck.force");
         comm.span_enter("simcheck.exchange");
         let tag = EXCHANGE_TAG0 + step as msg::Tag;
@@ -479,7 +519,7 @@ fn run_world(
     let per_rank = 12u64;
     let (outcome, trace, log) = match world {
         World::Treecode => {
-            let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01);
+            let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01, None);
             match replay {
                 None => run_with_schedule_observed(machine, cfg.ranks, splan, body),
                 Some((log, prefix)) => {
@@ -497,8 +537,21 @@ fn run_world(
             }
         }
         World::Chaos => {
-            let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01);
+            let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01, None);
             let fp = fplan.as_ref().expect("chaos world has a fault plan");
+            match replay {
+                None => {
+                    run_with_faults_and_schedule_observed(machine, cfg.ranks, fp, splan, 0.0, body)
+                }
+                Some((log, prefix)) => replay_with_faults_and_schedule_observed(
+                    machine, cfg.ranks, fp, splan, 0.0, log, prefix, body,
+                ),
+            }
+        }
+        World::Degraded => {
+            let drag = Some((cfg.ranks - 1, DRAG_S));
+            let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01, drag);
+            let fp = fplan.as_ref().expect("degraded world has a fault plan");
             match replay {
                 None => {
                     run_with_faults_and_schedule_observed(machine, cfg.ranks, fp, splan, 0.0, body)
@@ -748,8 +801,12 @@ fn check_schedule(
             // in the overlap world are schedule-dependent by design (an
             // unlucky token round just relaunches; a jittered reply moves
             // a deadline flush), so the structural digest is only pinned
-            // for the replicated-physics worlds.
-            if !matches!(world, World::Storm | World::Overlap) {
+            // for the replicated-physics worlds. The degraded world is
+            // likewise exempt: heartbeat emission and suspicion traffic
+            // ride the wall-clock poll loop, so health counters and
+            // retraction rounds differ run to run by design — its binding
+            // oracles are physics and the withheld-verdict liveness.
+            if !matches!(world, World::Storm | World::Overlap | World::Degraded) {
                 let d = obs::schedule_digest(&trace);
                 if d != reference.trace_digest {
                     v.push(mk(
@@ -796,13 +853,13 @@ pub fn check_seed(cfg: &SimcheckConfig, seed: u64) -> Vec<Violation> {
                 continue;
             }
         };
-        // Cross-world oracle: the chaos world runs the *same physics* as
-        // the fault-free treecode, so their reference digests must agree
-        // — delivery through duplicates and reordering must not change
-        // the answer.
+        // Cross-world oracle: the chaos and degraded worlds run the *same
+        // physics* as the fault-free treecode, so their reference digests
+        // must agree — neither delivery through duplicates and reordering
+        // nor a straggler's suspicion storms may change the answer.
         match world {
             World::Treecode => physics = Some(reference.digests.clone()),
-            World::Chaos => {
+            World::Chaos | World::Degraded => {
                 if let Some(expect) = &physics {
                     if &reference.digests != expect {
                         out.push(Violation {
@@ -952,12 +1009,17 @@ mod tests {
                 "{} digests drifted under replay",
                 world.name()
             );
-            assert_eq!(
-                obs::schedule_digest(&rep_trace),
-                obs::schedule_digest(&rec_trace),
-                "{} trace digest drifted under replay",
-                world.name()
-            );
+            if world != World::Degraded {
+                // The degraded world's trace structure is wall-timing-
+                // dependent (heartbeat cadence rides the poll loop), so
+                // only its physics digests are pinned under replay.
+                assert_eq!(
+                    obs::schedule_digest(&rep_trace),
+                    obs::schedule_digest(&rec_trace),
+                    "{} trace digest drifted under replay",
+                    world.name()
+                );
+            }
             if world == World::Treecode {
                 assert_eq!(relog, log, "treecode replay re-logged different decisions");
                 assert_eq!(
@@ -967,6 +1029,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Mutation tooth for the failure detector's confirmation window: a
+    /// detector that condemns the instant a quorum of suspicion votes
+    /// lines up (`condemn_unconfirmed`, the split-brain mutant) turns the
+    /// degraded world's per-step suspicion storm into a false verdict —
+    /// the straggler's clock jump makes every survivor suspect every
+    /// other at the same sync point, and the votes land before the
+    /// retractions. The simcheck seed set must catch this as a liveness
+    /// violation (an unscheduled crash) on at least one seed; the healthy
+    /// detector sails through the same seeds via `clean_sweep`.
+    #[test]
+    fn degraded_world_catches_split_brain_mutant() {
+        let cfg = small();
+        let gcfg = GravityConfig {
+            theta: 0.6,
+            eps: 0.05,
+            ..GravityConfig::default()
+        };
+        let ics = golden_ics(cfg.bodies, 42);
+        let mutant = msg::HeartbeatConfig {
+            condemn_unconfirmed: true,
+            ..Default::default()
+        };
+        let mut caught = false;
+        for seed in 0..8u64 {
+            for schedule in 0..=cfg.schedules {
+                let splan = sched_plan(&cfg, World::Degraded, seed, schedule);
+                let fplan =
+                    FaultPlan::none(mix(World::Degraded, seed, schedule) ^ 0xFA17_0000_0000_0002)
+                        .with_heartbeat(mutant.clone());
+                let drag = Some((cfg.ranks - 1, DRAG_S));
+                let body = |c: &mut Comm| treecode_world(c, &ics, &gcfg, cfg.steps, 0.01, drag);
+                let (outcome, _, _) = run_with_faults_and_schedule_observed(
+                    Machine::ideal(cfg.ranks as u32),
+                    cfg.ranks,
+                    &fplan,
+                    &splan,
+                    0.0,
+                    body,
+                );
+                if matches!(outcome, SchedOutcome::Crashed { .. }) {
+                    caught = true;
+                    break;
+                }
+            }
+            if caught {
+                break;
+            }
+        }
+        assert!(
+            caught,
+            "split-brain mutant survived the simcheck seed set: no false verdict observed"
+        );
     }
 
     #[test]

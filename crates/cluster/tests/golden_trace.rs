@@ -107,6 +107,21 @@ fn same_seed_runs_export_byte_identical_traces() {
     }
     assert!(t1.counter_total("msg.sends") > 0);
     assert_eq!(t1.counter_total("fault.retransmits"), 0);
+    // The degraded-mode counters are identically zero here (no detector
+    // armed, deterministic transport, nothing retransmitted) — and zero
+    // counters are *absent* from summaries, so the committed golden
+    // snapshot cannot silently absorb transport or health noise.
+    for counter in [
+        "net.retx",
+        "net.rto",
+        "net.window_stalls",
+        "health.heartbeats",
+        "health.suspicions",
+        "health.verdicts",
+    ] {
+        assert_eq!(t1.counter_total(counter), 0, "{counter} in clean world");
+        assert!(!summary.contains(counter), "{counter} leaked into summary");
+    }
     assert_eq!(t1.size(), RANKS);
 
     // The analysis invariants hold on the real workload, not just the
@@ -141,6 +156,33 @@ fn duplicate_fault_replay_is_byte_identical() {
         assert_eq!(x.pos, y.pos, "replay diverged");
         assert_eq!(x.pos, z.pos, "duplicates changed the physics");
     }
+}
+
+#[test]
+fn degraded_run_surfaces_health_and_net_counters() {
+    // With the failure detector armed the same golden world runs in
+    // degraded mode: heartbeat traffic must surface in the structural
+    // summary (a human reading a degraded run's trace sees the detector
+    // working), and no verdict may fire on a healthy world. This run is
+    // wall-cadence-dependent, so nothing here is snapshot-pinned — the
+    // schedule digest excludes `net.*`/`health.*` for exactly that
+    // reason.
+    let plan = FaultPlan::none(11).with_heartbeat(msg::HeartbeatConfig::default());
+    let (_, trace) = golden_run(&plan);
+    assert!(
+        trace.counter_total("health.heartbeats") > 0,
+        "armed detector emitted no heartbeats"
+    );
+    assert_eq!(
+        trace.counter_total("health.verdicts"),
+        0,
+        "false verdict on a healthy world"
+    );
+    let summary = structural_summary(&trace);
+    assert!(
+        summary.contains("health.heartbeats"),
+        "health counters missing from structural summary:\n{summary}"
+    );
 }
 
 #[test]

@@ -57,6 +57,21 @@ impl Decomposition {
 /// Decompose `bodies` across the world: returns this rank's shard (sorted
 /// by key, work-balanced) and the global decomposition map.
 pub fn decompose(comm: &mut Comm, bodies: Vec<Body>) -> (Vec<Body>, Decomposition) {
+    let health = vec![1.0; comm.size()];
+    decompose_with_health(comm, bodies, &health)
+}
+
+/// Degradation-aware [`decompose`]: each rank's target share of the global
+/// work is scaled by `health[rank]` (1.0 = full speed, smaller = degraded,
+/// e.g. from [`Comm::peer_health`] or an external slow-node model), so a
+/// sick node sheds work instead of pacing the step barrier. All ranks must
+/// pass the same `health` vector — it feeds globally-agreed splitter
+/// selection.
+pub fn decompose_with_health(
+    comm: &mut Comm,
+    bodies: Vec<Body>,
+    health: &[f64],
+) -> (Vec<Body>, Decomposition) {
     // Global bounding box (min/max reduction, same construction as the
     // serial BBox::enclosing so serial and parallel agree bitwise).
     let mut lo = [f64::INFINITY; 3];
@@ -76,11 +91,12 @@ pub fn decompose(comm: &mut Comm, bodies: Vec<Body>) -> (Vec<Body>, Decompositio
     assert!(lo[0].is_finite(), "decompose: no bodies anywhere");
     let bbox = BBox::from_lo_hi([lo[0], lo[1], lo[2]], [hi[0], hi[1], hi[2]]);
 
-    let shard = msg::sort::sample_sort_weighted(
+    let shard = msg::sort::sample_sort_weighted_shares(
         comm,
         bodies,
         |b| bbox.key_of(b.pos).0,
         |b| b.work.max(1e-9),
+        health,
         64,
     );
 
@@ -157,6 +173,38 @@ mod tests {
         let w: Vec<f64> = shards.iter().map(|(s, _)| work_of(s)).collect();
         let frac = w[0] / (w[0] + w[1]);
         assert!((frac - 0.5).abs() < 0.15, "work split {frac}");
+    }
+
+    #[test]
+    fn degraded_rank_sheds_work() {
+        let all = plummer(800, 53);
+        let nranks = 4;
+        let health = [1.0, 1.0, 1.0, 0.2];
+        let shards = msg::run(nranks, move |c| {
+            let mine = split(&all, nranks, c.rank());
+            decompose_with_health(c, mine, &health)
+        });
+        let total: usize = shards.iter().map(|(s, _)| s.len()).sum();
+        assert_eq!(total, 800);
+        // The decomposition map still agrees everywhere.
+        for (_, d) in &shards[1..] {
+            assert_eq!(d, &shards[0].1);
+        }
+        let work_of = |s: &[Body]| -> f64 { s.iter().map(|b| b.work.max(1e-9)).sum() };
+        let w: Vec<f64> = shards.iter().map(|(s, _)| work_of(s)).collect();
+        let tot: f64 = w.iter().sum();
+        let sick = w[3] / tot;
+        assert!(
+            sick < 0.15,
+            "degraded rank must shed work: holds {sick:.3} of total"
+        );
+        for r in 0..3 {
+            let share = w[r] / tot;
+            assert!(
+                (share - 1.0 / 3.2).abs() < 0.12,
+                "healthy rank {r} holds {share:.3}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! Fault-free worlds skip that machinery entirely: the `fault` field is
 //! `None` and every call takes the original code path.
 
-use crate::fault::{FaultCtx, RankCrash, WorldAborted};
+use crate::fault::{FaultCtx, QuietCrash, RankCrash, WorldAborted};
 use crate::machine::Machine;
 use crate::payload::{AnyPayload, Payload};
 use crate::sched::{SchedCtx, Stall, StallAbort};
@@ -54,6 +54,17 @@ pub(crate) enum WireKind {
     /// Cumulative acknowledgement: every `Data` with `seq < upto` sent to
     /// the rank issuing this ack has been delivered or buffered there.
     Ack { upto: u64 },
+    /// Failure-detector keepalive: best-effort, unsequenced, and emitted
+    /// without consuming any injection RNG draws (its count depends on
+    /// wall-clock poll cadence, so a draw here would shift the data
+    /// packets' replay-critical draw sequence). Only a dead switch port
+    /// can eat one.
+    Heartbeat,
+    /// Failure-detector vote: the sender currently suspects `peer` is
+    /// dead (`alive == false`), or retracts that suspicion having heard
+    /// from the peer again (`alive == true`). Same best-effort, no-draw
+    /// rules as `Heartbeat`.
+    Suspect { peer: u32, alive: bool },
 }
 
 pub(crate) struct Packet {
@@ -162,6 +173,17 @@ pub struct FaultStats {
     pub retransmits: u64,
     /// Acknowledgement packets sent.
     pub acks: u64,
+    /// RTO timer expirations (each escalates the backoff before the
+    /// packet is resent).
+    pub rto_expiries: u64,
+    /// Sends that parked on a full per-destination in-flight window.
+    pub window_stalls: u64,
+    /// Heartbeat broadcasts emitted by the failure detector.
+    pub heartbeats: u64,
+    /// Suspicions raised (a peer's silence crossed the phi threshold).
+    pub suspicions: u64,
+    /// Quorum verdicts reached (a suspected peer condemned as dead).
+    pub verdicts: u64,
 }
 
 /// Per-rank communication statistics (virtual-time accounting).
@@ -420,8 +442,12 @@ impl Comm {
     /// Ack counts are deliberately *not* folded in: whether a stale
     /// duplicate's original copy is ingested (and re-acked) before or
     /// after this call depends on real-time channel drain order, so acks
-    /// are the one transport counter that is not virtual-time
-    /// deterministic. Everything folded here is.
+    /// are not virtual-time deterministic in any faulted world. The
+    /// `net.*`/`health.*` counters are wall-cadence-dependent too (the
+    /// poll loop drives both timers and heartbeats), but they are zero —
+    /// hence absent, `add(_, 0)` is a no-op — in every world that pins a
+    /// byte-identical trace, so folding them only surfaces them where a
+    /// human is reading a degraded run's summary.
     pub fn take_trace(&mut self) -> Option<RankTrace> {
         let mut r = self.obs.take()?;
         let s = self.stats;
@@ -433,6 +459,12 @@ impl Comm {
         r.metrics.add("fault.duplicates", s.fault.duplicates);
         r.metrics.add("fault.reorders", s.fault.reorders);
         r.metrics.add("fault.retransmits", s.fault.retransmits);
+        r.metrics.add("net.retx", s.fault.retransmits);
+        r.metrics.add("net.rto", s.fault.rto_expiries);
+        r.metrics.add("net.window_stalls", s.fault.window_stalls);
+        r.metrics.add("health.heartbeats", s.fault.heartbeats);
+        r.metrics.add("health.suspicions", s.fault.suspicions);
+        r.metrics.add("health.verdicts", s.fault.verdicts);
         r.metrics.set_gauge("vt.compute_s", s.compute_s);
         r.metrics.set_gauge("vt.wait_s", s.wait_s);
         Some(r.finish(self.clock))
@@ -469,18 +501,27 @@ impl Comm {
     /// A no-op on fault-free worlds.
     pub(crate) fn check_liveness(&mut self) {
         if let Some(ctx) = &self.fault {
-            if self.clock >= ctx.crash_at {
-                ctx.abort.store(true, Ordering::SeqCst);
-                panic_any(RankCrash {
-                    rank: self.rank,
-                    at: self.clock,
-                });
-            }
-            if ctx.abort.load(Ordering::Relaxed) {
-                panic_any(WorldAborted);
-            }
+            Self::liveness_probe(self.rank, self.clock, ctx);
         }
         self.check_sched();
+    }
+
+    /// The crash/abort half of [`Comm::check_liveness`], callable while
+    /// the fault ctx is checked out of `self.fault` (the send-side
+    /// backpressure loop needs it mid-flight).
+    fn liveness_probe(rank: usize, clock: f64, ctx: &FaultCtx) {
+        if clock >= ctx.crash_at {
+            if ctx.hb.is_some() {
+                // With the failure detector armed the death is silent:
+                // no abort broadcast, the survivors must notice.
+                panic_any(QuietCrash { rank, at: clock });
+            }
+            ctx.abort.store(true, Ordering::SeqCst);
+            panic_any(RankCrash { rank, at: clock });
+        }
+        if ctx.abort.load(Ordering::Relaxed) {
+            panic_any(WorldAborted);
+        }
     }
 
     /// Send `value` to `dst` with `tag`. Never blocks.
@@ -571,6 +612,12 @@ impl Comm {
         }
         for held in ctx.held.iter().flatten() {
             next = next.min(held.release_at);
+        }
+        if let Some(hb) = &ctx.hb {
+            // The detector is a self-driven event source too: an idle
+            // rank must keep its clock moving (in `every_s` steps) or a
+            // dead peer's silence would never cross the phi threshold.
+            next = next.min(hb.next_hb);
         }
         if !next.is_finite() {
             return poll;
@@ -934,6 +981,40 @@ impl Comm {
         self.check_liveness();
         let mut ctx = self.fault.take().expect("fault ctx");
         self.service_transport(&mut ctx);
+        // Backpressure: every packet launched at a peer that isn't acking
+        // is a guaranteed future retransmission, so an unbounded burst
+        // into an outage turns into a retransmit storm once the link
+        // heals. Park here until the window opens — still ingesting (so
+        // acks, votes and heartbeats keep flowing; two mutually-blocked
+        // senders ack each other's data from this loop and both windows
+        // drain) and still servicing timers (so the head-of-line packet
+        // keeps probing the peer).
+        if ctx.tx[dst].unacked.len() >= ctx.cfg.window {
+            self.stats.fault.window_stalls += 1;
+            loop {
+                Self::liveness_probe(self.rank, self.clock, &ctx);
+                self.service_transport(&mut ctx);
+                while let Ok(pkt) = self.rx.try_recv() {
+                    self.note_rx_pull();
+                    self.ingest(&mut ctx, pkt);
+                }
+                if ctx.tx[dst].unacked.len() < ctx.cfg.window {
+                    break;
+                }
+                let dt = self.idle_step(&ctx);
+                match self.rx.recv_timeout(POLL_WALL) {
+                    Ok(pkt) => {
+                        self.note_rx_pull();
+                        self.ingest(&mut ctx, pkt);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.clock += dt;
+                        self.stats.wait_s += dt;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => panic!("world disconnected"),
+                }
+            }
+        }
         let profile = self.machine.fabric.profile();
         self.clock += profile.send_overhead_s;
         self.stats.sends += 1;
@@ -1048,8 +1129,18 @@ impl Comm {
         let _ = self.senders[dst].send(pkt);
     }
 
-    /// Fire due retransmit timers and release expired reorder holds.
+    /// Fire due retransmit timers, release expired reorder holds, and run
+    /// the failure detector (heartbeat emission + suspicion sweep).
     fn service_transport(&mut self, ctx: &mut FaultCtx) {
+        // Drain the channel before the health sweep: a retraction or a
+        // fresh heartbeat already sitting in the queue must be able to
+        // clear a suspicion before the sweep re-judges (and possibly
+        // condemns on) stale liveness state.
+        while let Ok(pkt) = self.rx.try_recv() {
+            self.note_rx_pull();
+            self.ingest(ctx, pkt);
+        }
+        self.service_health(ctx);
         for dst in 0..self.size {
             if ctx.held[dst]
                 .as_ref()
@@ -1084,8 +1175,18 @@ impl Comm {
                 head.data.clone_box(),
             );
             ctx.tx[dst].retries += 1;
-            ctx.tx[dst].rto_s = (ctx.tx[dst].rto_s * ctx.cfg.backoff).min(ctx.cfg.rto_max_s);
+            let mut rto = (ctx.tx[dst].rto_s * ctx.cfg.backoff).min(ctx.cfg.rto_max_s);
+            if ctx.cfg.backoff_jitter > 0.0 {
+                // Jitter de-synchronizes many senders backing off against
+                // one slow peer. The draw is gated on the knob so plans
+                // that leave it at 0.0 keep their replay-critical
+                // injection draw sequence unchanged.
+                rto *= 1.0 + ctx.cfg.backoff_jitter * (2.0 * ctx.rng.unit() - 1.0);
+                rto = rto.min(ctx.cfg.rto_max_s).max(ctx.cfg.rto0_s * 0.5);
+            }
+            ctx.tx[dst].rto_s = rto;
             ctx.tx[dst].deadline = self.clock + ctx.tx[dst].rto_s;
+            self.stats.fault.rto_expiries += 1;
             self.stats.fault.retransmits += 1;
             self.clock += self.machine.fabric.profile().send_overhead_s;
             self.stats.bytes_sent += bytes as u64;
@@ -1096,10 +1197,231 @@ impl Comm {
         }
     }
 
+    /// Put one failure-detector control packet on the wire: best-effort
+    /// (no sequence number, no retransmit copy), free of virtual-time
+    /// charge, and — critically — free of injection RNG draws (control
+    /// emission cadence is wall-racy; a draw here would shift the data
+    /// packets' replay-critical draw sequence). Only the fabric itself
+    /// (a dead switch port) can eat one.
+    fn push_control(&mut self, dst: usize, kind: WireKind) {
+        let out =
+            self.machine
+                .fabric
+                .transfer(self.rank as u32, dst as u32, HEADER_BYTES, self.clock);
+        if !out.delivered() {
+            return;
+        }
+        self.push_wire(
+            dst,
+            Packet {
+                src: self.rank,
+                tag: 0,
+                arrival: out.arrival,
+                kind,
+                corrupt: false,
+                edge: NO_EDGE,
+                data: Box::new(()),
+            },
+        );
+    }
+
+    /// Heartbeat emission + suspicion sweep; no-op unless the plan armed
+    /// a [`crate::fault::HeartbeatConfig`].
+    fn service_health(&mut self, ctx: &mut FaultCtx) {
+        if ctx.hb.is_none() {
+            return;
+        }
+        // Heartbeat broadcast. Intervals skipped inside a long compute
+        // phase collapse into one beat: the silence already happened and
+        // the peers have already judged it.
+        let beat = {
+            let hb = ctx.hb.as_mut().expect("checked above");
+            if self.clock >= hb.next_hb {
+                hb.next_hb = self.clock + hb.cfg.every_s;
+                true
+            } else {
+                false
+            }
+        };
+        if beat {
+            self.stats.fault.heartbeats += 1;
+            for dst in 0..self.size {
+                if dst != self.rank {
+                    self.push_control(dst, WireKind::Heartbeat);
+                }
+            }
+        }
+        // Suspicion sweep: a peer whose silence (measured on this rank's
+        // own clock) crosses the phi threshold gets a suspicion vote
+        // broadcast to the world; the vote is retracted by `note_alive`
+        // the moment the peer is heard again. A freshly-raised suspicion
+        // never condemns — it must age through the confirmation window
+        // first, which the re-check below enforces on later sweeps.
+        for p in 0..self.size {
+            let raised = {
+                let hb = ctx.hb.as_mut().expect("checked above");
+                if p == self.rank || hb.suspected[p] {
+                    false
+                } else {
+                    let floor = hb.ewma[p].max(hb.cfg.every_s);
+                    if self.clock - hb.last_seen[p] > hb.cfg.suspect_after * floor {
+                        hb.suspected[p] = true;
+                        hb.suspect_since[p] = self.clock;
+                        hb.votes[p][self.rank] = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if raised {
+                self.stats.fault.suspicions += 1;
+                for dst in 0..self.size {
+                    if dst != self.rank && dst != p {
+                        self.push_control(
+                            dst,
+                            WireKind::Suspect {
+                                peer: p as u32,
+                                alive: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Confirmation re-check: standing suspicions whose window has
+        // elapsed unretracted are eligible for a quorum verdict even if
+        // no new vote arrives (a truly dead peer sends nothing, so the
+        // verdict must fire from the poll loop).
+        for p in 0..self.size {
+            let standing = ctx.hb.as_ref().expect("checked above").suspected[p];
+            if standing && p != self.rank {
+                self.maybe_condemn(ctx, p);
+            }
+        }
+    }
+
+    /// Record life from `src` (any packet kind counts). Liveness advances
+    /// to `max(own clock, arrival)`: per-rank virtual clocks drift apart
+    /// between synchronization points, so a busy peer's packets may carry
+    /// stamps far in our past — hearing it at all is the fact that
+    /// matters. Retracts a standing suspicion.
+    fn note_alive(&mut self, ctx: &mut FaultCtx, src: usize, arrival: f64) {
+        if src == self.rank {
+            return;
+        }
+        let retract = {
+            let Some(hb) = &mut ctx.hb else { return };
+            let now = self.clock.max(arrival);
+            let gap = (now - hb.last_seen[src]).max(0.0);
+            hb.ewma[src] = 0.8 * hb.ewma[src] + 0.2 * gap;
+            hb.last_seen[src] = hb.last_seen[src].max(now);
+            if hb.suspected[src] {
+                hb.suspected[src] = false;
+                hb.suspect_since[src] = f64::INFINITY;
+                hb.votes[src][self.rank] = false;
+                true
+            } else {
+                false
+            }
+        };
+        if retract {
+            for dst in 0..self.size {
+                if dst != self.rank && dst != src {
+                    self.push_control(
+                        dst,
+                        WireKind::Suspect {
+                            peer: src as u32,
+                            alive: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ingest a peer's suspicion vote (or retraction) about `peer`.
+    fn on_vote(&mut self, ctx: &mut FaultCtx, peer: usize, voter: usize, alive: bool) {
+        {
+            let Some(hb) = &mut ctx.hb else { return };
+            if peer >= self.size || peer == self.rank {
+                return;
+            }
+            hb.votes[peer][voter] = !alive;
+        }
+        if !alive {
+            self.maybe_condemn(ctx, peer);
+        }
+    }
+
+    /// Condemn `peer` if this rank's suspicion of it has aged through the
+    /// confirmation window unretracted *and* a majority quorum of votes
+    /// agrees. The verdict tears the world down naming the dead peer (not
+    /// this rank), so a recovery harness knows exactly whose state to
+    /// restore. Without the aging step, the transient all-suspect-all
+    /// storm that follows any straggler's clock jump can line up a quorum
+    /// faster than retractions propagate, split-braining the cluster into
+    /// killing a live rank.
+    fn maybe_condemn(&mut self, ctx: &mut FaultCtx, peer: usize) {
+        let confirmed = {
+            let Some(hb) = &mut ctx.hb else { return };
+            if !hb.suspected[peer] {
+                return;
+            }
+            let aged = self.clock >= hb.suspect_since[peer] + hb.cfg.confirm_for * hb.cfg.every_s;
+            let votes = hb.votes[peer].iter().filter(|&&v| v).count();
+            let quorum = (self.size - 1) / 2 + 1;
+            #[cfg(any(test, feature = "sim-mutants"))]
+            {
+                (aged || hb.cfg.condemn_unconfirmed) && votes >= quorum
+            }
+            #[cfg(not(any(test, feature = "sim-mutants")))]
+            {
+                aged && votes >= quorum
+            }
+        };
+        if confirmed {
+            self.stats.fault.verdicts += 1;
+            ctx.abort.store(true, Ordering::SeqCst);
+            panic_any(RankCrash {
+                rank: peer,
+                at: self.clock,
+            });
+        }
+    }
+
+    /// Per-rank health weights for degradation-aware decomposition: 1.0
+    /// for every rank on a fault-free world or when no failure detector
+    /// is armed; a currently-suspected peer drops to 0.2 so the
+    /// work-weighted decomposition sheds load off it. Suspicion state is
+    /// wall-cadence-dependent — treat these as scheduling hints, not
+    /// reproducible facts.
+    pub fn peer_health(&self) -> Vec<f64> {
+        match self.fault.as_ref().and_then(|c| c.hb.as_ref()) {
+            None => vec![1.0; self.size],
+            Some(hb) => (0..self.size)
+                .map(|p| {
+                    if p != self.rank && hb.suspected[p] {
+                        0.2
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Transport-level processing of one packet off the channel.
     fn ingest(&mut self, ctx: &mut FaultCtx, pkt: Packet) {
+        if ctx.hb.is_some() {
+            // Any packet — data, ack, control, even a corrupt frame —
+            // proves the sender's NIC was alive to emit it.
+            self.note_alive(ctx, pkt.src, pkt.arrival);
+        }
         match pkt.kind {
             WireKind::Raw => self.mailbox.push(pkt),
+            WireKind::Heartbeat => {}
+            WireKind::Suspect { peer, alive } => self.on_vote(ctx, peer as usize, pkt.src, alive),
             WireKind::Ack { upto } => {
                 let tx = &mut ctx.tx[pkt.src];
                 let mut progressed = false;

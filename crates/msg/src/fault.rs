@@ -62,6 +62,17 @@ pub struct RetransmitConfig {
     pub poll_s: f64,
     /// Virtual time charged per empty `try_recv` probe.
     pub probe_s: f64,
+    /// Backpressure: maximum unacknowledged packets in flight toward one
+    /// destination. A send past the window parks (still servicing timers
+    /// and ingesting acks) until the peer acks something, so a slow or
+    /// partitioned peer throttles its senders instead of accumulating an
+    /// arbitrarily deep retransmit queue — every packet launched into an
+    /// outage is a guaranteed future retransmission.
+    pub window: usize,
+    /// Relative jitter applied to each backed-off RTO (`0.0` disables it
+    /// and consumes no RNG draws). With many senders timing out against
+    /// one slow peer, jitter de-synchronizes their retry bursts.
+    pub backoff_jitter: f64,
 }
 
 impl Default for RetransmitConfig {
@@ -74,6 +85,8 @@ impl Default for RetransmitConfig {
             ack_overhead_s: 5.0e-6,
             poll_s: 5.0e-5,
             probe_s: 1.0e-6,
+            window: 64,
+            backoff_jitter: 0.0,
         }
     }
 }
@@ -102,6 +115,73 @@ impl RetransmitConfig {
             ack_overhead_s: 0.0,
             poll_s: 0.0,
             probe_s: 0.0,
+            window: usize::MAX,
+            backoff_jitter: 0.0,
+        }
+    }
+}
+
+/// Failure-detector tuning: virtual-time heartbeats with a phi-accrual
+/// style suspicion score at the Comm boundary (all times virtual seconds).
+///
+/// With a detector armed, a scheduled rank crash is *silent* — the dead
+/// rank stops emitting instead of broadcasting an out-of-band abort — and
+/// the survivors must reach a consistent verdict: a rank that suspects a
+/// peer (its silence exceeds `suspect_after` smoothed arrival intervals)
+/// broadcasts a suspicion vote, retracting it if the peer is heard again,
+/// and only condemns the peer once the suspicion has *aged* unretracted
+/// through the confirmation window **and** a majority quorum of votes
+/// agrees. The verdict tears the world down with the *dead peer's* rank
+/// in the crash report, so a recovery harness knows exactly whose state
+/// to restore.
+///
+/// The confirmation window is what makes stragglers survivable: at every
+/// synchronization point downstream of a slow rank, clocks jump forward
+/// together and the whole world transiently suspects everyone it has not
+/// heard from since before the jump. Those suspicions — and the quorum of
+/// votes that instantly accompanies them — are retracted within a few
+/// packet exchanges; only a peer that stays silent through the window is
+/// really dead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatConfig {
+    /// Interval between heartbeat broadcasts.
+    pub every_s: f64,
+    /// Suspicion threshold, in units of the smoothed inter-arrival
+    /// interval estimate (floored at `every_s`): the virtual-time analog
+    /// of a phi-accrual detector's phi threshold.
+    pub suspect_after: f64,
+    /// Confirmation window, in units of `every_s`: a suspicion must
+    /// survive this long unretracted before a quorum may condemn.
+    ///
+    /// Size this against the *idle-warp rate*, not the beat cadence: a
+    /// rank blocked on a silent peer advances its virtual clock one
+    /// `every_s` step per hysteresis window of empty polls, so the wall
+    /// time a live-but-stalled peer gets to retract is roughly
+    /// `confirm_for * IDLE_WARP_POLLS * poll quantum`. The default (150
+    /// beats ≈ a second of wall grace) rides out debug-build force
+    /// phases and OS scheduling hiccups; a genuinely dead rank still
+    /// condemns, just those beats later on the warped clock.
+    pub confirm_for: f64,
+    /// Mutation tooth (split-brain): drop the confirmation window and
+    /// condemn the moment a quorum of suspicion votes lines up. A
+    /// straggler's clock jump then turns the transient all-suspect-all
+    /// storm at the next synchronization point into a verdict against a
+    /// live rank — exactly the failure confirmation exists to prevent —
+    /// and the simcheck seed set must catch it. Gated behind the
+    /// `sim-mutants` feature (or this crate's own tests) so production
+    /// builds cannot even express the broken detector.
+    #[cfg(any(test, feature = "sim-mutants"))]
+    pub condemn_unconfirmed: bool,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            every_s: 5.0e-4,
+            suspect_after: 8.0,
+            confirm_for: 150.0,
+            #[cfg(any(test, feature = "sim-mutants"))]
+            condemn_unconfirmed: false,
         }
     }
 }
@@ -124,6 +204,9 @@ pub struct FaultPlan {
     /// Switch-port faults applied to the fabric for the whole run.
     pub link_faults: Vec<LinkFault>,
     pub retransmit: RetransmitConfig,
+    /// Failure detector; `None` (the default) keeps crashes loud (the
+    /// abort flag broadcasts the death) and adds zero behavior change.
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl FaultPlan {
@@ -139,6 +222,7 @@ impl FaultPlan {
             crashes: Vec::new(),
             link_faults: Vec::new(),
             retransmit: RetransmitConfig::default(),
+            heartbeat: None,
         }
     }
 
@@ -183,6 +267,16 @@ impl FaultPlan {
         self
     }
 
+    /// Arm the heartbeat failure detector (crashes go silent; survivors
+    /// must detect the death and reach a quorum verdict).
+    pub fn with_heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
+        assert!(cfg.every_s > 0.0, "heartbeat interval {}", cfg.every_s);
+        assert!(cfg.suspect_after > 1.0, "threshold {}", cfg.suspect_after);
+        assert!(cfg.confirm_for >= 0.0, "confirm window {}", cfg.confirm_for);
+        self.heartbeat = Some(cfg);
+        self
+    }
+
     /// True when the plan can never perturb a run.
     pub fn is_trivial(&self) -> bool {
         self.drop == 0.0
@@ -191,6 +285,7 @@ impl FaultPlan {
             && self.reorder == 0.0
             && self.crashes.is_empty()
             && self.link_faults.is_empty()
+            && self.heartbeat.is_none()
     }
 
     /// Derive a plan from the §2.1 reliability model, compressed in time.
@@ -242,6 +337,7 @@ impl FaultPlan {
             crashes,
             link_faults: Vec::new(),
             retransmit: RetransmitConfig::default(),
+            heartbeat: None,
         }
     }
 }
@@ -284,6 +380,17 @@ pub struct RankCrash {
 #[derive(Debug, Clone, Copy)]
 pub struct WorldAborted;
 
+/// Panic payload of a rank dying *silently*: a scheduled crash with the
+/// failure detector armed. Unlike [`RankCrash`] it does not raise the
+/// world-abort flag — real dead nodes don't announce themselves, so the
+/// survivors must notice the silence through the heartbeat layer and
+/// reach a quorum verdict on their own.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QuietCrash {
+    pub rank: usize,
+    pub at: f64,
+}
+
 /// Keep the default panic hook from spamming stderr for the expected,
 /// caught panic payloads (crash/abort teardown and the scheduler's stall
 /// verdicts); real panics still print.
@@ -295,6 +402,7 @@ pub(crate) fn install_quiet_hook() {
             let p = info.payload();
             if p.downcast_ref::<RankCrash>().is_none()
                 && p.downcast_ref::<WorldAborted>().is_none()
+                && p.downcast_ref::<QuietCrash>().is_none()
                 && p.downcast_ref::<crate::sched::Stall>().is_none()
                 && p.downcast_ref::<crate::sched::StallAbort>().is_none()
             {
@@ -360,6 +468,49 @@ pub(crate) struct HeldPacket {
     pub release_at: f64,
 }
 
+/// Failure-detector state (armed only when the plan carries a
+/// [`HeartbeatConfig`]).
+///
+/// All times are this rank's *own* virtual clock. Per-rank clocks drift
+/// apart between synchronization points, so a peer's packet can carry an
+/// arrival stamp far in this rank's past (the peer's clock lags) — which
+/// is why liveness is recorded as `max(own clock, arrival)` at ingest
+/// time: silence only accrues while genuinely hearing nothing, never
+/// because a busy-but-alive peer's timeline runs behind ours.
+pub(crate) struct HealthState {
+    pub cfg: HeartbeatConfig,
+    /// Virtual time of the next heartbeat broadcast.
+    pub next_hb: f64,
+    /// Per-peer last time we heard *anything* (data, ack, heartbeat, or
+    /// vote).
+    pub last_seen: Vec<f64>,
+    /// Per-peer smoothed inter-arrival gap (the phi-accrual mean).
+    pub ewma: Vec<f64>,
+    /// Peers this rank currently suspects.
+    pub suspected: Vec<bool>,
+    /// When each standing suspicion was raised (∞ when not suspected);
+    /// a verdict requires the suspicion to have aged through the
+    /// confirmation window unretracted.
+    pub suspect_since: Vec<f64>,
+    /// `votes[peer][voter]`: ranks currently voting `peer` dead (this
+    /// rank's own suspicion counts as its vote).
+    pub votes: Vec<Vec<bool>>,
+}
+
+impl HealthState {
+    fn new(cfg: HeartbeatConfig, size: usize, clock0: f64) -> Self {
+        HealthState {
+            cfg,
+            next_hb: clock0 + cfg.every_s,
+            last_seen: vec![clock0; size],
+            ewma: vec![cfg.every_s; size],
+            suspected: vec![false; size],
+            suspect_since: vec![f64::INFINITY; size],
+            votes: vec![vec![false; size]; size],
+        }
+    }
+}
+
 /// Per-rank fault-injection and reliable-transport state.
 pub(crate) struct FaultCtx {
     pub drop_p: f64,
@@ -379,6 +530,8 @@ pub(crate) struct FaultCtx {
     pub tx: Vec<PeerTx>,
     pub rx: Vec<PeerRx>,
     pub held: Vec<Option<HeldPacket>>,
+    /// Heartbeat failure detector; `None` keeps every path unchanged.
+    pub hb: Option<HealthState>,
 }
 
 impl FaultCtx {
@@ -425,6 +578,9 @@ impl FaultCtx {
                 })
                 .collect(),
             held: (0..size).map(|_| None).collect(),
+            hb: plan
+                .heartbeat
+                .map(|cfg| HealthState::new(cfg, size, clock0)),
         }
     }
 }
@@ -504,13 +660,24 @@ where
                     })) {
                         Ok(v) => RankEnd::Done(v),
                         Err(p) => {
-                            abort.store(true, std::sync::atomic::Ordering::SeqCst);
-                            if let Some(c) = p.downcast_ref::<RankCrash>() {
-                                RankEnd::Crash(*c)
-                            } else if p.downcast_ref::<WorldAborted>().is_some() {
-                                RankEnd::Aborted
+                            if let Some(c) = p.downcast_ref::<QuietCrash>() {
+                                // Silent death: the world keeps running —
+                                // the failure detector on the surviving
+                                // ranks must notice and raise the abort
+                                // itself (via a quorum verdict).
+                                RankEnd::Crash(RankCrash {
+                                    rank: c.rank,
+                                    at: c.at,
+                                })
                             } else {
-                                RankEnd::Panic(p)
+                                abort.store(true, std::sync::atomic::Ordering::SeqCst);
+                                if let Some(c) = p.downcast_ref::<RankCrash>() {
+                                    RankEnd::Crash(*c)
+                                } else if p.downcast_ref::<WorldAborted>().is_some() {
+                                    RankEnd::Aborted
+                                } else {
+                                    RankEnd::Panic(p)
+                                }
                             }
                         }
                     }
@@ -880,5 +1047,169 @@ mod tests {
             .with_corrupt(0.2)
             .with_reorder(0.3);
         storm_exactly_once(4, 40, &plan);
+    }
+
+    /// Burst `n` messages into a 50 ms dead-port outage with the given
+    /// in-flight window; returns rank 0's transport counters.
+    fn dead_port_burst(window: usize, n: u64) -> crate::FaultStats {
+        let cfg = RetransmitConfig {
+            window,
+            ..RetransmitConfig::default()
+        };
+        let plan = FaultPlan::none(9)
+            .with_link_fault(LinkFault::dead(1, 0.0, 5.0e-2))
+            .with_retransmit(cfg);
+        let out = run_with_faults(Machine::ideal(2), 2, &plan, 0.0, |c| {
+            if c.rank() == 0 {
+                for i in 0..n {
+                    c.send(1, 7, i);
+                }
+                let (_, sum) = c.recv::<u64>(Some(1), 8);
+                assert_eq!(sum, (0..n).sum::<u64>());
+                c.stats().fault
+            } else {
+                let mut sum = 0u64;
+                for _ in 0..n {
+                    sum += c.recv_from::<u64>(0, 7);
+                }
+                c.send(0, 8, sum);
+                c.stats().fault
+            }
+        })
+        .expect_completed("the outage heals");
+        out[0]
+    }
+
+    #[test]
+    fn backpressure_window_caps_the_retransmit_storm() {
+        // Every packet launched into the outage is a guaranteed future
+        // retransmission (the dead port eats it; only the timer brings
+        // it back), so the uncapped transport pays ~one retransmit per
+        // burst message once the port heals. The windowed transport
+        // parks the sender after `window` packets and sends the rest
+        // fresh against a healthy link.
+        let uncapped = dead_port_burst(usize::MAX, 120);
+        let capped = dead_port_burst(8, 120);
+        assert_eq!(uncapped.window_stalls, 0);
+        assert!(
+            capped.window_stalls > 0,
+            "a 120-message burst into a window of 8 must stall"
+        );
+        assert!(
+            uncapped.retransmits >= 5 * capped.retransmits.max(1),
+            "backpressure must cut the storm >= 5x: uncapped {} vs capped {}",
+            uncapped.retransmits,
+            capped.retransmits
+        );
+        assert!(capped.rto_expiries > 0, "timer recovery still used");
+    }
+
+    #[test]
+    fn quiet_crash_is_detected_by_quorum_verdict() {
+        // With the detector armed the scheduled crash is silent: no
+        // abort flag. The three survivors must each notice the silence,
+        // exchange suspicion votes, and condemn the dead rank — naming
+        // *it* (not themselves) in the crash report.
+        let plan = FaultPlan::none(5)
+            .with_crash(2, 2.0e-2)
+            .with_heartbeat(HeartbeatConfig::default());
+        let out: WorldOutcome<u64> = run_with_faults(Machine::ideal(4), 4, &plan, 0.0, |c| {
+            let mut n = 0u64;
+            loop {
+                for p in 0..c.size() {
+                    if p != c.rank() {
+                        c.send(p, 3, n);
+                    }
+                }
+                for _ in 0..c.size() - 1 {
+                    let _ = c.recv::<u64>(None, 3);
+                }
+                n += 1;
+                c.compute(1e6, 0.0);
+            }
+        });
+        match out {
+            WorldOutcome::Crashed { rank, at } => {
+                assert_eq!(rank, 2, "the verdict must name the dead rank");
+                assert!(at >= 2.0e-2, "detected at t={at}");
+            }
+            WorldOutcome::Completed(_) => panic!("world must crash"),
+        }
+    }
+
+    /// Three rounds of all-to-all warmup, then rank 3 disappears into a
+    /// compute phase ~50x longer than the suspicion threshold, then one
+    /// more exchange. The straggler's clock jump makes it (briefly,
+    /// spuriously) suspect everyone — its `last_seen` stamps are stale
+    /// while its own clock leapt ahead.
+    fn straggler_world(seed: u64, hb: HeartbeatConfig) -> WorldOutcome<(u64, crate::FaultStats)> {
+        let plan = FaultPlan::none(seed).with_heartbeat(hb);
+        run_with_faults(Machine::ideal(4), 4, &plan, 0.0, |c| {
+            for round in 0..3u64 {
+                for p in 0..c.size() {
+                    if p != c.rank() {
+                        c.send(p, 11, round);
+                    }
+                }
+                for _ in 0..c.size() - 1 {
+                    let _ = c.recv::<u64>(None, 11);
+                }
+            }
+            if c.rank() == 3 {
+                c.compute(5e8, 0.0); // ~0.2 s virtual, threshold is ~4 ms
+            }
+            for p in 0..c.size() {
+                if p != c.rank() {
+                    c.send(p, 12, c.rank() as u64);
+                }
+            }
+            let mut sum = 0u64;
+            for _ in 0..c.size() - 1 {
+                sum += c.recv::<u64>(None, 12).1;
+            }
+            (sum, c.stats().fault)
+        })
+    }
+
+    #[test]
+    fn straggler_is_suspected_but_not_condemned() {
+        // Healthy protocol: the straggler's spurious suspicions stay
+        // below quorum and retract once its mailbox drains, so the world
+        // completes — and the health counters saw the episode.
+        let out = straggler_world(77, HeartbeatConfig::default())
+            .expect_completed("a slow rank is not a dead rank");
+        let total = |f: fn(&crate::FaultStats) -> u64| out.iter().map(|(_, s)| f(s)).sum::<u64>();
+        assert!(total(|s| s.heartbeats) > 0, "detector must have beaten");
+        assert!(
+            total(|s| s.suspicions) > 0,
+            "the clock jump must raise (retracted) suspicions"
+        );
+        assert_eq!(total(|s| s.verdicts), 0, "nobody may be condemned");
+        for (r, (sum, _)) in out.iter().enumerate() {
+            assert_eq!(*sum, 6 - r as u64, "exchange payloads intact");
+        }
+    }
+
+    #[test]
+    fn simcheck_catches_split_brain_verdict_mutant() {
+        // Teeth: drop the suspicion-confirmation window (condemn the
+        // moment a quorum of votes lines up, before retractions can
+        // propagate) and the straggler's clock jump turns the transient
+        // all-suspect-all storm at the final exchange into a split-brain
+        // kill of a live rank. The seed sweep must catch the mutant as a
+        // crashed world.
+        let mutant = HeartbeatConfig {
+            condemn_unconfirmed: true,
+            ..HeartbeatConfig::default()
+        };
+        let mut caught = None;
+        for seed in 0..8u64 {
+            if let WorldOutcome::Crashed { rank, at } = straggler_world(seed, mutant) {
+                caught = Some((seed, rank, at));
+                break;
+            }
+        }
+        let (seed, rank, at) = caught.expect("the split-brain mutant must be caught");
+        eprintln!("mutant caught: seed {seed} falsely condemned rank {rank} at t={at:.4}");
     }
 }

@@ -45,8 +45,8 @@ pub mod sort;
 pub use abm::{Abm, Termination};
 pub use comm::{run, run_observed, run_with, Comm, CommStats, FaultStats, MailboxTimeout, Tag};
 pub use fault::{
-    run_with_faults, run_with_faults_observed, CrashEvent, FaultPlan, RetransmitConfig,
-    WorldOutcome,
+    run_with_faults, run_with_faults_observed, CrashEvent, FaultPlan, HeartbeatConfig,
+    RetransmitConfig, WorldOutcome,
 };
 pub use group::Group;
 pub use machine::Machine;

@@ -21,7 +21,7 @@ use crate::payload::Payload;
 /// `oversample` controls splitter quality; 32–128 is typical.
 pub fn sample_sort_weighted<T, K, W>(
     comm: &mut Comm,
-    mut local: Vec<T>,
+    local: Vec<T>,
     key: K,
     weight: W,
     oversample: usize,
@@ -32,10 +32,50 @@ where
     K: Fn(&T) -> u64,
     W: Fn(&T) -> f64,
 {
+    let shares = vec![1.0; comm.size()];
+    sample_sort_weighted_shares(comm, local, key, weight, &shares, oversample)
+}
+
+/// Like [`sample_sort_weighted`], but each rank's target fraction of the
+/// global work is proportional to `shares[rank]` instead of uniform.
+///
+/// This is the degradation hook: a rank judged unhealthy (slow links,
+/// repeated suspicion by the failure detector) is handed a small share so
+/// it stops pacing the step barrier, without changing the sorted-shard
+/// ordering contract. All ranks must pass the same `shares` (it feeds
+/// splitter selection, which must agree globally); a rank's share may be
+/// zero, in which case it receives (almost) no work.
+pub fn sample_sort_weighted_shares<T, K, W>(
+    comm: &mut Comm,
+    mut local: Vec<T>,
+    key: K,
+    weight: W,
+    shares: &[f64],
+    oversample: usize,
+) -> Vec<T>
+where
+    T: Send + 'static,
+    Vec<T>: Payload,
+    K: Fn(&T) -> u64,
+    W: Fn(&T) -> f64,
+{
     let size = comm.size();
+    assert_eq!(shares.len(), size, "one share per rank");
+    assert!(
+        shares.iter().all(|&s| s >= 0.0) && shares.iter().sum::<f64>() > 0.0,
+        "shares must be non-negative and not all zero: {shares:?}"
+    );
     local.sort_by_key(&key);
     if size == 1 {
         return local;
+    }
+    // Cumulative cut fractions: bucket i ends at cuts[i] of total work.
+    let share_sum: f64 = shares.iter().sum();
+    let mut cuts: Vec<f64> = Vec::with_capacity(size - 1);
+    let mut acc_share = 0.0;
+    for &s in &shares[..size - 1] {
+        acc_share += s;
+        cuts.push(acc_share / share_sum);
     }
 
     // 1. Sample (key, weight) pairs at evenly spaced local positions.
@@ -58,15 +98,16 @@ where
         .collect();
     pooled.sort_by_key(|&(k, _)| k);
 
-    // 3. Splitters at weighted quantiles of the pooled sample.
+    // 3. Splitters at weighted quantiles of the pooled sample, cut at the
+    // per-rank cumulative share boundaries.
     let total_w: f64 = pooled.iter().map(|&(_, w)| w).sum();
     let mut splitters: Vec<u64> = Vec::with_capacity(size - 1);
     if total_w > 0.0 {
         let mut acc = 0.0;
-        let mut next_cut = 1;
+        let mut next_cut = 0;
         for &(k, w) in &pooled {
             acc += w;
-            while next_cut < size && acc >= total_w * next_cut as f64 / size as f64 {
+            while next_cut < size - 1 && acc >= total_w * cuts[next_cut] {
                 splitters.push(k);
                 next_cut += 1;
             }
@@ -212,6 +253,35 @@ mod tests {
             shards[0].len(),
             shards[1].len()
         );
+    }
+
+    #[test]
+    fn degraded_rank_share_sheds_work() {
+        // Rank 3 is marked unhealthy (share 0.2 vs 1.0): it must end up
+        // holding roughly 0.2/3.2 of the global weight while the healthy
+        // ranks split the rest evenly.
+        let shares = [1.0, 1.0, 1.0, 0.2];
+        let shards = run(4, move |c| {
+            let mut rng = SmallRng::seed_from_u64(21 + c.rank() as u64);
+            let local: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
+            sample_sort_weighted_shares(c, local, |&k| k, |_| 1.0, &shares, 128)
+        });
+        check_global_order(&shards);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 4 * 2000);
+        let sick = shards[3].len() as f64 / total as f64;
+        assert!(
+            (sick - 0.2 / 3.2).abs() < 0.04,
+            "degraded rank holds {sick:.3} of the work (want ~{:.3})",
+            0.2 / 3.2
+        );
+        for r in 0..3 {
+            let share = shards[r].len() as f64 / total as f64;
+            assert!(
+                (share - 1.0 / 3.2).abs() < 0.06,
+                "healthy rank {r} holds {share:.3}"
+            );
+        }
     }
 
     #[test]

@@ -193,7 +193,13 @@ pub fn structural_summary(w: &WorldTrace) -> String {
 /// * histograms — they bucket virtual times;
 /// * `fault.*` counters and `msg.bytes_sent` — retransmit-timer firings
 ///   race wall-clock polling, so drop/retransmit tallies (and the bytes
-///   they add) are not schedule-invariant under injection.
+///   they add) are not schedule-invariant under injection;
+/// * `net.*` and `health.*` counters — the reliable transport's
+///   retransmit/RTO/backpressure tallies and the failure detector's
+///   heartbeat/suspicion traffic both ride the wall-clock poll loop.
+///   They are surfaced in the human-facing structural summary (zero
+///   counters are simply absent, so clean worlds stay byte-identical)
+///   but must not pin the schedule digest.
 pub fn schedule_summary(w: &WorldTrace) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "schedule-summary v1");
@@ -216,7 +222,11 @@ pub fn schedule_summary(w: &WorldTrace) -> String {
             let _ = writeln!(out, "  span {name} {count}");
         }
         for (name, v) in r.metrics.counters() {
-            if name.starts_with("fault.") || name == "msg.bytes_sent" {
+            if name.starts_with("fault.")
+                || name.starts_with("net.")
+                || name.starts_with("health.")
+                || name == "msg.bytes_sent"
+            {
                 continue;
             }
             let _ = writeln!(out, "  counter {name} {v}");
@@ -312,6 +322,9 @@ mod tests {
             }
             r.metrics.add("walk.interactions", 7);
             r.metrics.add("fault.drops", 3); // wall-racy: must be ignored
+            r.metrics.add("net.retx", 2); // wall-racy: must be ignored
+            r.metrics.add("net.rto", 1); // wall-racy: must be ignored
+            r.metrics.add("health.heartbeats", 40); // wall-racy: must be ignored
             r.metrics.set_gauge("vt.wait_s", 0.5 * stretch);
             WorldTrace::from_ranks(vec![r.finish(2.0 * stretch)])
         };
@@ -323,6 +336,9 @@ mod tests {
         assert_ne!(schedule_digest(&a), schedule_digest(&c));
         assert!(schedule_summary(&a).contains("counter walk.interactions 7"));
         assert!(!schedule_summary(&a).contains("fault.drops"));
+        assert!(!schedule_summary(&a).contains("net.retx"));
+        assert!(!schedule_summary(&a).contains("net.rto"));
+        assert!(!schedule_summary(&a).contains("health.heartbeats"));
         assert!(!schedule_summary(&a).contains("vt.wait_s"));
     }
 
