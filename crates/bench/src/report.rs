@@ -14,7 +14,10 @@ use obs::{CriticalPath, Efficiency, WorldTrace};
 
 /// Bump whenever a field is added, removed, or changes meaning; the
 /// comparator refuses to diff across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: query-service columns (`queries`, `queries_per_s`,
+/// `query_p50_s`/`p95`/`p99`) for scenarios driven by a client fleet.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One scenario's folded metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +56,15 @@ pub struct ScenarioReport {
     pub comm_efficiency: f64,
     pub transfer_efficiency: f64,
     pub serialization_efficiency: f64,
+    /// Queries answered by the scenario's client fleet (0 for scenarios
+    /// without one — the service columns then carry no claim).
+    pub queries: u64,
+    /// `queries / end_vtime_s` — the service throughput headline.
+    pub queries_per_s: f64,
+    /// Client-observed reply latency percentiles, virtual seconds.
+    pub query_p50_s: f64,
+    pub query_p95_s: f64,
+    pub query_p99_s: f64,
 }
 
 impl ScenarioReport {
@@ -91,7 +103,26 @@ impl ScenarioReport {
             comm_efficiency: eff.comm_efficiency,
             transfer_efficiency: eff.transfer_efficiency,
             serialization_efficiency: eff.serialization_efficiency,
+            queries: 0,
+            queries_per_s: 0.0,
+            query_p50_s: 0.0,
+            query_p95_s: 0.0,
+            query_p99_s: 0.0,
         }
+    }
+
+    /// Attach the query-service columns (scenarios with a client fleet).
+    pub fn with_queries(mut self, queries: u64, p50: f64, p95: f64, p99: f64) -> ScenarioReport {
+        self.queries = queries;
+        self.queries_per_s = if self.end_vtime_s > 0.0 {
+            queries as f64 / self.end_vtime_s
+        } else {
+            0.0
+        };
+        self.query_p50_s = p50;
+        self.query_p95_s = p95;
+        self.query_p99_s = p99;
+        self
     }
 }
 
@@ -183,6 +214,11 @@ pub fn to_json(r: &BenchReport) -> String {
             ("comm_efficiency", jnum(s.comm_efficiency)),
             ("transfer_efficiency", jnum(s.transfer_efficiency)),
             ("serialization_efficiency", jnum(s.serialization_efficiency)),
+            ("queries", s.queries.to_string()),
+            ("queries_per_s", jnum(s.queries_per_s)),
+            ("query_p50_s", jnum(s.query_p50_s)),
+            ("query_p95_s", jnum(s.query_p95_s)),
+            ("query_p99_s", jnum(s.query_p99_s)),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             out.push_str(&format!(
@@ -439,6 +475,14 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
             comm_efficiency: row.num("comm_efficiency")?,
             transfer_efficiency: row.num("transfer_efficiency")?,
             serialization_efficiency: row.num("serialization_efficiency")?,
+            // Absent in v1 files; default 0 so a stale baseline parses
+            // and the comparator reports the schema drift instead of a
+            // parse error.
+            queries: row.num("queries").unwrap_or(0.0) as u64,
+            queries_per_s: row.num("queries_per_s").unwrap_or(0.0),
+            query_p50_s: row.num("query_p50_s").unwrap_or(0.0),
+            query_p95_s: row.num("query_p95_s").unwrap_or(0.0),
+            query_p99_s: row.num("query_p99_s").unwrap_or(0.0),
         });
     }
     Ok(BenchReport {
@@ -516,6 +560,20 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
                 timings_comparable,
             ),
             ("availability", b.availability, n.availability, true, true),
+            (
+                "queries_per_s",
+                b.queries_per_s,
+                n.queries_per_s,
+                true,
+                timings_comparable,
+            ),
+            (
+                "query_p99_s",
+                b.query_p99_s,
+                n.query_p99_s,
+                false,
+                timings_comparable,
+            ),
         ];
         for (metric, old, newv, higher_better, comparable) in checks {
             // A metric that vanished — NaN, or zero where the baseline
@@ -559,6 +617,7 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
 fn metric_value(s: &ScenarioReport, metric: &str) -> Option<f64> {
     Some(match metric {
         "interactions_per_s" => s.interactions_per_s,
+        "queries_per_s" => s.queries_per_s,
         "availability" => s.availability,
         "parallel_efficiency" => s.parallel_efficiency,
         "load_balance" => s.load_balance,
@@ -621,6 +680,11 @@ mod tests {
             comm_efficiency: 0.06,
             transfer_efficiency: 0.104,
             serialization_efficiency: 0.577,
+            queries: 768,
+            queries_per_s: 1.2e5,
+            query_p50_s: 4.0e-5,
+            query_p95_s: 1.1e-4,
+            query_p99_s: 2.3e-4,
         }])
     }
 
@@ -657,6 +721,24 @@ mod tests {
         fast.scenarios[0].end_vtime_s *= 0.5;
         fast.scenarios[0].interactions_per_s *= 2.0;
         assert!(compare(&base, &fast, 0.05).is_empty());
+    }
+
+    #[test]
+    fn comparator_catches_query_service_regression() {
+        let base = sample();
+        let mut slow = base.clone();
+        slow.scenarios[0].queries_per_s /= 1.30;
+        slow.scenarios[0].query_p99_s *= 1.30;
+        let r = compare(&base, &slow, 0.05);
+        assert_eq!(r.len(), 2, "{r:?}");
+        assert!(r[0].contains("queries_per_s"), "{r:?}");
+        assert!(r[1].contains("query_p99_s"), "{r:?}");
+        // And the throughput headline can be floored absolutely.
+        let f = |v: f64| ("treecode16".to_string(), "queries_per_s".to_string(), v);
+        assert!(check_floors(&base, &[f(1.0e5)]).is_empty());
+        let r = check_floors(&base, &[f(2.0e5)]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("below committed floor"), "{r:?}");
     }
 
     #[test]

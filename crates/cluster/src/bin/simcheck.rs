@@ -1,9 +1,9 @@
 //! Adversarial schedule checker for the golden worlds.
 //!
 //! Runs N seeds of the simcheck sweep (treecode16 / chaos16 / storm16 /
-//! overlap16, each under a reference schedule plus K adversarially
-//! permuted + time-jittered schedules) and checks every oracle on every
-//! schedule. On a
+//! overlap16 / degraded16 / queries16, each under a reference schedule
+//! plus K adversarially permuted + time-jittered schedules) and checks
+//! every oracle on every schedule. On a
 //! violation the failing seed is minimized — smallest number of permuted
 //! scheduling decisions that still fails — and written to an artifact
 //! file for CI to upload; the process exits nonzero.

@@ -16,7 +16,10 @@
 //! * **exactly-once** — the ABM storm world must deliver every posted
 //!   message exactly once under reorder + duplicate faults, with Safra
 //!   termination still firing (the multiset of received ids equals the
-//!   multiset of posted ids);
+//!   multiset of posted ids), and the queries world must resolve every
+//!   issued query to exactly one merged reply (no duplicates, no drops,
+//!   none after the client timeout) no matter how the scheduler races
+//!   the route / forward / reply phases;
 //! * **liveness** — the virtual-time watchdog inside the scheduler flags
 //!   any schedule that parks every rank with nothing in flight
 //!   (deadlock) or runs past a budget derived from the reference run;
@@ -85,11 +88,17 @@ impl Default for SimcheckConfig {
 /// ABM message cascade with Safra termination under the same faults,
 /// `Overlap` is the distributed HOT traversal (`hot::parallel`) whose
 /// deferred-walk queue and adaptive ABM batching the scheduler jitters
-/// directly, and `Degraded` is the treecode physics with the failure
+/// directly, `Degraded` is the treecode physics with the failure
 /// detector armed and one rank dragging a large per-step compute skew —
 /// every exchange then rides a suspicion storm (raise, vote, retract)
 /// whose verdicts must all stay withheld, with physics bit-identical to
-/// `Treecode`.
+/// `Treecode` — and `Queries` is the interactive query engine
+/// (`query::run`): replicated physics serving a seeded client fleet's
+/// point / region / kNN / time-travel queries through the per-tick
+/// route–forward–reply protocol, whose fixed message structure keeps
+/// the structure oracle binding and whose exactly-once reply contract
+/// (every issued query answered exactly once, never after the client
+/// timeout) is checked directly on the per-rank stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum World {
     Treecode,
@@ -97,15 +106,17 @@ pub enum World {
     Storm,
     Overlap,
     Degraded,
+    Queries,
 }
 
 impl World {
-    pub const ALL: [World; 5] = [
+    pub const ALL: [World; 6] = [
         World::Treecode,
         World::Chaos,
         World::Storm,
         World::Overlap,
         World::Degraded,
+        World::Queries,
     ];
 
     pub fn name(self) -> &'static str {
@@ -115,6 +126,7 @@ impl World {
             World::Storm => "storm16",
             World::Overlap => "overlap16",
             World::Degraded => "degraded16",
+            World::Queries => "queries16",
         }
     }
 
@@ -125,6 +137,7 @@ impl World {
             World::Storm => 3,
             World::Overlap => 4,
             World::Degraded => 5,
+            World::Queries => 6,
         }
     }
 }
@@ -211,7 +224,7 @@ pub fn sched_plan(cfg: &SimcheckConfig, world: World, seed: u64, schedule: u64) 
 /// duplicates exercise.
 pub fn fault_plan(world: World, seed: u64, schedule: u64) -> Option<FaultPlan> {
     match world {
-        World::Treecode | World::Overlap => None,
+        World::Treecode | World::Overlap | World::Queries => None,
         World::Chaos | World::Storm => Some(
             FaultPlan::none(mix(world, seed, schedule) ^ 0xFA17_0000_0000_0001)
                 .with_duplicate(0.2)
@@ -432,6 +445,129 @@ fn overlap_world(comm: &mut Comm, ics: &[Body], gcfg: &GravityConfig) -> u64 {
     digest
 }
 
+/// Queries each rank's client fleet issues in the queries world.
+const QUERIES_PER_RANK: u64 = 8;
+
+/// What one rank of the queries world reports back to the harness.
+struct QueriesOut {
+    /// FNV fold of every merged answer (in issue order), every committed
+    /// shard's bytes, and the protocol counters — the content digest the
+    /// physics oracle pins across schedules.
+    digest: u64,
+    stats: query::QueryStats,
+}
+
+fn digest_answer(mut h: u64, a: &query::Answer) -> u64 {
+    match a {
+        query::Answer::Missing => fnv1a(h, &[0]),
+        query::Answer::Point(p) => {
+            h = fnv1a(h, &[1]);
+            h = fnv1a(h, &p.id.to_le_bytes());
+            for d in 0..3 {
+                h = fnv1a(h, &p.pos[d].to_bits().to_le_bytes());
+                h = fnv1a(h, &p.vel[d].to_bits().to_le_bytes());
+            }
+            fnv1a(h, &p.mass.to_bits().to_le_bytes())
+        }
+        query::Answer::Ids(ids) => {
+            h = fnv1a(h, &[2]);
+            for id in ids {
+                h = fnv1a(h, &id.to_le_bytes());
+            }
+            h
+        }
+        query::Answer::Neighbors(hits) => {
+            h = fnv1a(h, &[3]);
+            for hit in hits {
+                h = fnv1a(h, &hit.id.to_le_bytes());
+                h = fnv1a(h, &hit.dist2.to_bits().to_le_bytes());
+            }
+            h
+        }
+    }
+}
+
+/// The interactive-query world: `query::run` over the golden ICs with a
+/// seeded client fleet per rank. A chunky timestep keeps bodies crossing
+/// stripe boundaries so stale-routed point queries exercise the forward
+/// path under every schedule; the client timeout is effectively infinite
+/// (the exactly-once oracle separately requires zero late replies, so a
+/// finite timeout would couple the oracle to schedule jitter).
+fn queries_world(comm: &mut Comm, ics: &[Body], steps: u64) -> QueriesOut {
+    let cfg = query::EngineConfig {
+        dt: 0.05,
+        steps,
+        checkpoint_every: 2,
+        fleet: query::FleetConfig {
+            per_rank: QUERIES_PER_RANK,
+            timeout_s: 1.0e3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let out = query::run(comm, ics.to_vec(), &cfg);
+    let mut h = FNV_OFFSET;
+    for r in &out.replies {
+        h = fnv1a(h, &r.qid.to_le_bytes());
+        h = fnv1a(h, &r.tick.to_le_bytes());
+        h = fnv1a(h, &r.at_step.unwrap_or(u64::MAX).to_le_bytes());
+        h = digest_answer(h, &r.answer);
+    }
+    for (step, bytes) in &out.commits {
+        h = fnv1a(h, &step.to_le_bytes());
+        h = fnv1a(h, bytes);
+    }
+    h = fnv1a(h, &out.stats.forwarded.to_le_bytes());
+    h = fnv1a(h, &out.stats.not_found.to_le_bytes());
+    QueriesOut {
+        digest: h,
+        stats: out.stats,
+    }
+}
+
+/// Queries-world completion: the exactly-once query-reply oracle. Every
+/// issued query must be answered exactly once (no duplicates, no drops),
+/// never after the client timeout — checked on the raw per-rank stats,
+/// flagged even on the reference schedule — then the per-rank content
+/// digests feed the generic cross-schedule oracle.
+fn finish_queries(lists: Vec<QueriesOut>, trace: Option<WorldTrace>) -> WorldResult {
+    let mut errors = Vec::new();
+    for (rank, o) in lists.iter().enumerate() {
+        let s = &o.stats;
+        if s.issued != QUERIES_PER_RANK {
+            errors.push(format!(
+                "rank {rank}: issued {} of {QUERIES_PER_RANK}",
+                s.issued
+            ));
+        }
+        if s.answered != s.issued || s.unanswered != 0 {
+            errors.push(format!(
+                "rank {rank}: {} of {} queries answered ({} unanswered)",
+                s.answered, s.issued, s.unanswered
+            ));
+        }
+        if s.dup_replies != 0 {
+            errors.push(format!("rank {rank}: {} duplicate replies", s.dup_replies));
+        }
+        if s.late != 0 {
+            errors.push(format!(
+                "rank {rank}: {} replies after the client timeout",
+                s.late
+            ));
+        }
+    }
+    let delivery_error = if errors.is_empty() {
+        None
+    } else {
+        Some(errors.join("; "))
+    };
+    WorldResult::Done {
+        digests: lists.iter().map(|o| o.digest).collect(),
+        trace: trace.expect("completed scheduled world always yields a trace"),
+        delivery_error,
+    }
+}
+
 /// The ABM storm body: every rank posts `per_rank` identified messages to
 /// pseudo-random destinations (a pure hash of the id — no RNG state, so
 /// every schedule posts the identical multiset), then drains and polls
@@ -560,6 +696,28 @@ fn run_world(
                     machine, cfg.ranks, fp, splan, 0.0, log, prefix, body,
                 ),
             }
+        }
+        World::Queries => {
+            let body = |c: &mut Comm| queries_world(c, &ics, cfg.steps);
+            let (outcome, trace, log) = match replay {
+                None => run_with_schedule_observed(machine, cfg.ranks, splan, body),
+                Some((rlog, prefix)) => {
+                    replay_with_schedule_observed(machine, cfg.ranks, splan, rlog, prefix, body)
+                }
+            };
+            // Like the storm world, completion runs a world-specific
+            // absolute oracle (exactly-once replies) on the raw returns
+            // before collapsing them to digests.
+            let outcome = match outcome {
+                SchedOutcome::Completed(lists) => {
+                    return (finish_queries(lists, trace), log);
+                }
+                SchedOutcome::Crashed { rank, at } => SchedOutcome::Crashed { rank, at },
+                SchedOutcome::Stalled { rank, at, deadlock } => {
+                    SchedOutcome::Stalled { rank, at, deadlock }
+                }
+            };
+            (outcome, trace, log)
         }
         World::Storm => {
             let body = |c: &mut Comm| storm_world(c, per_rank);
@@ -874,7 +1032,7 @@ pub fn check_seed(cfg: &SimcheckConfig, seed: u64) -> Vec<Violation> {
                     }
                 }
             }
-            World::Storm | World::Overlap => {}
+            World::Storm | World::Overlap | World::Queries => {}
         }
         for schedule in 1..=cfg.schedules {
             out.extend(check_schedule(cfg, world, seed, schedule, &reference, None).0);

@@ -1,0 +1,181 @@
+//! Satellite 2, failover half: queries against a *shard-recovered*
+//! universe — one rank silently crashed, was condemned by the quorum
+//! detector, and was restored from its own checkpoint shard while the
+//! survivors rolled back in place — must be bit-identical to the same
+//! queries against the fault-free universe at the same virtual step.
+//! If failover restored rot, skewed a stripe, or resumed one replica a
+//! half-step off, a region boundary or a kNN tie would break exact
+//! equality long before a position-delta check noticed.
+
+use cluster::chaos::{run_treecode, ChaosConfig};
+use hot::gravity::GravityConfig;
+use hot::models::plummer;
+use hot::tree::Body;
+use msg::{FaultPlan, HeartbeatConfig, Machine};
+use query::{fleet, oracle, FleetConfig, QueryIndex, QueryKind};
+
+const LEAF_MAX: usize = 8;
+
+fn test_cfg() -> GravityConfig {
+    GravityConfig {
+        theta: 0.6,
+        eps: 0.05,
+        ..Default::default()
+    }
+}
+
+/// A deterministic battery covering all live query classes, drawn from
+/// the same fleet generator the engine's clients use.
+fn query_battery(n_bodies: u64) -> Vec<QueryKind> {
+    let cfg = FleetConfig {
+        seed: 7,
+        n_bodies,
+        per_rank: 48,
+        span: 1.5,
+        ..FleetConfig::default()
+    };
+    (0..3)
+        .flat_map(|rank| fleet::schedule(&cfg, rank))
+        .map(|a| a.kind)
+        .collect()
+}
+
+#[test]
+fn queries_on_a_shard_recovered_world_match_the_fault_free_oracle() {
+    let machine = Machine::ideal(6);
+    let cfg = test_cfg();
+    let ics = plummer(300, 42);
+    let steps = 6;
+    let chaos = ChaosConfig {
+        checkpoint_every: 2,
+        ..Default::default()
+    };
+
+    // Control: the fault-free universe at the final step. Its O(N) scan
+    // is the oracle every recovered answer must reproduce.
+    let (control, clean) = run_treecode(
+        &machine,
+        4,
+        &FaultPlan::none(21),
+        &chaos,
+        ics.clone(),
+        &cfg,
+        steps,
+        0.01,
+    );
+    assert!(clean.completed && clean.restarts == 0);
+
+    // Kill rank 2 mid-run with the failure detector armed: recovery is
+    // a one-shard failover, not a world restart.
+    let plan = FaultPlan::none(21)
+        .with_heartbeat(HeartbeatConfig::default())
+        .with_crash(2, 0.6 * clean.final_vtime);
+    let (recovered, report) = run_treecode(&machine, 4, &plan, &chaos, ics, &cfg, steps, 0.01);
+    assert!(report.completed, "degraded run failed: {report:?}");
+    assert_eq!(report.restarts, 0, "{report:?}");
+    assert_eq!(report.shard_recoveries, 1, "{report:?}");
+    assert_eq!(report.shard_fallbacks, 0, "{report:?}");
+
+    // The recovered universe is bit-for-bit the fault-free one — the
+    // precondition for every query answer below to match exactly.
+    assert_eq!(control.len(), recovered.len());
+    for (a, b) in control.iter().zip(&recovered) {
+        assert_eq!(a.id, b.id);
+        for d in 0..3 {
+            assert_eq!(a.pos[d].to_bits(), b.pos[d].to_bits(), "id {}", a.id);
+            assert_eq!(a.vel[d].to_bits(), b.vel[d].to_bits(), "id {}", a.id);
+        }
+    }
+
+    // Serve the full query battery from an index over the recovered
+    // bodies and hold every answer to the control oracle with `==`.
+    let idx = QueryIndex::build(recovered, LEAF_MAX);
+    let mut point = 0u64;
+    let mut region = 0u64;
+    let mut knn = 0u64;
+    let mut nonempty = 0u64;
+    for kind in query_battery(300) {
+        let got = match &kind {
+            QueryKind::Point { id } => {
+                point += 1;
+                match idx.point(*id) {
+                    Some(h) => query::Answer::Point(h),
+                    None => query::Answer::Missing,
+                }
+            }
+            QueryKind::Region(shape) => {
+                region += 1;
+                query::Answer::Ids(idx.region(shape))
+            }
+            QueryKind::Knn { at, k } => {
+                knn += 1;
+                query::Answer::Neighbors(idx.knn(*at, *k as usize))
+            }
+        };
+        let empty = match &got {
+            query::Answer::Missing => true,
+            query::Answer::Ids(v) => v.is_empty(),
+            _ => false,
+        };
+        nonempty += (!empty) as u64;
+        assert_eq!(got, oracle::answer(&control, &kind), "kind {kind:?}");
+    }
+    assert!(
+        point > 0 && region > 0 && knn > 0,
+        "degenerate battery: point={point} region={region} knn={knn}"
+    );
+    assert!(nonempty > 0, "every answer empty — battery missed the ICs");
+}
+
+/// Same property from the *last* commit generation: a crash landing
+/// after the step-4 commit makes the failover restore a later shard
+/// than the first test exercised (and replay a shorter tail). Answers
+/// served from the survived universe must still be exact — the restore
+/// point is unobservable through the query surface.
+#[test]
+fn failover_from_the_last_generation_is_query_exact() {
+    let machine = Machine::ideal(6);
+    let cfg = test_cfg();
+    let ics = plummer(300, 42);
+    let steps = 6;
+    let chaos = ChaosConfig {
+        checkpoint_every: 2,
+        ..Default::default()
+    };
+
+    let (control, clean) = run_treecode(
+        &machine,
+        4,
+        &FaultPlan::none(21),
+        &chaos,
+        ics.clone(),
+        &cfg,
+        steps,
+        0.01,
+    );
+    assert!(clean.completed && clean.restarts == 0);
+
+    // Crash late enough to land beyond the step-4 commit barrier: the
+    // condemned rank restores the generation the first test never used.
+    let plan = FaultPlan::none(21)
+        .with_heartbeat(HeartbeatConfig::default())
+        .with_crash(1, 0.85 * clean.final_vtime);
+    let (survived, report) = run_treecode(&machine, 4, &plan, &chaos, ics, &cfg, steps, 0.01);
+    assert!(report.completed, "{report:?}");
+    assert_eq!(report.restarts, 0, "{report:?}");
+    assert_eq!(report.shard_recoveries, 1, "{report:?}");
+
+    let control: &[Body] = &control;
+    let idx = QueryIndex::build(survived, LEAF_MAX);
+    for kind in query_battery(300) {
+        let got = match &kind {
+            QueryKind::Point { id } => match idx.point(*id) {
+                Some(h) => query::Answer::Point(h),
+                None => query::Answer::Missing,
+            },
+            QueryKind::Region(shape) => query::Answer::Ids(idx.region(shape)),
+            QueryKind::Knn { at, k } => query::Answer::Neighbors(idx.knn(*at, *k as usize)),
+        };
+        assert_eq!(got, oracle::answer(control, &kind), "kind {kind:?}");
+    }
+}

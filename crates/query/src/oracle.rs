@@ -1,0 +1,91 @@
+//! The brute-force O(N) oracle: the semantics every index walk and
+//! every distributed merge must reproduce *bit for bit*.
+//!
+//! Each function is a plain scan over the body array using exactly the
+//! shared predicates from [`crate::wire`] — no pruning, no tree, no
+//! partitioning — followed by the same deterministic sort the real
+//! engine applies. The property tests quantify over seeded ICs and rank
+//! counts and assert `engine result == oracle result` with `==`, so any
+//! divergence (a float re-association, a tie broken differently, a
+//! body missed by over-eager pruning) fails loudly.
+
+use crate::wire::{dist2, hit_order, Hit, PointHit, QueryKind, Shape};
+use hot::tree::Body;
+
+/// Q1: point lookup by id.
+pub fn point(bodies: &[Body], id: u64) -> Option<PointHit> {
+    bodies.iter().find(|b| b.id == id).map(|b| PointHit {
+        id: b.id,
+        pos: b.pos,
+        vel: b.vel,
+        mass: b.mass,
+    })
+}
+
+/// Q2: ids inside the shape, sorted ascending.
+pub fn region(bodies: &[Body], shape: &Shape) -> Vec<u64> {
+    let mut out: Vec<u64> = bodies
+        .iter()
+        .filter(|b| shape.contains(b.pos))
+        .map(|b| b.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Q3: the k nearest bodies by `(dist2, id)`.
+pub fn knn(bodies: &[Body], at: [f64; 3], k: usize) -> Vec<Hit> {
+    let mut all: Vec<Hit> = bodies
+        .iter()
+        .map(|b| Hit {
+            id: b.id,
+            dist2: dist2(at, b.pos),
+        })
+        .collect();
+    all.sort_by(hit_order);
+    all.truncate(k);
+    all
+}
+
+/// Evaluate any live query kind against a full body set — the one entry
+/// point the correctness tests use.
+pub fn answer(bodies: &[Body], kind: &QueryKind) -> crate::wire::Answer {
+    use crate::wire::Answer;
+    match kind {
+        QueryKind::Point { id } => match point(bodies, *id) {
+            Some(hit) => Answer::Point(hit),
+            None => Answer::Missing,
+        },
+        QueryKind::Region(shape) => Answer::Ids(region(bodies, shape)),
+        QueryKind::Knn { at, k } => Answer::Neighbors(knn(bodies, *at, *k as usize)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot::models::plummer;
+
+    #[test]
+    fn knn_of_whole_set_is_a_total_sort() {
+        let ics = plummer(40, 3);
+        let hits = knn(&ics, [0.0; 3], 40);
+        assert_eq!(hits.len(), 40);
+        for w in hits.windows(2) {
+            assert!(hit_order(&w[0], &w[1]).is_le());
+        }
+    }
+
+    #[test]
+    fn region_of_everything_returns_all_ids_sorted() {
+        let ics = plummer(60, 5);
+        let shape = Shape::Ball {
+            center: [0.0; 3],
+            radius: 1e9,
+        };
+        let ids = region(&ics, &shape);
+        let mut expect: Vec<u64> = ics.iter().map(|b| b.id).collect();
+        expect.sort_unstable();
+        assert_eq!(ids, expect);
+    }
+}
