@@ -1,4 +1,5 @@
-//! Dump the virtual-time trace of a small distributed treecode run.
+//! Dump the virtual-time trace of a small distributed treecode run, or
+//! diff two previously captured artifacts.
 //!
 //! Runs the chaos harness on an ideal (contention-free) 16-port machine
 //! with tracing on, then prints the merged world timeline in whichever
@@ -10,6 +11,9 @@
 //! cargo run --release -p bench --bin trace_dump -- --gantt
 //! cargo run --release -p bench --bin trace_dump -- --summary
 //! cargo run --release -p bench --bin trace_dump -- --analysis  # critical path + efficiency
+//! cargo run --release -p bench --bin trace_dump -- --timeline-csv   # windowed series, CSV
+//! cargo run --release -p bench --bin trace_dump -- --timeline-json  # windowed series, JSON
+//! cargo run --release -p bench --bin trace_dump -- --sparkline      # text exhibit
 //! ```
 //!
 //! Flags combine: `--summary --analysis` prints both, in flag order.
@@ -20,6 +24,16 @@
 //! every invocation — the same property the golden-trace tests in
 //! `crates/cluster/tests` pin down.
 //!
+//! Diff mode compares two structural summaries captured with
+//! `--summary` (committed goldens work too) and names the top regressed
+//! segments — per-phase span time, per-link-class critical-path wire
+//! time, efficiency factors — exiting nonzero when anything regressed
+//! beyond the tolerance:
+//!
+//! ```bash
+//! trace_dump --diff old.summary new.summary --max-regress 5
+//! ```
+//!
 //! The trace is validated with `check_invariants` before printing; a
 //! malformed trace exits nonzero, so CI can use any `trace_dump`
 //! invocation as a structural smoke test.
@@ -29,14 +43,71 @@ use hot::GravityConfig;
 use msg::{FaultPlan, Machine, RetransmitConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_dump [--summary] [--gantt] [--chrome] [--analysis]";
+const USAGE: &str = "usage: trace_dump [--summary] [--gantt] [--chrome] [--analysis] \
+[--timeline-csv] [--timeline-json] [--sparkline]\n\
+       trace_dump --diff OLD NEW [--max-regress PCT]";
+
+/// Timeline window for the dump run; matches the golden harness so the
+/// printed series lines up with the committed snapshot's grid.
+const TIMELINE_WINDOW_S: f64 = 2.5e-4;
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let (mut old, mut new, mut max_regress) = (None, None, 5.0f64);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_regress = v,
+                None => {
+                    eprintln!("--max-regress needs a numeric percent\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if old.is_none() => old = Some(a.clone()),
+            _ if new.is_none() => new = Some(a.clone()),
+            _ => {
+                eprintln!("unexpected diff argument {a:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(old), Some(new)) = (old, new) else {
+        eprintln!("--diff needs OLD and NEW paths\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old_text, new_text) = (read(&old), read(&new));
+    let d = obs::diff_summaries(&old_text, &new_text);
+    let (text, regressed) = obs::render_diff(&d, max_regress);
+    print!("{text}");
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
 
 fn main() -> ExitCode {
-    let mut modes: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff") {
+        return run_diff(&args[1..]);
+    }
+    let mut modes = args;
     for m in &modes {
         if !matches!(
             m.as_str(),
-            "--summary" | "--gantt" | "--chrome" | "--analysis"
+            "--summary"
+                | "--gantt"
+                | "--chrome"
+                | "--analysis"
+                | "--timeline-csv"
+                | "--timeline-json"
+                | "--sparkline"
         ) {
             eprintln!("unknown flag {m:?}\n{USAGE}");
             return ExitCode::from(2);
@@ -55,6 +126,7 @@ fn main() -> ExitCode {
     let plan = FaultPlan::none(11).with_retransmit(RetransmitConfig::deterministic());
     let chaos = ChaosConfig {
         checkpoint_every: 2,
+        timeline_window_s: Some(TIMELINE_WINDOW_S),
         ..ChaosConfig::default()
     };
     let cfg = GravityConfig {
@@ -72,6 +144,12 @@ fn main() -> ExitCode {
         eprintln!("trace invariant violated: {e}");
         return ExitCode::FAILURE;
     }
+    let timeline = obs::WorldTimeline::from_trace(&trace)
+        .expect("timeline armed on every rank of the dump run");
+    if let Err(e) = timeline.check_invariants(&trace) {
+        eprintln!("timeline invariant violated: {e}");
+        return ExitCode::FAILURE;
+    }
 
     for mode in &modes {
         match mode.as_str() {
@@ -79,6 +157,9 @@ fn main() -> ExitCode {
             "--gantt" => println!("{}", obs::export::gantt(&trace, 100)),
             "--summary" => println!("{}", obs::export::structural_summary(&trace)),
             "--analysis" => println!("{}", obs::analysis_report(&trace)),
+            "--timeline-csv" => println!("{}", obs::timeline_csv(&timeline)),
+            "--timeline-json" => println!("{}", obs::timeline_json(&timeline)),
+            "--sparkline" => println!("{}", obs::sparkline(&timeline)),
             _ => unreachable!("flags validated above"),
         }
     }

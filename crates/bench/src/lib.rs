@@ -98,3 +98,4 @@ mod tests {
 }
 
 pub mod report;
+pub mod scaling;

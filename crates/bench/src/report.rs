@@ -17,13 +17,31 @@ use obs::{CriticalPath, Efficiency, WorldTrace};
 ///
 /// v2: query-service columns (`queries`, `queries_per_s`,
 /// `query_p50_s`/`p95`/`p99`) for scenarios driven by a client fleet.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: scaling-sweep columns (`mode`, `fabric`, `bodies`,
+/// `scaling_efficiency`) so the `scaling_sweep` bin's weak/strong
+/// curves ride the same report format; absent fields parse to the
+/// standing-scenario defaults, so v2 files still load.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One scenario's folded metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     pub name: String,
     pub ranks: u64,
+    /// Scenario family: `"standing"` for the fixed bench scenarios,
+    /// `"weak"` / `"strong"` for scaling-sweep rows.
+    pub mode: String,
+    /// Fabric tag for sweep rows: `"lam"` (the two-switch Space
+    /// Simulator fabric), `"xbar"` (ideal crossbar), `""` for standing
+    /// scenarios that fix their own machine.
+    pub fabric: String,
+    /// Total bodies in the run (0 for non-physics scenarios).
+    pub bodies: u64,
+    /// Efficiency relative to the same curve's smallest rank count:
+    /// weak scaling `T(p0)/T(p)`, strong scaling `T(p0)·p0/(T(p)·p)`.
+    /// 1.0 at the curve's base point; 0.0 for standing scenarios.
+    pub scaling_efficiency: f64,
     /// Virtual seconds from trace start to the last rank's finish.
     pub end_vtime_s: f64,
     /// Total force-kernel interactions (treecode p2p+m2p or SPH pairs;
@@ -81,6 +99,10 @@ impl ScenarioReport {
         ScenarioReport {
             name: name.to_string(),
             ranks: trace.size() as u64,
+            mode: "standing".to_string(),
+            fabric: String::new(),
+            bodies: 0,
+            scaling_efficiency: 0.0,
             end_vtime_s: end,
             interactions,
             interactions_per_s: if end > 0.0 {
@@ -122,6 +144,16 @@ impl ScenarioReport {
         self.query_p50_s = p50;
         self.query_p95_s = p95;
         self.query_p99_s = p99;
+        self
+    }
+
+    /// Tag a row as one point of a scaling curve. `scaling_efficiency`
+    /// stays 0 until the whole curve exists; the sweep fills it in
+    /// relative to the curve's smallest rank count.
+    pub fn with_scaling(mut self, mode: &str, fabric: &str, bodies: u64) -> ScenarioReport {
+        self.mode = mode.to_string();
+        self.fabric = fabric.to_string();
+        self.bodies = bodies;
         self
     }
 }
@@ -188,6 +220,10 @@ pub fn to_json(r: &BenchReport) -> String {
         let fields: Vec<(&str, String)> = vec![
             ("name", jstr(&s.name)),
             ("ranks", s.ranks.to_string()),
+            ("mode", jstr(&s.mode)),
+            ("fabric", jstr(&s.fabric)),
+            ("bodies", s.bodies.to_string()),
+            ("scaling_efficiency", jnum(s.scaling_efficiency)),
             ("end_vtime_s", jnum(s.end_vtime_s)),
             ("interactions", s.interactions.to_string()),
             ("interactions_per_s", jnum(s.interactions_per_s)),
@@ -459,6 +495,11 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
         scenarios.push(ScenarioReport {
             name: row.str("name")?.to_string(),
             ranks: row.num("ranks")? as u64,
+            // Absent before v3: standing-scenario defaults.
+            mode: row.str("mode").unwrap_or("standing").to_string(),
+            fabric: row.str("fabric").unwrap_or("").to_string(),
+            bodies: row.num("bodies").unwrap_or(0.0) as u64,
+            scaling_efficiency: row.num("scaling_efficiency").unwrap_or(0.0),
             end_vtime_s: row.num("end_vtime_s")?,
             interactions: row.num("interactions")? as u64,
             interactions_per_s: row.num("interactions_per_s")?,
@@ -561,6 +602,13 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
             ),
             ("availability", b.availability, n.availability, true, true),
             (
+                "scaling_efficiency",
+                b.scaling_efficiency,
+                n.scaling_efficiency,
+                true,
+                timings_comparable,
+            ),
+            (
                 "queries_per_s",
                 b.queries_per_s,
                 n.queries_per_s,
@@ -620,6 +668,7 @@ fn metric_value(s: &ScenarioReport, metric: &str) -> Option<f64> {
         "queries_per_s" => s.queries_per_s,
         "availability" => s.availability,
         "parallel_efficiency" => s.parallel_efficiency,
+        "scaling_efficiency" => s.scaling_efficiency,
         "load_balance" => s.load_balance,
         "comm_efficiency" => s.comm_efficiency,
         "transfer_efficiency" => s.transfer_efficiency,
@@ -664,6 +713,10 @@ mod tests {
         BenchReport::new(vec![ScenarioReport {
             name: "treecode16".to_string(),
             ranks: 16,
+            mode: "standing".to_string(),
+            fabric: String::new(),
+            bodies: 192,
+            scaling_efficiency: 0.0,
             end_vtime_s: 0.0062866896,
             interactions: 94640,
             interactions_per_s: 1.5e7,
@@ -853,6 +906,64 @@ mod tests {
         let text = to_json(&r);
         assert!(!text.contains("NaN"));
         assert_eq!(from_json(&text).unwrap().scenarios[0].cp_wait_s, 0.0);
+    }
+
+    #[test]
+    fn pre_v3_files_parse_with_standing_defaults() {
+        // A v2 writer never emitted the scaling columns; strip them from
+        // a v3 serialization and the row must load with the standing
+        // defaults rather than a parse error.
+        let mut r = sample();
+        r.schema_version = 2;
+        let text: String = to_json(&r)
+            .lines()
+            .filter(|l| {
+                ![
+                    "\"mode\"",
+                    "\"fabric\"",
+                    "\"bodies\"",
+                    "\"scaling_efficiency\"",
+                ]
+                .iter()
+                .any(|k| l.trim_start().starts_with(k))
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.schema_version, 2);
+        let s = &back.scenarios[0];
+        assert_eq!(s.mode, "standing");
+        assert_eq!(s.fabric, "");
+        assert_eq!(s.bodies, 0);
+        assert_eq!(s.scaling_efficiency, 0.0);
+    }
+
+    #[test]
+    fn scaling_efficiency_is_compared_and_floorable() {
+        let mut base = sample();
+        base.scenarios[0] = base.scenarios[0].clone().with_scaling("weak", "xbar", 1024);
+        base.scenarios[0].scaling_efficiency = 0.8;
+        assert_eq!(base.scenarios[0].mode, "weak");
+        assert_eq!(base.scenarios[0].fabric, "xbar");
+        assert_eq!(base.scenarios[0].bodies, 1024);
+
+        let mut worse = base.clone();
+        worse.scenarios[0].scaling_efficiency = 0.6;
+        let r = compare(&base, &worse, 0.05);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("scaling_efficiency"), "{r:?}");
+
+        let f = |v: f64| {
+            (
+                "treecode16".to_string(),
+                "scaling_efficiency".to_string(),
+                v,
+            )
+        };
+        assert!(check_floors(&base, &[f(0.75)]).is_empty());
+        let r = check_floors(&base, &[f(0.9)]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("below committed floor"), "{r:?}");
     }
 
     #[test]

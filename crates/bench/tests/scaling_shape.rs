@@ -1,0 +1,127 @@
+//! Shape acceptance for the scaling curves (ISSUE PR 9).
+//!
+//! The paper's Table 6 / Fig 7 claim is not a number but a *shape*:
+//! efficiency holds inside one 16-port switch module (non-blocking
+//! routes), then falls off once the allgather crosses the shared
+//! module uplinks — and the control run on an ideal crossbar shows no
+//! such knee, only the smooth Amdahl decay of a fixed problem. This
+//! test sweeps the strong-scaling curve over ranks {8, 16, 32} on both
+//! machines and pins the shape:
+//!
+//! * at 16 ranks (one module) the real fabric spends no critical-path
+//!   time on uplinks and is within a whisker of the crossbar;
+//! * at 32 ranks (two modules) the uplink appears on the real fabric's
+//!   critical path, becomes its dominant wire class, and the efficiency
+//!   knee opens against the crossbar control;
+//! * the crossbar never leaves the `intra` class at any size.
+//!
+//! The trunk itself only enters past the chassis boundary (225+ ranks);
+//! the full `scaling_sweep` bin covers that point (weak scaling at 288
+//! ranks goes trunk-dominant), which is too heavy for tier-1 — the
+//! mechanism (shared-capacity falloff past a topology boundary) is what
+//! this test locks in.
+//!
+//! Contended-fabric timings carry wall-clock scheduling noise, so every
+//! threshold here has several-x headroom over the measured values
+//! (lam/xbar efficiency ratio at 32 ranks measures ~0.53; we assert
+//! < 0.80).
+
+use bench::scaling::{run_sweep, FabricKind, Mode, SweepConfig};
+use obs::LinkClass;
+
+#[test]
+fn strong_scaling_falls_off_past_one_module_on_the_real_fabric_only() {
+    let cfg = SweepConfig {
+        ranks: vec![8, 16, 32],
+        modes: vec![Mode::Strong],
+        fabrics: vec![FabricKind::Lam, FabricKind::Xbar],
+        steps: 2,
+        strong_bodies: 768,
+        ..Default::default()
+    };
+    let report = run_sweep(&cfg);
+    assert_eq!(report.scenarios.len(), 6);
+    let row = |fabric: &str, ranks: u64| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.fabric == fabric && s.ranks == ranks)
+            .unwrap_or_else(|| panic!("missing {fabric} row at {ranks} ranks"))
+    };
+    let uplink =
+        |s: &bench::report::ScenarioReport| s.cp_wire_by_class_s[LinkClass::Uplink.index()];
+    let trunk = |s: &bench::report::ScenarioReport| s.cp_wire_by_class_s[LinkClass::Trunk.index()];
+
+    // Inside one module every route on the real fabric is non-blocking:
+    // no uplink or trunk time on the critical path, intra-dominant.
+    for ranks in [8, 16] {
+        let lam = row("lam", ranks);
+        assert_eq!(uplink(lam), 0.0, "uplink inside one module: {}", lam.name);
+        assert_eq!(trunk(lam), 0.0, "trunk inside one chassis: {}", lam.name);
+        assert_eq!(lam.dominant_wire, "intra", "{}", lam.name);
+    }
+
+    // Past one module the uplink appears and takes over the wire.
+    let lam32 = row("lam", 32);
+    assert!(uplink(lam32) > 0.0, "no uplink time at 32 ranks");
+    assert_eq!(
+        lam32.dominant_wire, "uplink",
+        "{:?}",
+        lam32.cp_wire_by_class_s
+    );
+
+    // The crossbar control never leaves the non-blocking class.
+    for ranks in [8, 16, 32] {
+        let xbar = row("xbar", ranks);
+        assert_eq!(uplink(xbar), 0.0, "{}", xbar.name);
+        assert_eq!(trunk(xbar), 0.0, "{}", xbar.name);
+        assert_eq!(xbar.dominant_wire, "intra", "{}", xbar.name);
+        assert!(xbar.deterministic, "crossbar timings are deterministic");
+    }
+
+    // The efficiency shape. Baselines (8 ranks, one module each) agree
+    // across fabrics; at 32 ranks the real fabric has lost most of its
+    // efficiency to the uplink while the crossbar only pays Amdahl.
+    let eff = |fabric: &str, ranks: u64| row(fabric, ranks).scaling_efficiency;
+    assert!(
+        (eff("lam", 16) - eff("xbar", 16)).abs() < 0.25 * eff("xbar", 16),
+        "one-module points should roughly agree: lam {} vs xbar {}",
+        eff("lam", 16),
+        eff("xbar", 16)
+    );
+    assert!(
+        eff("lam", 32) < 0.80 * eff("xbar", 32),
+        "no knee past one module: lam {} vs xbar {}",
+        eff("lam", 32),
+        eff("xbar", 32)
+    );
+    // And the knee is a falloff in absolute terms too: the real fabric
+    // loses efficiency 16 -> 32 much faster than the control.
+    let drop_lam = eff("lam", 16) / eff("lam", 32);
+    let drop_xbar = eff("xbar", 16) / eff("xbar", 32);
+    assert!(
+        drop_lam > 1.25 * drop_xbar,
+        "falloff not fabric-limited: lam drop {drop_lam} vs xbar drop {drop_xbar}"
+    );
+}
+
+/// The full-chassis claim — weak scaling at 288 ranks goes
+/// trunk-dominant — costs minutes of contended-fabric simulation, so it
+/// is ignored in tier-1 and exercised via the `scaling_sweep` bin (CI's
+/// scaling job sweeps to 64; the committed exhibit documents 288).
+#[test]
+#[ignore = "minutes of contended-fabric simulation; run with --ignored"]
+fn weak_scaling_past_the_chassis_goes_trunk_dominant() {
+    let cfg = SweepConfig {
+        ranks: vec![288],
+        modes: vec![Mode::Weak],
+        fabrics: vec![FabricKind::Lam],
+        steps: 2,
+        bodies_per_rank: 24,
+        ..Default::default()
+    };
+    let report = run_sweep(&cfg);
+    let s = &report.scenarios[0];
+    assert_eq!(s.dominant_wire, "trunk", "{:?}", s.cp_wire_by_class_s);
+    assert!(s.cp_wire_by_class_s[obs::LinkClass::Trunk.index()] > 0.0);
+}

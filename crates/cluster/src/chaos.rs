@@ -55,6 +55,10 @@ pub struct ChaosConfig {
     pub max_futile_attempts: usize,
     /// Fraction of peak the force kernel sustains (virtual-time model).
     pub cpu_eff: f64,
+    /// Arm the time-resolved telemetry plane (`obs::timeline`) with this
+    /// window width on every observed rank. `None` (the default) records
+    /// end-of-run aggregates only.
+    pub timeline_window_s: Option<f64>,
     /// Test hook modeling at-rest bit rot: after the shard generation at
     /// this step is committed, one byte of this `(rank, step)`'s shard
     /// flips on "disk", to be discovered by the next recovery's decode.
@@ -71,6 +75,7 @@ impl Default for ChaosConfig {
             max_attempts: 8,
             max_futile_attempts: 3,
             cpu_eff: 790.0 / 5060.0, // P4/gcc gravity micro-kernel
+            timeline_window_s: None,
             #[cfg(test)]
             corrupt_shard: None,
         }
@@ -378,6 +383,9 @@ fn run_treecode_impl(
         let start_bytes = &start_bytes;
         let shard_log_ref = &shard_log;
         let world = |comm: &mut Comm| {
+            if let Some(w) = chaos.timeline_window_s {
+                comm.enable_timeline(w);
+            }
             comm.span_enter("chaos.restore");
             let State {
                 mut step,

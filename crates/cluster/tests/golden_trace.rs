@@ -33,6 +33,11 @@ use obs::{chrome_trace_json, gantt, structural_summary, WorldTrace};
 const RANKS: usize = 16;
 const STEPS: u64 = 4;
 
+/// Timeline window for the pinned runs: the golden horizon is ~1.8 ms of
+/// virtual time, so this yields a handful of windows — enough to see the
+/// phase cadence, small enough to read in a committed snapshot.
+const TIMELINE_WINDOW_S: f64 = 2.5e-4;
+
 fn golden_cfg() -> GravityConfig {
     GravityConfig {
         theta: 0.6,
@@ -43,9 +48,17 @@ fn golden_cfg() -> GravityConfig {
 
 /// One golden run: 16 ranks, 4 KDK steps, checkpoints every 2 steps.
 /// Panics if the run needed a restart (golden plans are crash-free).
-fn golden_run(plan: &FaultPlan) -> (Vec<Body>, WorldTrace) {
+///
+/// `timeline` arms the windowed telemetry plane. The clean plan's
+/// windowed series are virtual-time deterministic, but a plan that
+/// injects faults is not windowable byte-stably: fault counters sync to
+/// the registry at window boundaries in program order, and which window
+/// a repair's counter lands in races the wall-clock channel drain — so
+/// the duplicate-replay test below keeps the timeline off.
+fn golden_run_with(plan: &FaultPlan, timeline: Option<f64>) -> (Vec<Body>, WorldTrace) {
     let chaos = ChaosConfig {
         checkpoint_every: 2,
+        timeline_window_s: timeline,
         ..Default::default()
     };
     let (bodies, report, trace) = run_treecode_traced(
@@ -60,6 +73,10 @@ fn golden_run(plan: &FaultPlan) -> (Vec<Body>, WorldTrace) {
     );
     assert!(report.completed && report.restarts == 0, "{report:?}");
     (bodies, trace.expect("completed traced run yields a trace"))
+}
+
+fn golden_run(plan: &FaultPlan) -> (Vec<Body>, WorldTrace) {
+    golden_run_with(plan, Some(TIMELINE_WINDOW_S))
 }
 
 fn clean_plan() -> FaultPlan {
@@ -99,6 +116,8 @@ fn same_seed_runs_export_byte_identical_traces() {
         "critical-path total_s",
         "efficiency parallel",
         "phase chaos.force",
+        // The time-resolved plane rides the same snapshot.
+        "timeline v1",
     ] {
         assert!(
             summary.contains(needle),
@@ -132,6 +151,30 @@ fn same_seed_runs_export_byte_identical_traces() {
     assert!((cp.total() - (t1.end_time() - t1.start_time())).abs() < 1e-9);
     let product = eff.load_balance * eff.transfer_efficiency * eff.serialization_efficiency;
     assert!((product - eff.parallel_efficiency).abs() < 1e-9);
+
+    // Timeline structure: every rank windowed on the shared grid, the
+    // windowed deltas conserving the end-of-run aggregates, and every
+    // export byte-identical across the replay.
+    let tl1 = obs::WorldTimeline::from_trace(&t1).expect("timeline armed on every rank");
+    let tl2 = obs::WorldTimeline::from_trace(&t2).unwrap();
+    tl1.check_invariants(&t1).unwrap();
+    assert_eq!(obs::timeline_csv(&tl1), obs::timeline_csv(&tl2));
+    assert_eq!(obs::timeline_json(&tl1), obs::timeline_json(&tl2));
+    assert_eq!(obs::sparkline(&tl1), obs::sparkline(&tl2));
+    // The windowed series resolve the run in time: the force phase and
+    // the wire traffic each span more than one window.
+    let merged = tl1.merged();
+    assert!(merged.len() > 2, "horizon should span several windows");
+    let busy_windows = merged
+        .iter()
+        .filter(|w| w.phase_busy.contains_key("chaos.force"))
+        .count();
+    assert!(busy_windows > 1, "force phase collapsed into one window");
+    let wire_windows = merged
+        .iter()
+        .filter(|w| w.wire_bytes.iter().sum::<u64>() > 0)
+        .count();
+    assert!(wire_windows > 1, "wire traffic collapsed into one window");
 }
 
 #[test]
@@ -140,9 +183,12 @@ fn duplicate_fault_replay_is_byte_identical() {
     // dedup) cannot perturb delivery order or virtual timing; with the
     // retransmit timer disabled the injected world is as deterministic
     // as the clean one.
+    // Timeline off: which window a repair's fault counter lands in races
+    // the wall-clock channel drain (see `golden_run_with`), and this test
+    // is exactly a byte-compare.
     let plan = clean_plan().with_duplicate(0.25);
-    let (b1, t1) = golden_run(&plan);
-    let (b2, t2) = golden_run(&plan);
+    let (b1, t1) = golden_run_with(&plan, None);
+    let (b2, t2) = golden_run_with(&plan, None);
     t1.check_invariants().unwrap();
     assert_eq!(structural_summary(&t1), structural_summary(&t2));
     assert_eq!(chrome_trace_json(&t1), chrome_trace_json(&t2));
@@ -204,6 +250,35 @@ fn committed_golden_snapshot_matches() {
     assert!(
         got == want,
         "trace drifted from the committed golden snapshot.\n\
+         If the change is intentional, regenerate with:\n\
+         UPDATE_GOLDEN=1 cargo test -p cluster --test golden_trace\n\
+         --- committed ---\n{want}\n--- current ---\n{got}"
+    );
+}
+
+/// The timeline CSV is its own committed artifact: wider than the
+/// summary's `timeline v1` block (per-rank rows, histogram percentiles,
+/// gauge levels), and exactly what the CI observability job uploads.
+#[test]
+fn committed_timeline_csv_matches() {
+    let (_, trace) = golden_run(&clean_plan());
+    let tl = obs::WorldTimeline::from_trace(&trace).expect("timeline armed");
+    let got = obs::timeline_csv(&tl);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/treecode16.timeline.csv"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        eprintln!("golden timeline rewritten: {path}");
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read golden timeline {path}: {e}; regenerate with UPDATE_GOLDEN=1")
+    });
+    assert!(
+        got == want,
+        "timeline drifted from the committed golden CSV.\n\
          If the change is intentional, regenerate with:\n\
          UPDATE_GOLDEN=1 cargo test -p cluster --test golden_trace\n\
          --- committed ---\n{want}\n--- current ---\n{got}"

@@ -257,6 +257,10 @@ pub struct Comm {
     pub(crate) sched: Option<Box<SchedCtx>>,
     /// Virtual-time recorder; `None` (the default) records nothing.
     obs: Option<Box<Recorder>>,
+    /// Snapshot of `stats` at the last fold into the recorder's registry
+    /// (timeline window boundaries and trace extraction fold deltas, so
+    /// transport counters land in the window where they accumulated).
+    obs_folded: CommStats,
 }
 
 impl Comm {
@@ -285,6 +289,7 @@ impl Comm {
             fault,
             sched: None,
             obs: None,
+            obs_folded: CommStats::default(),
         }
     }
 
@@ -390,8 +395,69 @@ impl Comm {
         self.obs.is_some()
     }
 
+    /// Arm the recorder's time-resolved telemetry plane (see
+    /// `obs::timeline`): slice this rank's virtual timeline into
+    /// `window_s`-wide windows carrying counter deltas, per-link-class
+    /// wire traffic, phase occupancy, and histogram window deltas.
+    /// No-op without a recorder, so worlds can call it unconditionally.
+    pub fn enable_timeline(&mut self, window_s: f64) {
+        if let Some(r) = &mut self.obs {
+            r.enable_timeline(window_s);
+        }
+    }
+
+    /// Fold the transport counters this rank accumulated since the last
+    /// fold into the recorder's registry (everything virtual-time
+    /// deterministic; see [`Comm::take_trace`] for why acks stay out),
+    /// and set the cumulative virtual-time gauges.
+    fn fold_stats_into(r: &mut Recorder, s: &CommStats, base: &CommStats) {
+        let f = &s.fault;
+        let b = &base.fault;
+        r.metrics.add("msg.sends", s.sends - base.sends);
+        r.metrics.add("msg.recvs", s.recvs - base.recvs);
+        r.metrics
+            .add("msg.bytes_sent", s.bytes_sent - base.bytes_sent);
+        r.metrics.add("fault.drops", f.drops - b.drops);
+        r.metrics
+            .add("fault.corruptions", f.corruptions - b.corruptions);
+        r.metrics
+            .add("fault.duplicates", f.duplicates - b.duplicates);
+        r.metrics.add("fault.reorders", f.reorders - b.reorders);
+        r.metrics
+            .add("fault.retransmits", f.retransmits - b.retransmits);
+        r.metrics.add("net.retx", f.retransmits - b.retransmits);
+        r.metrics.add("net.rto", f.rto_expiries - b.rto_expiries);
+        r.metrics
+            .add("net.window_stalls", f.window_stalls - b.window_stalls);
+        r.metrics
+            .add("health.heartbeats", f.heartbeats - b.heartbeats);
+        r.metrics
+            .add("health.suspicions", f.suspicions - b.suspicions);
+        r.metrics.add("health.verdicts", f.verdicts - b.verdicts);
+        r.metrics.set_gauge("vt.compute_s", s.compute_s);
+        r.metrics.set_gauge("vt.wait_s", s.wait_s);
+    }
+
+    /// Seal any timeline windows the virtual clock has passed, syncing
+    /// the transport counters into the registry first so the sealed
+    /// window carries the stats that accumulated inside it. One branch
+    /// when no timeline is armed; called on every clock-advancing or
+    /// recording path.
+    #[inline]
+    fn obs_roll(&mut self) {
+        if let Some(r) = &mut self.obs {
+            if r.timeline_due(self.clock) {
+                let s = self.stats;
+                Self::fold_stats_into(r, &s, &self.obs_folded);
+                self.obs_folded = s;
+                r.roll_timeline(self.clock);
+            }
+        }
+    }
+
     /// Open a span at the current virtual time. No-op without a recorder.
     pub fn span_enter(&mut self, name: &'static str) {
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.enter(self.clock, name);
         }
@@ -399,6 +465,7 @@ impl Comm {
 
     /// Close the innermost open span (whose name must match).
     pub fn span_exit(&mut self, name: &'static str) {
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.exit(self.clock, name);
         }
@@ -416,6 +483,7 @@ impl Comm {
 
     /// Increment a named counter on the recorder (no-op when absent).
     pub fn obs_count(&mut self, name: &'static str, delta: u64) {
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.metrics.add(name, delta);
         }
@@ -423,6 +491,7 @@ impl Comm {
 
     /// Record a histogram observation on the recorder (no-op when absent).
     pub fn obs_observe(&mut self, name: &'static str, value: f64) {
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.metrics.observe(name, value);
         }
@@ -430,6 +499,7 @@ impl Comm {
 
     /// Set a gauge on the recorder (no-op when absent).
     pub fn obs_gauge(&mut self, name: &'static str, value: f64) {
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.metrics.set_gauge(name, value);
         }
@@ -451,22 +521,8 @@ impl Comm {
     pub fn take_trace(&mut self) -> Option<RankTrace> {
         let mut r = self.obs.take()?;
         let s = self.stats;
-        r.metrics.add("msg.sends", s.sends);
-        r.metrics.add("msg.recvs", s.recvs);
-        r.metrics.add("msg.bytes_sent", s.bytes_sent);
-        r.metrics.add("fault.drops", s.fault.drops);
-        r.metrics.add("fault.corruptions", s.fault.corruptions);
-        r.metrics.add("fault.duplicates", s.fault.duplicates);
-        r.metrics.add("fault.reorders", s.fault.reorders);
-        r.metrics.add("fault.retransmits", s.fault.retransmits);
-        r.metrics.add("net.retx", s.fault.retransmits);
-        r.metrics.add("net.rto", s.fault.rto_expiries);
-        r.metrics.add("net.window_stalls", s.fault.window_stalls);
-        r.metrics.add("health.heartbeats", s.fault.heartbeats);
-        r.metrics.add("health.suspicions", s.fault.suspicions);
-        r.metrics.add("health.verdicts", s.fault.verdicts);
-        r.metrics.set_gauge("vt.compute_s", s.compute_s);
-        r.metrics.set_gauge("vt.wait_s", s.wait_s);
+        Self::fold_stats_into(&mut r, &s, &self.obs_folded);
+        self.obs_folded = s;
         Some(r.finish(self.clock))
     }
 
@@ -483,6 +539,7 @@ impl Comm {
         let dt = self.machine.node.time(flops, bytes, cpu_eff);
         self.clock += dt;
         self.stats.compute_s += dt;
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.on_compute(flops, self.machine.node.occupancy(flops, bytes, cpu_eff));
         }
@@ -493,6 +550,7 @@ impl Comm {
     pub fn elapse(&mut self, seconds: f64) {
         assert!(seconds >= 0.0, "cannot elapse negative time");
         self.clock += seconds;
+        self.obs_roll();
         self.check_liveness();
     }
 
@@ -543,6 +601,7 @@ impl Comm {
         let edge = self.edge_seq;
         self.edge_seq += 1;
         let link = self.machine.fabric.link_class(self.rank as u32, dst as u32);
+        self.obs_roll();
         if let Some(r) = self.obs.as_mut() {
             r.on_send(dst, bytes);
             r.on_msg_send(self.clock, dst as u32, edge, bytes as u64, out.queued, link);
@@ -710,6 +769,7 @@ impl Comm {
         self.stats.wait_s += wait;
         self.clock = ready + wait;
         self.stats.recvs += 1;
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.on_wait(wait);
             if pkt.edge != NO_EDGE {
@@ -1019,6 +1079,7 @@ impl Comm {
         self.clock += profile.send_overhead_s;
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
+        self.obs_roll();
         if let Some(r) = &mut self.obs {
             r.on_send(dst, bytes);
         }

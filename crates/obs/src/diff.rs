@@ -1,0 +1,292 @@
+//! Structural-summary comparison: turn "a metric moved" into "this
+//! phase on this link moved".
+//!
+//! The bench comparator flags scalar regressions; this module diffs two
+//! [`crate::export::structural_summary`] texts and names the segments —
+//! per-phase span time and per-link-class critical-path wire time — that
+//! moved, sorted by how much. It parses the summary's own stable line
+//! grammar (the golden-trace format), so it works on any two committed
+//! snapshots or fresh `trace_dump --summary` captures without rerunning
+//! anything.
+
+use crate::recorder::LinkClass;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// One comparable series extracted from a summary. Time-like entries
+/// regress when they grow; efficiency entries regress when they shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// `phase:<span name>`, `cp-wire:<link class>`, `cp:<component>`, or
+    /// `efficiency:<factor>`.
+    pub label: String,
+    pub old: f64,
+    pub new: f64,
+    /// True for efficiency factors (bigger is better); false for the
+    /// time-like series.
+    pub higher_better: bool,
+}
+
+impl DiffEntry {
+    pub fn delta(&self) -> f64 {
+        self.new - self.old
+    }
+
+    /// Relative change in the "worse" direction, as a fraction of the
+    /// old value (infinite when appearing from zero).
+    pub fn regress_frac(&self) -> f64 {
+        let worse = if self.higher_better {
+            self.old - self.new
+        } else {
+            self.new - self.old
+        };
+        if worse <= 0.0 {
+            0.0
+        } else if self.old.abs() < 1e-300 {
+            f64::INFINITY
+        } else {
+            worse / self.old.abs()
+        }
+    }
+
+    pub fn regressed(&self, tolerance_frac: f64) -> bool {
+        self.regress_frac() > tolerance_frac
+    }
+}
+
+/// Everything a summary exposes to the diff, keyed by entry label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SummaryProfile {
+    pub series: BTreeMap<String, (f64, bool)>,
+}
+
+impl SummaryProfile {
+    fn put(&mut self, label: String, v: f64, higher_better: bool) {
+        let e = self.series.entry(label).or_insert((0.0, higher_better));
+        e.0 += v;
+    }
+}
+
+fn tok_f64(tokens: &[&str], after: &str) -> Option<f64> {
+    let i = tokens.iter().position(|&t| t == after)?;
+    tokens.get(i + 1)?.parse().ok()
+}
+
+/// Extract the comparable series from one structural summary (or bare
+/// `analysis v1` block). Unknown lines are ignored, so the parser keeps
+/// working as the summary grows new sections.
+pub fn parse_summary(text: &str) -> SummaryProfile {
+    let mut p = SummaryProfile::default();
+    for line in text.lines() {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            // "  span <name> count <c> total_s <t>" — per rank; sums.
+            ["span", name, "count", _, "total_s", t] => {
+                if let Ok(v) = t.parse() {
+                    p.put(format!("phase:{name}"), v, false);
+                }
+            }
+            ["cp-wire", rest @ ..] => {
+                for c in LinkClass::ALL {
+                    if let Some(v) = tok_f64(rest, c.name()) {
+                        p.put(format!("cp-wire:{}", c.name()), v, false);
+                    }
+                }
+            }
+            ["critical-path", rest @ ..] => {
+                for (key, label) in [
+                    ("total_s", "cp:total"),
+                    ("work_s", "cp:work"),
+                    ("wire_s", "cp:wire"),
+                    ("wait_s", "cp:wait"),
+                ] {
+                    if let Some(v) = tok_f64(rest, key) {
+                        p.put(label.to_string(), v, false);
+                    }
+                }
+            }
+            ["efficiency", rest @ ..] => {
+                for key in [
+                    "parallel",
+                    "load-balance",
+                    "comm",
+                    "transfer",
+                    "serialization",
+                ] {
+                    if let Some(v) = tok_f64(rest, key) {
+                        p.put(format!("efficiency:{key}"), v, true);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    p
+}
+
+/// The diff of two summaries: the union of their series, worst movers
+/// first (by relative regression, then absolute delta, then label so
+/// equal inputs render identically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryDiff {
+    pub entries: Vec<DiffEntry>,
+}
+
+pub fn diff_summaries(old: &str, new: &str) -> SummaryDiff {
+    let po = parse_summary(old);
+    let pn = parse_summary(new);
+    let mut labels: Vec<&String> = po.series.keys().collect();
+    for l in pn.series.keys() {
+        if !po.series.contains_key(l) {
+            labels.push(l);
+        }
+    }
+    let mut entries: Vec<DiffEntry> = labels
+        .into_iter()
+        .map(|label| {
+            let old_v = po.series.get(label);
+            let new_v = pn.series.get(label);
+            DiffEntry {
+                label: label.clone(),
+                old: old_v.map_or(0.0, |&(v, _)| v),
+                new: new_v.map_or(0.0, |&(v, _)| v),
+                higher_better: old_v.or(new_v).is_some_and(|&(_, hb)| hb),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.regress_frac()
+            .total_cmp(&a.regress_frac())
+            .then(b.delta().abs().total_cmp(&a.delta().abs()))
+            .then(a.label.cmp(&b.label))
+    });
+    SummaryDiff { entries }
+}
+
+/// Render the diff as the `trace-diff v1` text block and report whether
+/// any entry regressed beyond `max_regress_pct` percent. Regressions
+/// print first (the top regressed segments), then the biggest absolute
+/// movers that stayed within tolerance, then a count of the unchanged.
+pub fn render_diff(d: &SummaryDiff, max_regress_pct: f64) -> (String, bool) {
+    let tol = max_regress_pct / 100.0;
+    let mut out = String::new();
+    let regressed: Vec<&DiffEntry> = d.entries.iter().filter(|e| e.regressed(tol)).collect();
+    let _ = writeln!(
+        out,
+        "trace-diff v1 entries {} regressed {} tolerance_pct {:?}",
+        d.entries.len(),
+        regressed.len(),
+        max_regress_pct
+    );
+    for e in &regressed {
+        let _ = writeln!(
+            out,
+            "  REGRESS {} old {:?} new {:?} worse {:.1}%",
+            e.label,
+            e.old,
+            e.new,
+            e.regress_frac() * 100.0
+        );
+    }
+    let mut movers: Vec<&DiffEntry> = d
+        .entries
+        .iter()
+        .filter(|e| !e.regressed(tol) && e.delta() != 0.0)
+        .collect();
+    movers.sort_by(|a, b| {
+        b.delta()
+            .abs()
+            .total_cmp(&a.delta().abs())
+            .then(a.label.cmp(&b.label))
+    });
+    for e in movers.iter().take(10) {
+        let _ = writeln!(out, "  moved {} old {:?} new {:?}", e.label, e.old, e.new);
+    }
+    let unchanged = d.entries.iter().filter(|e| e.delta() == 0.0).count();
+    let _ = writeln!(out, "  unchanged {unchanged}");
+    (out, !regressed.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = "\
+golden-trace v2
+ranks 2
+rank 0 start 0.0 end 1.0 spans 4 msgs 2/2 dropped 0
+  span chaos.force count 4 total_s 0.4
+  span chaos.exchange count 4 total_s 0.1
+rank 1 start 0.0 end 1.0 spans 4 msgs 2/2 dropped 0
+  span chaos.force count 4 total_s 0.4
+analysis v1
+critical-path total_s 1.0 segments 5 work_s 0.6 wire_s 0.4 wait_s 0.0
+cp-wire local 0.0 intra 0.3 uplink 0.0 trunk 0.1 dominant intra
+efficiency parallel 0.5 load-balance 0.9 comm 0.6 transfer 0.95 serialization 0.97
+";
+
+    fn newer() -> String {
+        OLD.replace(
+            "span chaos.force count 4 total_s 0.4",
+            "span chaos.force count 4 total_s 0.9",
+        )
+        .replace("trunk 0.1", "trunk 0.35")
+        .replace("parallel 0.5", "parallel 0.3")
+    }
+
+    #[test]
+    fn parse_aggregates_ranks_and_reads_analysis() {
+        let p = parse_summary(OLD);
+        assert_eq!(p.series["phase:chaos.force"], (0.8, false));
+        assert_eq!(p.series["phase:chaos.exchange"], (0.1, false));
+        assert_eq!(p.series["cp-wire:trunk"], (0.1, false));
+        assert_eq!(p.series["cp:total"], (1.0, false));
+        assert_eq!(p.series["efficiency:parallel"], (0.5, true));
+    }
+
+    #[test]
+    fn regressions_surface_worst_first() {
+        let new = newer();
+        let d = diff_summaries(OLD, &new);
+        let (text, regressed) = render_diff(&d, 5.0);
+        assert!(regressed);
+        let lines: Vec<&str> = text.lines().collect();
+        // trunk wire (+250%) outranks the force phase (+125%) and the
+        // parallel-efficiency drop (-40%).
+        assert!(lines[1].contains("REGRESS cp-wire:trunk"), "{text}");
+        assert!(text.contains("REGRESS phase:chaos.force"), "{text}");
+        assert!(text.contains("REGRESS efficiency:parallel"), "{text}");
+        assert!(!text.contains("REGRESS phase:chaos.exchange"), "{text}");
+    }
+
+    #[test]
+    fn identical_summaries_pass_and_render_identically() {
+        let d = diff_summaries(OLD, OLD);
+        let (text, regressed) = render_diff(&d, 0.0);
+        assert!(!regressed, "{text}");
+        let d2 = diff_summaries(OLD, OLD);
+        assert_eq!(text, render_diff(&d2, 0.0).0);
+    }
+
+    #[test]
+    fn improvement_is_not_regression() {
+        let better = OLD.replace("trunk 0.1", "trunk 0.02");
+        let d = diff_summaries(OLD, &better);
+        let (text, regressed) = render_diff(&d, 5.0);
+        assert!(!regressed, "{text}");
+        assert!(text.contains("moved cp-wire:trunk"), "{text}");
+    }
+
+    #[test]
+    fn vanished_efficiency_counts_as_regression() {
+        let gone: String = OLD
+            .lines()
+            .filter(|l| !l.starts_with("efficiency"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let d = diff_summaries(OLD, &gone);
+        let (text, regressed) = render_diff(&d, 5.0);
+        assert!(regressed, "{text}");
+        assert!(text.contains("REGRESS efficiency:parallel"), "{text}");
+    }
+}

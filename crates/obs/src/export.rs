@@ -174,6 +174,11 @@ pub fn structural_summary(w: &WorldTrace) -> String {
             let _ = writeln!(out, "  links {}", links.join(" "));
         }
     }
+    // When the run armed the time-resolved plane, pin the world-merged
+    // timeline in the same golden artifact.
+    if let Some(tl) = crate::timeline::WorldTimeline::from_trace(w) {
+        out.push_str(&crate::timeline::timeline_summary(&tl));
+    }
     out.push_str(&crate::analysis::analysis_report(w));
     out
 }

@@ -88,6 +88,39 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Window delta: the histogram of observations made *after* the
+    /// `earlier` snapshot was taken. `None` unless `earlier` really is an
+    /// earlier snapshot of this histogram's stream (same bucket layout,
+    /// every bucket count no larger) — observation counts are monotone,
+    /// so any bucket underflow means the snapshots are unrelated.
+    pub fn checked_subtract(&self, earlier: &Histogram) -> Option<Histogram> {
+        if self.bounds != earlier.bounds {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (&a, &b) in self.buckets.iter().zip(&earlier.buckets) {
+            buckets.push(a.checked_sub(b)?);
+        }
+        Some(Histogram {
+            bounds: self.bounds,
+            buckets,
+            count: self.count.checked_sub(earlier.count)?,
+            // Observed values are finite, so the cumulative sums are
+            // exact partial sums of one stream and the difference is the
+            // window's sum (floating-point association is identical
+            // because both sums fold the stream in observation order).
+            sum: self.sum - earlier.sum,
+        })
+    }
+
+    /// [`Histogram::checked_subtract`] that panics on layout mismatch or
+    /// bucket underflow — for callers that hold the snapshot discipline
+    /// by construction (the timeline's window sealing).
+    pub fn subtract(&self, earlier: &Histogram) -> Histogram {
+        self.checked_subtract(earlier)
+            .expect("subtracting a histogram that is not an earlier snapshot")
+    }
+
     pub fn bounds(&self) -> &'static [f64] {
         self.bounds
     }
@@ -329,6 +362,59 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn subtract_recovers_the_window() {
+        let mut base = Histogram::new(TIME_BOUNDS_S);
+        base.observe(5e-6);
+        base.observe(2e-3);
+        let snap = base.clone();
+        base.observe(3e-4);
+        base.observe(1e9); // overflow
+        let win = base.subtract(&snap);
+        assert_eq!(win.count(), 2);
+        assert_eq!(win.buckets().iter().sum::<u64>(), 2);
+        let mut expect = Histogram::new(TIME_BOUNDS_S);
+        expect.observe(3e-4);
+        expect.observe(1e9);
+        assert_eq!(win.buckets(), expect.buckets());
+        // Merging the window back onto the snapshot restores the whole.
+        let mut roundtrip = snap.clone();
+        roundtrip.merge(&win);
+        assert_eq!(roundtrip.buckets(), base.buckets());
+        assert_eq!(roundtrip.count(), base.count());
+    }
+
+    #[test]
+    fn subtract_of_self_is_empty() {
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        h.observe(0.4);
+        let d = h.subtract(&h.clone());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.p50(), 0.0);
+    }
+
+    #[test]
+    fn checked_subtract_rejects_unrelated_snapshots() {
+        let mut a = Histogram::new(FRACTION_BOUNDS);
+        let mut b = Histogram::new(FRACTION_BOUNDS);
+        a.observe(0.1);
+        b.observe(0.9);
+        // `b` is not an earlier snapshot of `a`'s stream: bucket underflow.
+        assert!(a.checked_subtract(&b).is_none());
+        let t = Histogram::new(TIME_BOUNDS_S);
+        assert!(a.checked_subtract(&t).is_none(), "layout mismatch");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier snapshot")]
+    fn subtract_panics_on_underflow() {
+        let mut a = Histogram::new(FRACTION_BOUNDS);
+        let mut b = Histogram::new(FRACTION_BOUNDS);
+        a.observe(0.1);
+        b.observe(0.9);
+        let _ = a.subtract(&b);
     }
 
     #[test]

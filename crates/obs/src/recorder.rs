@@ -1,6 +1,7 @@
 //! Per-rank recording and the extracted trace types.
 
 use crate::metrics::{Histogram, Registry, FRACTION_BOUNDS, SIZE_BOUNDS_B, TIME_BOUNDS_S};
+use crate::timeline::{RankTimeline, TimelineBuilder};
 use std::collections::VecDeque;
 
 /// One completed span on one rank's virtual timeline.
@@ -118,10 +119,17 @@ pub struct Recorder {
     wait_s: Histogram,
     occupancy: Histogram,
     flops: f64,
+    /// Cumulative wire bytes by [`LinkClass::index`].
+    class_bytes: [u64; 4],
+    /// Cumulative data packets by [`LinkClass::index`].
+    class_msgs: [u64; 4],
     /// Virtual time recording began (nonzero after a restart).
     start: f64,
     sends: Vec<SendRec>,
     recvs: Vec<RecvRec>,
+    /// Windowing state when the timeline is armed; `None` costs one
+    /// branch per recorded event.
+    timeline: Option<Box<TimelineBuilder>>,
 }
 
 impl Recorder {
@@ -145,9 +153,12 @@ impl Recorder {
             wait_s: Histogram::new(TIME_BOUNDS_S),
             occupancy: Histogram::new(FRACTION_BOUNDS),
             flops: 0.0,
+            class_bytes: [0; 4],
+            class_msgs: [0; 4],
             start: 0.0,
             sends: Vec::new(),
             recvs: Vec::new(),
+            timeline: None,
         }
     }
 
@@ -157,12 +168,66 @@ impl Recorder {
 
     /// Mark where on the virtual timeline this recording starts (nonzero
     /// after a checkpoint restart); the critical-path walk stops here.
+    /// Call before [`Recorder::enable_timeline`] so the window grid
+    /// starts at the right clock.
     pub fn start_at(&mut self, t: f64) {
         self.start = t;
     }
 
+    /// Arm the time-resolved telemetry plane: slice the recording into
+    /// `window_s`-wide windows on the absolute virtual-time grid (see
+    /// [`crate::timeline`]). Panics if already armed — the window grid is
+    /// per-recording and cannot change mid-flight.
+    pub fn enable_timeline(&mut self, window_s: f64) {
+        assert!(
+            self.timeline.is_none(),
+            "rank {}: timeline already armed",
+            self.rank
+        );
+        self.timeline = Some(Box::new(TimelineBuilder::new(window_s, self.start)));
+    }
+
+    /// Whether the armed timeline has a window boundary at or before `t`
+    /// (always false when disarmed). Callers that batch external state
+    /// into the registry — the comm layer's transport counters — check
+    /// this before [`Recorder::roll_timeline`] so windows seal with that
+    /// state synced.
+    #[inline]
+    pub fn timeline_due(&self, t: f64) -> bool {
+        self.timeline.as_ref().is_some_and(|tl| tl.due(t))
+    }
+
+    /// Seal every timeline window the virtual clock has passed. No-op
+    /// when disarmed or when `t` is still inside the current window; the
+    /// per-event hooks call this internally, so only callers that need
+    /// to sync state first (see [`Recorder::timeline_due`]) call it
+    /// directly.
+    #[inline]
+    pub fn roll_timeline(&mut self, t: f64) {
+        if let Some(tl) = &mut self.timeline {
+            if tl.due(t) {
+                tl.roll_to(
+                    t,
+                    &self.metrics,
+                    &[
+                        ("msg.bytes", &self.msg_bytes),
+                        ("msg.wait_s", &self.wait_s),
+                        ("node.occupancy", &self.occupancy),
+                    ],
+                    (&self.class_bytes, &self.class_msgs),
+                );
+            }
+        }
+    }
+
     /// Open a span at virtual time `t`.
     pub fn enter(&mut self, t: f64, name: &'static str) {
+        self.roll_timeline(t);
+        if self.open.is_empty() {
+            if let Some(tl) = &mut self.timeline {
+                tl.on_phase_enter(name, t);
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.open.push((name, t, seq));
@@ -171,6 +236,7 @@ impl Recorder {
     /// Close the innermost open span, which must be `name` (spans are
     /// strictly nested) at virtual time `t >= enter time`.
     pub fn exit(&mut self, t: f64, name: &'static str) {
+        self.roll_timeline(t);
         let (open_name, t0, seq) = self
             .open
             .pop()
@@ -185,6 +251,11 @@ impl Recorder {
             "rank {}: span {name:?} ends at {t} before it starts at {t0}",
             self.rank
         );
+        if self.open.is_empty() {
+            if let Some(tl) = &mut self.timeline {
+                tl.on_phase_exit(t);
+            }
+        }
         self.push_span(Span {
             name,
             t0,
@@ -225,6 +296,9 @@ impl Recorder {
         queued: f64,
         link: LinkClass,
     ) {
+        self.roll_timeline(t);
+        self.class_bytes[link.index()] += bytes;
+        self.class_msgs[link.index()] += 1;
         self.sends.push(SendRec {
             dst,
             seq,
@@ -239,6 +313,7 @@ impl Recorder {
     /// `(src, seq)` arriving at `arrival`, completing at `t_end` after
     /// blocking `wait` virtual seconds.
     pub fn on_msg_recv(&mut self, src: u32, seq: u64, arrival: f64, t_end: f64, wait: f64) {
+        self.roll_timeline(t_end);
         self.recvs.push(RecvRec {
             src,
             seq,
@@ -272,6 +347,22 @@ impl Recorder {
         }
         let mut spans: Vec<Span> = self.spans.into();
         spans.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.seq.cmp(&b.seq)));
+        // Seal the timeline before the hot histograms fold so window
+        // deltas and final registry totals agree (`node.flops` is the
+        // one post-seal addition; the timeline invariants except it).
+        let timeline = self.timeline.take().map(|tl| {
+            tl.finish(
+                self.rank,
+                t_end,
+                &self.metrics,
+                &[
+                    ("msg.bytes", &self.msg_bytes),
+                    ("msg.wait_s", &self.wait_s),
+                    ("node.occupancy", &self.occupancy),
+                ],
+                (&self.class_bytes, &self.class_msgs),
+            )
+        });
         let mut metrics = self.metrics;
         metrics.fold_histogram("msg.bytes", self.msg_bytes);
         metrics.fold_histogram("msg.wait_s", self.wait_s);
@@ -289,11 +380,14 @@ impl Recorder {
             metrics,
             link_bytes: self.link_bytes,
             link_msgs: self.link_msgs,
+            class_bytes: self.class_bytes,
+            class_msgs: self.class_msgs,
             dropped_spans: self.dropped,
             start: self.start,
             end: t_end,
             sends,
             recvs,
+            timeline,
         }
     }
 }
@@ -307,6 +401,11 @@ pub struct RankTrace {
     pub metrics: Registry,
     pub link_bytes: Vec<u64>,
     pub link_msgs: Vec<u64>,
+    /// Cumulative wire bytes by [`LinkClass::index`] (always tracked;
+    /// the timeline windows must sum to these).
+    pub class_bytes: [u64; 4],
+    /// Cumulative data packets by [`LinkClass::index`].
+    pub class_msgs: [u64; 4],
     /// Spans evicted from the ring buffer (0 means the trace is complete).
     pub dropped_spans: u64,
     /// Virtual clock when recording began (nonzero after a restart).
@@ -317,6 +416,8 @@ pub struct RankTrace {
     pub sends: Vec<SendRec>,
     /// Receiver halves of message edges, sorted by `(t_end, seq)`.
     pub recvs: Vec<RecvRec>,
+    /// Windowed time-series, present when the run armed the timeline.
+    pub timeline: Option<RankTimeline>,
 }
 
 impl RankTrace {

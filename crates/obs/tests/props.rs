@@ -210,6 +210,89 @@ proptest! {
         }
     }
 
+    /// Window deltas round-trip: `later − earlier` recovers exactly the
+    /// window's own observations, and merging the delta back onto the
+    /// earlier snapshot reconstructs the cumulative histogram — the
+    /// identity the timeline's sealing step rests on.
+    #[test]
+    fn subtract_merge_round_trips_the_window(
+        before in proptest::collection::vec(0.0f64..2.0f64, 0..100),
+        window in proptest::collection::vec(0.0f64..2.0f64, 0..100),
+    ) {
+        let mut earlier = Histogram::new(FRACTION_BOUNDS);
+        for &v in &before {
+            earlier.observe(v);
+        }
+        let mut later = earlier.clone();
+        let mut expect = Histogram::new(FRACTION_BOUNDS);
+        for &v in &window {
+            later.observe(v);
+            expect.observe(v);
+        }
+        let delta = later.checked_subtract(&earlier).unwrap();
+        prop_assert_eq!(delta.buckets(), expect.buckets());
+        prop_assert_eq!(delta.count(), window.len() as u64);
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt.buckets(), later.buckets());
+        prop_assert_eq!(rebuilt.count(), later.count());
+    }
+
+    /// Quantiles of a window delta are still monotone in `q` and stay
+    /// inside the layout — subtraction yields a real histogram, not
+    /// just a bucket-wise difference.
+    #[test]
+    fn quantiles_stay_monotone_after_subtraction(
+        before in proptest::collection::vec(0.0f64..2.0f64, 0..80),
+        window in proptest::collection::vec(0.0f64..2.0f64, 1..80),
+        qs_milli in proptest::collection::vec(0u32..=1000u32, 2..12),
+    ) {
+        let mut earlier = Histogram::new(FRACTION_BOUNDS);
+        for &v in &before {
+            earlier.observe(v);
+        }
+        let mut later = earlier.clone();
+        for &v in &window {
+            later.observe(v);
+        }
+        let delta = later.checked_subtract(&earlier).unwrap();
+        let last = *FRACTION_BOUNDS.last().unwrap();
+        let mut qs: Vec<f64> = qs_milli.iter().map(|&m| m as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0.0f64;
+        for &q in &qs {
+            let e = delta.quantile(q);
+            prop_assert!(e > 0.0 && e <= last + 1e-12, "quantile({q}) = {e}");
+            prop_assert!(e >= prev - 1e-12, "not monotone after subtract: {prev} then {e}");
+            prev = e;
+        }
+    }
+
+    /// Empty-window edge cases: subtracting a snapshot from itself
+    /// yields the empty histogram, subtracting an empty histogram is
+    /// the identity, and an underflowing subtraction (the "earlier"
+    /// snapshot is actually ahead) is refused rather than wrapped.
+    #[test]
+    fn empty_window_subtraction_edge_cases(
+        vals in proptest::collection::vec(0.0f64..2.0f64, 0..100),
+    ) {
+        let empty = Histogram::new(FRACTION_BOUNDS);
+        let mut h = Histogram::new(FRACTION_BOUNDS);
+        for &v in &vals {
+            h.observe(v);
+        }
+        // self − self = empty window.
+        let none = h.checked_subtract(&h).unwrap();
+        prop_assert_eq!(none.count(), 0);
+        prop_assert!(none.buckets().iter().all(|&b| b == 0));
+        // h − empty = h.
+        let all = h.checked_subtract(&empty).unwrap();
+        prop_assert_eq!(all.buckets(), h.buckets());
+        prop_assert_eq!(all.count(), h.count());
+        // empty − h underflows unless h is itself empty.
+        prop_assert_eq!(empty.checked_subtract(&h).is_some(), h.count() == 0);
+    }
+
     /// Equal traces export to byte-identical text — the property the
     /// golden harness rests on.
     #[test]
