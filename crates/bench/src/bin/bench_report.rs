@@ -4,8 +4,9 @@
 //! treecode, the same run under injected faults (restart recovery and
 //! detector-armed degraded-mode shard recovery), the 288-rank
 //! bisection exchange on both the two-switch Space Simulator fabric and
-//! an ideal crossbar, and the 16-rank simulation-as-a-service query
-//! engine under its standing client fleet — folds each trace through
+//! an ideal crossbar, the 16-rank simulation-as-a-service query
+//! engine under its standing client fleet, and the snapshot-store
+//! commit/materialize cycle — folds each trace through
 //! the critical-path and
 //! efficiency analyses, and writes a schema-versioned
 //! `BENCH_report.json` (see `bench::report` for the format).
@@ -23,12 +24,15 @@
 
 use bench::report::{check_floors, compare, from_json, to_json, BenchReport, ScenarioReport};
 use cluster::chaos::{run_treecode, run_treecode_traced, ChaosConfig};
+use cluster::io::IoModel;
 use cluster::{bisection_exchange_traced, golden_ics};
 use hot::gravity::GravityConfig;
+use hot::integrate::Simulation;
 use msg::{FaultPlan, HeartbeatConfig, Machine, RetransmitConfig};
 use netsim::LinkFault;
 use obs::WorldTrace;
 use std::process::ExitCode;
+use store::{GenerationLog, RecordKind, StoreConfig};
 
 const EXCHANGE_RANKS: usize = 288;
 const EXCHANGE_BYTES: usize = 512 * 1024;
@@ -264,6 +268,130 @@ fn queries16() -> ScenarioReport {
     row
 }
 
+/// Commit cadence and horizon of the snapshot-store scenario: 17
+/// commits over 32 steps spans two full frames at the default
+/// `full_every = 8`, so the incremental ratio prices real chains, not
+/// just the first full frame.
+const STORE_STEPS: u64 = 32;
+const STORE_COMMIT_EVERY: u64 = 2;
+
+/// The snapshot-store scenario (ISSUE PR 10): the golden universe
+/// evolves serially and commits every other step into a
+/// [`GenerationLog`] — first frame full, the rest dirty-cell deltas.
+/// Virtual I/O cost comes from the §4.3 local-disk model, so the
+/// headline throughputs are *effective* state rates: a delta that
+/// ships 1/3 of the bytes reads back at 3× the disk rate. The
+/// `incremental_ratio` (full bytes over shipped bytes) is the
+/// compression claim itself, floored in CI.
+fn store_bench() -> ScenarioReport {
+    let run_once = || {
+        let mut sim = Simulation::new(golden_ics(192, 42), golden_gravity(), 0.01);
+        let mut log = GenerationLog::new(StoreConfig::default(), 0);
+        log.commit(0, &sim.bodies, &[]);
+        for step in 1..=STORE_STEPS {
+            sim.step();
+            if step % STORE_COMMIT_EVERY == 0 {
+                log.commit(step, &sim.bodies, &[]);
+            }
+        }
+        log
+    };
+    let log = run_once();
+    // The store's canonical-ordering claim, held at bench scale: the
+    // same physics must commit byte-identical records on a second run.
+    let again = run_once();
+    let frames = |l: &GenerationLog| -> Vec<u8> {
+        l.steps()
+            .flat_map(|s| l.record(s).expect("committed").bytes().to_vec())
+            .collect()
+    };
+    assert_eq!(
+        frames(&log),
+        frames(&again),
+        "store commits are not byte-deterministic"
+    );
+    assert!(
+        log.commit_bytes < log.full_bytes,
+        "deltas never beat full frames: {} committed vs {} full",
+        log.commit_bytes,
+        log.full_bytes
+    );
+
+    let io = IoModel::space_simulator(16);
+    // Write side: the log shipped `commit_bytes` to disk to persist
+    // `full_bytes` worth of state.
+    let write_s = io.snapshot_time(log.commit_bytes as f64);
+    let write_mb_s = log.full_bytes as f64 / 1e6 / write_s;
+    // Read side: materialize every generation cold; each read pays for
+    // its chain (nearest full frame plus the deltas up to the step) and
+    // delivers a full decoded state.
+    let records: Vec<(u64, usize, bool)> = log
+        .steps()
+        .map(|s| {
+            let r = log.record(s).expect("committed");
+            let full = matches!(
+                store::record_kind(r.bytes()).expect("committed record"),
+                RecordKind::Full
+            );
+            (s, r.bytes().len(), full)
+        })
+        .collect();
+    let mut read_bytes = 0u64;
+    let mut delivered = 0u64;
+    for (i, (s, _, _)) in records.iter().enumerate() {
+        let base = records[..=i]
+            .iter()
+            .rposition(|(_, _, full)| *full)
+            .expect("chains start full");
+        read_bytes += records[base..=i]
+            .iter()
+            .map(|(_, len, _)| *len as u64)
+            .sum::<u64>();
+        let snap = log.materialize(*s).expect("pristine log materializes");
+        delivered += snap.to_bytes().len() as u64;
+    }
+    let read_s = io.snapshot_time(read_bytes as f64);
+    let read_mb_s = delivered as f64 / 1e6 / read_s;
+
+    ScenarioReport {
+        name: "store_bench".to_string(),
+        ranks: 1,
+        mode: "standing".to_string(),
+        fabric: String::new(),
+        bodies: 192,
+        scaling_efficiency: 0.0,
+        end_vtime_s: write_s + read_s,
+        interactions: 0,
+        interactions_per_s: 0.0,
+        availability: 1.0,
+        deterministic: true,
+        cp_total_s: write_s + read_s,
+        cp_work_s: 0.0,
+        cp_wire_s: 0.0,
+        cp_wait_s: 0.0,
+        cp_wire_by_class_s: [0.0; 4],
+        dominant_wire: "none".to_string(),
+        parallel_efficiency: 0.0,
+        load_balance: 0.0,
+        comm_efficiency: 0.0,
+        transfer_efficiency: 0.0,
+        serialization_efficiency: 0.0,
+        queries: 0,
+        queries_per_s: 0.0,
+        query_p50_s: 0.0,
+        query_p95_s: 0.0,
+        query_p99_s: 0.0,
+        store_write_mb_s: 0.0,
+        store_read_mb_s: 0.0,
+        incremental_ratio: 0.0,
+    }
+    .with_store(
+        write_mb_s,
+        read_mb_s,
+        log.full_bytes as f64 / log.commit_bytes as f64,
+    )
+}
+
 /// 288-rank bisection exchange on the two-switch fabric: the scenario
 /// whose report must name the 8 Gbit trunk as the dominant
 /// critical-path resource.
@@ -314,7 +442,12 @@ fn run_all() -> BenchReport {
         "ran queries16: end {:.6}s {:.3e} queries/s p99 {:.6}s",
         qs.end_vtime_s, qs.queries_per_s, qs.query_p99_s
     );
-    BenchReport::new(vec![tc, ch, dg, tr, xb, qs])
+    let st = store_bench();
+    eprintln!(
+        "ran store_bench: write {:.1} MB/s read {:.1} MB/s ratio {:.3}",
+        st.store_write_mb_s, st.store_read_mb_s, st.incremental_ratio
+    );
+    BenchReport::new(vec![tc, ch, dg, tr, xb, qs, st])
 }
 
 fn summary_table(r: &BenchReport) -> String {

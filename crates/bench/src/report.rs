@@ -22,7 +22,11 @@ use obs::{CriticalPath, Efficiency, WorldTrace};
 /// `scaling_efficiency`) so the `scaling_sweep` bin's weak/strong
 /// curves ride the same report format; absent fields parse to the
 /// standing-scenario defaults, so v2 files still load.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: snapshot-store columns (`store_write_mb_s`, `store_read_mb_s`,
+/// `incremental_ratio`) for the `store_bench` scenario; absent fields
+/// parse to 0 (no store claim), so v3 files still load.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One scenario's folded metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +87,19 @@ pub struct ScenarioReport {
     pub query_p50_s: f64,
     pub query_p95_s: f64,
     pub query_p99_s: f64,
+    /// Snapshot-store effective write throughput: committed *state*
+    /// megabytes per virtual second of checkpoint I/O. Delta commits
+    /// ship fewer bytes than the state they represent, so this exceeds
+    /// the raw disk rate when compression works (0 = no store claim).
+    pub store_write_mb_s: f64,
+    /// Effective time-travel read throughput: decoded state megabytes
+    /// per virtual second spent reading the record chain.
+    pub store_read_mb_s: f64,
+    /// `full_bytes / commit_bytes` over the commit history: what the
+    /// same generations would have cost as full snapshots, over what
+    /// the incremental log actually shipped. >= 1; higher is better;
+    /// floored in CI.
+    pub incremental_ratio: f64,
 }
 
 impl ScenarioReport {
@@ -130,6 +147,9 @@ impl ScenarioReport {
             query_p50_s: 0.0,
             query_p95_s: 0.0,
             query_p99_s: 0.0,
+            store_write_mb_s: 0.0,
+            store_read_mb_s: 0.0,
+            incremental_ratio: 0.0,
         }
     }
 
@@ -144,6 +164,14 @@ impl ScenarioReport {
         self.query_p50_s = p50;
         self.query_p95_s = p95;
         self.query_p99_s = p99;
+        self
+    }
+
+    /// Attach the snapshot-store columns (the `store_bench` scenario).
+    pub fn with_store(mut self, write_mb_s: f64, read_mb_s: f64, ratio: f64) -> ScenarioReport {
+        self.store_write_mb_s = write_mb_s;
+        self.store_read_mb_s = read_mb_s;
+        self.incremental_ratio = ratio;
         self
     }
 
@@ -255,6 +283,9 @@ pub fn to_json(r: &BenchReport) -> String {
             ("query_p50_s", jnum(s.query_p50_s)),
             ("query_p95_s", jnum(s.query_p95_s)),
             ("query_p99_s", jnum(s.query_p99_s)),
+            ("store_write_mb_s", jnum(s.store_write_mb_s)),
+            ("store_read_mb_s", jnum(s.store_read_mb_s)),
+            ("incremental_ratio", jnum(s.incremental_ratio)),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             out.push_str(&format!(
@@ -524,6 +555,10 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
             query_p50_s: row.num("query_p50_s").unwrap_or(0.0),
             query_p95_s: row.num("query_p95_s").unwrap_or(0.0),
             query_p99_s: row.num("query_p99_s").unwrap_or(0.0),
+            // Absent before v4: no store claim.
+            store_write_mb_s: row.num("store_write_mb_s").unwrap_or(0.0),
+            store_read_mb_s: row.num("store_read_mb_s").unwrap_or(0.0),
+            incremental_ratio: row.num("incremental_ratio").unwrap_or(0.0),
         });
     }
     Ok(BenchReport {
@@ -622,6 +657,15 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, max_regress: f64) -> V
                 false,
                 timings_comparable,
             ),
+            // A byte ratio, not a timing: deterministic even on noisy
+            // fabrics, so always comparable.
+            (
+                "incremental_ratio",
+                b.incremental_ratio,
+                n.incremental_ratio,
+                true,
+                true,
+            ),
         ];
         for (metric, old, newv, higher_better, comparable) in checks {
             // A metric that vanished — NaN, or zero where the baseline
@@ -673,6 +717,9 @@ fn metric_value(s: &ScenarioReport, metric: &str) -> Option<f64> {
         "comm_efficiency" => s.comm_efficiency,
         "transfer_efficiency" => s.transfer_efficiency,
         "serialization_efficiency" => s.serialization_efficiency,
+        "store_write_mb_s" => s.store_write_mb_s,
+        "store_read_mb_s" => s.store_read_mb_s,
+        "incremental_ratio" => s.incremental_ratio,
         _ => return None,
     })
 }
@@ -738,6 +785,9 @@ mod tests {
             query_p50_s: 4.0e-5,
             query_p95_s: 1.1e-4,
             query_p99_s: 2.3e-4,
+            store_write_mb_s: 210.0,
+            store_read_mb_s: 430.0,
+            incremental_ratio: 2.4,
         }])
     }
 
@@ -936,6 +986,55 @@ mod tests {
         assert_eq!(s.fabric, "");
         assert_eq!(s.bodies, 0);
         assert_eq!(s.scaling_efficiency, 0.0);
+    }
+
+    #[test]
+    fn store_columns_are_compared_and_floorable() {
+        let base = sample();
+        // Shipping relatively more bytes per committed state is a
+        // compression regression even when every timing is unchanged.
+        let mut bloated = base.clone();
+        bloated.scenarios[0].incremental_ratio = 1.1;
+        let r = compare(&base, &bloated, 0.05);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("incremental_ratio"), "{r:?}");
+
+        let f = |m: &str, v: f64| ("treecode16".to_string(), m.to_string(), v);
+        assert!(check_floors(&base, &[f("incremental_ratio", 2.0)]).is_empty());
+        let r = check_floors(&base, &[f("incremental_ratio", 3.0)]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("below committed floor"), "{r:?}");
+        assert!(check_floors(&base, &[f("store_write_mb_s", 100.0)]).is_empty());
+        assert!(check_floors(&base, &[f("store_read_mb_s", 400.0)]).is_empty());
+
+        // Files from before the store columns existed parse with the
+        // no-claim default.
+        let mut old = base.clone();
+        old.schema_version = 3;
+        let text: String = to_json(&old)
+            .lines()
+            .filter(|l| {
+                ![
+                    "\"store_write_mb_s\"",
+                    "\"store_read_mb_s\"",
+                    "\"incremental_ratio\"",
+                ]
+                .iter()
+                .any(|k| l.trim_start().starts_with(k))
+            })
+            // The store columns were the row's tail: un-comma the new
+            // last field, as the v3 writer did.
+            .map(|l| {
+                if l.trim_start().starts_with("\"query_p99_s\"") {
+                    format!("{}\n", l.trim_end_matches(','))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.scenarios[0].incremental_ratio, 0.0);
+        assert_eq!(back.scenarios[0].store_write_mb_s, 0.0);
     }
 
     #[test]

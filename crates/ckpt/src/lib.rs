@@ -36,6 +36,9 @@ pub enum CkptError {
     BadEncoding(&'static str),
     /// Payload decoded cleanly but bytes were left over.
     TrailingBytes(usize),
+    /// A set of shard headers does not form one coherent generation
+    /// (see [`validate_shard_headers`]).
+    ShardSetMismatch(&'static str),
 }
 
 impl fmt::Display for CkptError {
@@ -51,6 +54,9 @@ impl fmt::Display for CkptError {
             }
             CkptError::BadEncoding(what) => write!(f, "invalid encoding for {what}"),
             CkptError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CkptError::ShardSetMismatch(what) => {
+                write!(f, "shard set is not one coherent generation: {what}")
+            }
         }
     }
 }
@@ -311,6 +317,47 @@ impl Pack for ShardHeader {
         }
         Ok(h)
     }
+}
+
+/// Cross-validate a full shard set as ONE coherent generation.
+///
+/// Individually valid shards can still be stitched from different worlds
+/// — a rank 2 shard of step 4 from an 8-rank run next to a rank 2 shard
+/// of step 4 from a 4-rank run, or two commits whose virtual times
+/// disagree. Assembling such a set silently mixes states from different
+/// histories, so both commit promotion and restore must reject it and
+/// fall back a generation. The set is coherent iff:
+///
+/// * there are exactly `of_ranks` headers and every header agrees on
+///   `of_ranks` equal to that count,
+/// * every header carries the same `step`,
+/// * every header carries the same `time` *bits* (commit time is
+///   deterministic virtual time; any drift means different worlds),
+/// * the ranks are exactly the set `0..of_ranks`, each once (order
+///   within the slice is not required).
+pub fn validate_shard_headers(headers: &[ShardHeader], of_ranks: usize) -> Result<(), CkptError> {
+    if headers.len() != of_ranks || of_ranks == 0 {
+        return Err(CkptError::ShardSetMismatch("shard count != of_ranks"));
+    }
+    let first = &headers[0];
+    let mut seen = vec![false; of_ranks];
+    for h in headers {
+        if h.of_ranks != of_ranks as u32 {
+            return Err(CkptError::ShardSetMismatch("of_ranks disagrees"));
+        }
+        if h.step != first.step {
+            return Err(CkptError::ShardSetMismatch("step disagrees"));
+        }
+        if h.time.to_bits() != first.time.to_bits() {
+            return Err(CkptError::ShardSetMismatch("commit time disagrees"));
+        }
+        let r = h.rank as usize;
+        if r >= of_ranks || seen[r] {
+            return Err(CkptError::ShardSetMismatch("rank set is not 0..of_ranks"));
+        }
+        seen[r] = true;
+    }
+    Ok(())
 }
 
 /// Frame one rank's checkpoint fragment: magic, header + payload, crc32.

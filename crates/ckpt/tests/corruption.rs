@@ -6,7 +6,7 @@
 //! that survived a soft error is only trustworthy if the format cannot
 //! lie.
 
-use ckpt::{load, load_shard, save, save_shard, CkptError, ShardHeader};
+use ckpt::{load, load_shard, save, save_shard, validate_shard_headers, CkptError, ShardHeader};
 
 type State = ((u64, f64), Vec<[f64; 3]>);
 
@@ -126,6 +126,67 @@ fn every_shard_truncation_is_detected() {
             "shard truncation to {len} bytes decoded"
         );
     }
+}
+
+#[test]
+fn stitched_shard_sets_from_different_worlds_are_rejected() {
+    // Each shard below is individually pristine — valid magic, header
+    // and CRC — yet the *set* can still be a Frankenstein assembled from
+    // different runs. The cross-validator is what stops a recovery from
+    // mixing states that never coexisted.
+    let hdr = |rank: u32, of_ranks: u32, step: u64, time: f64| ShardHeader {
+        rank,
+        of_ranks,
+        step,
+        time,
+    };
+    let good = [
+        hdr(0, 4, 8, 0.25),
+        hdr(1, 4, 8, 0.25),
+        hdr(2, 4, 8, 0.25),
+        hdr(3, 4, 8, 0.25),
+    ];
+    assert_eq!(validate_shard_headers(&good, 4), Ok(()));
+    // Order within the set is irrelevant; identity is what matters.
+    let mut shuffled = good;
+    shuffled.swap(0, 3);
+    shuffled.swap(1, 2);
+    assert_eq!(validate_shard_headers(&shuffled, 4), Ok(()));
+
+    let reject = |hs: &[ShardHeader], n: usize, why: &str| {
+        assert!(
+            matches!(
+                validate_shard_headers(hs, n),
+                Err(CkptError::ShardSetMismatch(_))
+            ),
+            "{why}: accepted {hs:?}"
+        );
+    };
+    // Too few / too many fragments (torn commit, duplicated log entry).
+    reject(&good[..3], 4, "missing fragment");
+    reject(&good, 3, "extra fragment");
+    reject(&[], 0, "empty set");
+    // A shard of the same rank+step from a *larger* world.
+    let mut c = good;
+    c[2] = hdr(2, 8, 8, 0.25);
+    reject(&c, 4, "of_ranks disagrees");
+    // A shard of a different generation (older commit of the same rank).
+    let mut c = good;
+    c[1] = hdr(1, 4, 4, 0.125);
+    reject(&c, 4, "step disagrees");
+    // Same step, different virtual commit time: a different history.
+    let mut c = good;
+    c[3] = hdr(3, 4, 8, 0.25 + 1e-12);
+    reject(&c, 4, "commit time disagrees");
+    // Bit-equality, not numeric equality: -0.0 == 0.0 numerically but
+    // the commit clocks cannot have produced both.
+    let mut c = [hdr(0, 2, 0, 0.0), hdr(1, 2, 0, -0.0)];
+    reject(&c, 2, "commit time sign bit disagrees");
+    c[1].time = 0.0;
+    assert_eq!(validate_shard_headers(&c, 2), Ok(()));
+    // The same rank twice (one rank's shard logged into another's slot).
+    let dup = [good[0], good[1], good[1], good[3]];
+    reject(&dup, 4, "duplicate rank");
 }
 
 #[test]

@@ -28,6 +28,32 @@ use hot::traverse::group_accelerations;
 use hot::tree::{Body, Tree};
 use msg::{run_with_faults, run_with_faults_observed, Comm, FaultPlan, Machine, WorldOutcome};
 use std::sync::Mutex;
+use store::{GenerationLog, RecordKind, StoreConfig};
+
+/// Aux lanes a degraded-mode shard carries alongside each body: the
+/// acceleration vector plus the potential — the full integrator state a
+/// failed-over rank needs to resume mid-KDK.
+const N_AUX: usize = 4;
+
+/// Flatten a stripe's `Accel` values into the store's row-major aux lanes.
+fn aux_of(accel: &[Accel]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(accel.len() * N_AUX);
+    for a in accel {
+        v.extend_from_slice(&a.acc);
+        v.push(a.pot);
+    }
+    v
+}
+
+/// Rebuild `Accel` values from the store's aux lanes.
+fn accel_of(aux: &[f64]) -> Vec<Accel> {
+    aux.chunks_exact(N_AUX)
+        .map(|c| Accel {
+            acc: [c[0], c[1], c[2]],
+            pot: c[3],
+        })
+        .collect()
+}
 
 /// Knobs of the checkpoint/restart loop (times are virtual seconds).
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +143,13 @@ pub struct ChaosReport {
     /// Recoveries that found a rotten shard in the newest generation and
     /// fell back to the previous complete commit instead of crashing.
     pub shard_fallbacks: u64,
+    /// Store-record bytes actually shipped at commit time across promoted
+    /// generations (first commit per attempt is full, the rest are
+    /// dirty-cell deltas).
+    pub store_commit_bytes: u64,
+    /// What the same promoted generations cost as full columnar records
+    /// — the incremental-commit savings are `full - commit`.
+    pub store_full_bytes: u64,
     /// Why the harness gave up (`None` while healthy or completed).
     pub diagnosis: Option<String>,
     /// Injected-fault and recovery traffic, summed over ranks of the
@@ -195,7 +228,9 @@ struct Gen {
     shards: Vec<Vec<u8>>,
 }
 
-/// Cut a full replica state into per-rank shard files.
+/// Cut a full replica state into per-rank shard files: each shard frames
+/// a full columnar store record of that rank's stripe (bodies plus the
+/// [`N_AUX`] acceleration lanes) behind a [`ckpt::ShardHeader`].
 fn encode_shards(
     step: u64,
     time: f64,
@@ -206,7 +241,10 @@ fn encode_shards(
     (0..size)
         .map(|r| {
             let range = stripe(bodies.len(), size, r);
-            let payload = (bodies[range.clone()].to_vec(), accel[range].to_vec());
+            let mut log = GenerationLog::new(StoreConfig::default(), N_AUX as u32);
+            let record = log
+                .commit(step, &bodies[range.clone()], &aux_of(&accel[range]))
+                .to_vec();
             ckpt::save_shard(
                 &ckpt::ShardHeader {
                     rank: r as u32,
@@ -214,36 +252,45 @@ fn encode_shards(
                     step,
                     time,
                 },
-                &payload,
+                &record,
             )
         })
         .collect()
 }
 
 /// Decode and reassemble a generation's shards into a full replica state.
-/// `None` if any fragment is rotten or inconsistent — the caller falls
-/// back to an older generation.
+/// `None` if any fragment is rotten or the set is not one coherent
+/// generation (mixed steps, worlds or commit times) — the caller falls
+/// back to an older generation. Promoted shards always hold full store
+/// records, so each materializes from its own bytes alone.
 fn assemble(gen: &Gen, size: usize) -> Option<State> {
+    let mut decoded = Vec::with_capacity(size);
+    for bytes in &gen.shards {
+        let (h, record): (ckpt::ShardHeader, Vec<u8>) = ckpt::load_shard(bytes).ok()?;
+        decoded.push((h, record));
+    }
+    let headers: Vec<ckpt::ShardHeader> = decoded.iter().map(|(h, _)| *h).collect();
+    ckpt::validate_shard_headers(&headers, size).ok()?;
+    if headers[0].step != gen.step {
+        return None;
+    }
     let mut bodies = Vec::new();
     let mut accel = Vec::new();
-    let mut time = 0.0;
-    for (r, bytes) in gen.shards.iter().enumerate() {
-        let (h, (b, a)): (ckpt::ShardHeader, (Vec<Body>, Vec<Accel>)) =
-            ckpt::load_shard(bytes).ok()?;
-        if h.rank != r as u32
-            || h.of_ranks != size as u32
-            || h.step != gen.step
-            || b.len() != a.len()
-        {
+    for (r, (h, record)) in decoded.into_iter().enumerate() {
+        if h.rank != r as u32 {
             return None;
         }
-        time = h.time;
+        let snap = store::log::materialize_records(&[(h.step, record)], h.step).ok()?;
+        let (b, aux) = snap.decode_all().ok()?;
+        if aux.len() != b.len() * N_AUX {
+            return None;
+        }
         bodies.extend(b);
-        accel.extend(a);
+        accel.extend(accel_of(&aux));
     }
     Some(State {
         step: gen.step,
-        time,
+        time: headers[0].time,
         bodies,
         accel,
     })
@@ -396,6 +443,13 @@ fn run_treecode_impl(
             comm.span_exit("chaos.restore");
             let n = bodies.len();
             let size = comm.size();
+            // Per-attempt incremental commit log: the first commit of an
+            // attempt ships a full columnar snapshot of this rank's
+            // stripe, later commits ship dirty-cell deltas against the
+            // rank's own previous commit. The chain is self-consistent
+            // within the attempt; promotion (outside the world)
+            // materializes it back into full records.
+            let mut log = GenerationLog::new(StoreConfig::default(), N_AUX as u32);
             while step < steps {
                 // Kick (half) + drift, identically on every replica.
                 for (b, a) in bodies.iter_mut().zip(&accel) {
@@ -463,7 +517,15 @@ fn run_treecode_impl(
                         // its own stripe, so a later recovery re-reads
                         // one shard instead of the whole world.
                         let range = stripe(n, size, comm.rank());
-                        let payload = (bodies[range.clone()].to_vec(), accel[range].to_vec());
+                        let record = log
+                            .commit(step, &bodies[range.clone()], &aux_of(&accel[range]))
+                            .to_vec();
+                        if matches!(store::record_kind(&record), Ok(RecordKind::Delta { .. })) {
+                            comm.obs_count("store.delta_commits", 1);
+                        } else {
+                            comm.obs_count("store.full_commits", 1);
+                        }
+                        comm.obs_count("store.commit_bytes", record.len() as u64);
                         let shard = ckpt::save_shard(
                             &ckpt::ShardHeader {
                                 rank: comm.rank() as u32,
@@ -471,7 +533,7 @@ fn run_treecode_impl(
                                 step,
                                 time,
                             },
-                            &payload,
+                            &record,
                         );
                         comm.obs_count("ckpt.bytes", shard.len() as u64);
                         comm.obs_count("ckpt.commits", 1);
@@ -517,15 +579,42 @@ fn run_treecode_impl(
         // every rank's shard for it reached stable storage (a crash
         // between the barrier and some rank's write leaves a torn,
         // unpromotable generation — exactly a torn parallel commit).
+        // Logged shards carry incremental store records; promotion
+        // cross-validates the full header set (one world, one step, one
+        // commit time), materializes every rank's delta chain and
+        // retains standalone *full* records, so the two-generation
+        // fallback window never depends on an older attempt's bytes.
         {
             let mut by_step: std::collections::BTreeMap<u64, ShardSlots> =
                 std::collections::BTreeMap::new();
+            let mut chains: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); nranks];
+            let mut hdrs: std::collections::BTreeMap<(u64, usize), ckpt::ShardHeader> =
+                std::collections::BTreeMap::new();
             for (step, vtime, rank, bytes) in shard_log.into_inner().unwrap() {
+                if let Ok((h, record)) = ckpt::load_shard::<Vec<u8>>(&bytes) {
+                    hdrs.insert((step, rank), h);
+                    chains[rank].push((step, record));
+                }
                 by_step.entry(step).or_insert_with(|| vec![None; nranks])[rank] =
                     Some((vtime, bytes));
             }
-            for (step, slots) in by_step {
+            for chain in &mut chains {
+                chain.sort_by_key(|(s, _)| *s);
+            }
+            'steps: for (step, slots) in by_step {
                 if step <= gens.last().map_or(0, |g| g.step) || !slots.iter().all(Option::is_some) {
+                    continue;
+                }
+                let headers: Vec<ckpt::ShardHeader> = match (0..nranks)
+                    .map(|r| hdrs.get(&(step, r)).copied())
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(h) => h,
+                    None => continue,
+                };
+                if ckpt::validate_shard_headers(&headers, nranks).is_err()
+                    || headers[0].step != step
+                {
                     continue;
                 }
                 let vtime = slots
@@ -533,8 +622,26 @@ fn run_treecode_impl(
                     .map(|s| s.as_ref().expect("complete").0)
                     .fold(0.0, f64::max);
                 #[allow(unused_mut)]
-                let mut shards: Vec<Vec<u8>> =
-                    slots.into_iter().map(|s| s.expect("complete").1).collect();
+                let mut shards: Vec<Vec<u8>> = Vec::with_capacity(nranks);
+                let mut commit_bytes = 0u64;
+                let mut full_bytes = 0u64;
+                for (r, header) in headers.iter().enumerate() {
+                    let chain: Vec<(u64, Vec<u8>)> = chains[r]
+                        .iter()
+                        .filter(|(s, _)| *s <= step)
+                        .cloned()
+                        .collect();
+                    match chain.last() {
+                        Some((s, record)) if *s == step => commit_bytes += record.len() as u64,
+                        _ => continue 'steps,
+                    }
+                    let full = match store::log::materialize_records(&chain, step) {
+                        Ok(snap) => snap.to_bytes(),
+                        Err(_) => continue 'steps,
+                    };
+                    full_bytes += full.len() as u64;
+                    shards.push(ckpt::save_shard(header, &full));
+                }
                 #[cfg(test)]
                 if let Some((r, s)) = chaos.corrupt_shard {
                     if s == step {
@@ -543,6 +650,8 @@ fn run_treecode_impl(
                     }
                 }
                 report.commits += 1;
+                report.store_commit_bytes += commit_bytes;
+                report.store_full_bytes += full_bytes;
                 report.checkpoint_bytes = shards.iter().map(Vec::len).sum();
                 report.shard_bytes = shards.iter().map(Vec::len).max().unwrap_or(0);
                 gens.push(Gen {
@@ -799,6 +908,15 @@ mod tests {
         assert!(report.shard_recovery_overhead_s > 0.0);
         assert!(report.commits >= 1);
         assert!(report.shard_bytes > 0 && report.shard_bytes < report.checkpoint_bytes);
+        // Incremental commits: after the first full record per attempt,
+        // dirty-cell deltas ship strictly fewer bytes than re-writing
+        // full snapshots would.
+        assert!(
+            report.store_commit_bytes > 0 && report.store_commit_bytes < report.store_full_bytes,
+            "delta commits not smaller: {} vs {} full",
+            report.store_commit_bytes,
+            report.store_full_bytes
+        );
         assert!(report.availability > 0.0 && report.availability < 1.0);
         assert!(report.diagnosis.is_none(), "{report:?}");
         let delta = max_pos_delta(&clean_bodies, &bodies);

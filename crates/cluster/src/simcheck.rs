@@ -484,6 +484,7 @@ fn digest_answer(mut h: u64, a: &query::Answer) -> u64 {
             }
             h
         }
+        query::Answer::NotCommitted => fnv1a(h, &[4]),
     }
 }
 

@@ -33,7 +33,7 @@
 
 use crate::fleet::{self, FleetConfig};
 use crate::index::QueryIndex;
-use crate::oracle;
+use crate::past;
 use crate::wire::{
     forward_tag, hit_order, reply_tag, route_tag, Answer, Hit, Query, QueryKind, Reply, ReplyBatch,
 };
@@ -44,6 +44,7 @@ use hot::GravityConfig;
 use msg::comm::Comm;
 use std::collections::HashMap;
 use std::ops::Range;
+use store::{GenerationLog, SnapshotCache, StoreConfig};
 
 /// Engine knobs. `steps` simulation ticks are run; arrivals are batched
 /// into deterministic windows of `tick_window_s` (the last tick drains
@@ -58,6 +59,11 @@ pub struct EngineConfig {
     pub checkpoint_every: u64,
     /// Virtual-time width of one tick's arrival window.
     pub tick_window_s: f64,
+    /// How many *materialized* generations may live decoded in RAM at
+    /// once. Committed history itself lives in the snapshot store
+    /// (full + dirty-cell delta frames); this only bounds the cache in
+    /// front of it.
+    pub history_cache: usize,
     pub fleet: FleetConfig,
 }
 
@@ -69,6 +75,7 @@ impl Default for EngineConfig {
             steps: 4,
             checkpoint_every: 2,
             tick_window_s: 4.0e-5,
+            history_cache: 2,
             fleet: FleetConfig::default(),
         }
     }
@@ -96,6 +103,9 @@ pub struct QueryStats {
     /// Queries that reached merge with fewer partials than expected —
     /// any nonzero value is a protocol bug (at-least-once violated).
     pub unanswered: u64,
+    /// Time-travel queries answered with the typed
+    /// [`Answer::NotCommitted`] miss (generation never committed).
+    pub time_travel_miss: u64,
 }
 
 /// One merged answer, with everything a correctness oracle needs to
@@ -121,8 +131,21 @@ pub struct EngineOutput {
     /// Merged answers for this rank's own clients, in issue order.
     pub replies: Vec<RecordedReply>,
     /// `(step, shard bytes)` for every checkpoint generation this rank
-    /// committed — the on-disk form time-travel queries are served from.
+    /// committed — a crc-framed [`ShardHeader`] wrapping a snapshot
+    /// store record (full frame, or dirty-cell delta against the
+    /// previous commit). The on-disk form time-travel queries are
+    /// served from.
     pub commits: Vec<(u64, Vec<u8>)>,
+    /// Most materialized generations ever decoded in RAM at once —
+    /// the memory-ceiling number the long-run test pins against
+    /// [`EngineConfig::history_cache`].
+    pub history_decoded_peak: usize,
+    /// Generations committed to the store over the run.
+    pub history_generations: usize,
+    /// Bytes actually committed to the store (deltas where possible).
+    pub store_commit_bytes: u64,
+    /// What the same commits would have cost as full snapshots.
+    pub store_full_bytes: u64,
     /// Virtual time when the run finished.
     pub end_s: f64,
 }
@@ -166,6 +189,13 @@ fn point_owner(map: &[(u64, u32)], id: u64, size: usize) -> usize {
 /// orders. The partition of responders is unobservable: the result
 /// equals a serial evaluation over the concatenated shards.
 fn merge(kind: &QueryKind, parts: Vec<Answer>) -> Answer {
+    // A typed time-travel miss from any responder is authoritative:
+    // the commit schedule is global, so one miss means every shard
+    // missed, and the merged answer must stay distinguishable from an
+    // empty result.
+    if parts.iter().any(|a| matches!(a, Answer::NotCommitted)) {
+        return Answer::NotCommitted;
+    }
     match kind {
         QueryKind::Point { .. } => parts
             .into_iter()
@@ -223,9 +253,11 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
     let mut stats = QueryStats::default();
     let mut replies = Vec::new();
     let mut commits = Vec::new();
-    // (step, owned bodies) per committed generation — the decoded form
-    // of the shard this rank wrote, served to time-travel queries.
-    let mut history: Vec<(u64, Vec<Body>)> = Vec::new();
+    // Committed history lives in the store as full + dirty-cell delta
+    // frames; time-travel reads materialize through a bounded LRU, so
+    // decoded-generation memory stays flat however long the run gets.
+    let mut log = GenerationLog::new(StoreConfig::default(), 0);
+    let mut cache = SnapshotCache::new(cfg.history_cache);
     let mut last_commit: Option<u64> = None;
 
     let mut cur_owner = owner_map(&sim.bodies, size);
@@ -252,19 +284,20 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
         }
         let span = stripe(n, size, me);
 
-        // -- Commit: write this rank's stripe as a checkpoint shard.
+        // -- Commit: write this rank's stripe into the snapshot store
+        // (full frame first, dirty-cell deltas after), then frame the
+        // record as this rank's crc-checked checkpoint shard.
         if t % cfg.checkpoint_every == 0 {
-            let owned = sim.bodies[span.clone()].to_vec();
+            let record = log.commit(t, &sim.bodies[span.clone()], &[]).to_vec();
             let hdr = ShardHeader {
                 rank: me as u32,
                 of_ranks: size as u32,
                 step: t,
                 time: sim.time,
             };
-            let bytes = ckpt::save_shard(&hdr, &owned);
             comm.obs_count("query.commits", 1);
-            commits.push((t, bytes));
-            history.push((t, owned));
+            comm.obs_count("store.commit_bytes", record.len() as u64);
+            commits.push((t, ckpt::save_shard(&hdr, &record)));
             last_commit = Some(t);
         }
 
@@ -299,10 +332,20 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
             let a = arrivals[next_arrival];
             let qid = ((me as u64) << 32) | next_arrival as u64;
             next_arrival += 1;
+            // An `uncommitted` client asks for the generation *after*
+            // the newest commit — a step no rank has committed at
+            // answer time, so every partial must be the typed miss.
+            let at_step = if a.uncommitted {
+                Some(last_commit.unwrap_or(0) + 1)
+            } else if a.past {
+                last_commit
+            } else {
+                None
+            };
             let q = Query {
                 qid,
                 origin: me as u32,
-                at_step: if a.past { last_commit } else { None },
+                at_step,
                 kind: a.kind,
             };
             stats.issued += 1;
@@ -394,16 +437,21 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
                         Answer::Neighbors(index.knn_in(*at, *k as usize, span.clone()))
                     }
                 },
-                Some(s) => match history.iter().find(|(hs, _)| *hs == s) {
-                    Some((_, shard)) => oracle::answer(shard, &q.kind),
-                    // Defensive: an uncommitted generation yields an
-                    // empty partial, never a dropped reply.
-                    None => match &q.kind {
-                        QueryKind::Point { .. } => Answer::Missing,
-                        QueryKind::Region(_) => Answer::Ids(Vec::new()),
-                        QueryKind::Knn { .. } => Answer::Neighbors(Vec::new()),
-                    },
-                },
+                Some(s) if log.contains(s) => {
+                    // Materialize through the bounded LRU, then read
+                    // only the cells the footer index cannot rule out.
+                    let snap = cache
+                        .get_or_try_insert(s, || log.materialize(s))
+                        .expect("own committed generation materializes");
+                    let (answer, reads) = past::answer(snap, &q.kind);
+                    comm.obs_count("store.cells_read", reads.cells_read);
+                    comm.obs_count("store.cells_pruned", reads.cells_pruned);
+                    answer
+                }
+                // The generation was never committed: a typed miss, so
+                // the client can tell "no such generation" apart from
+                // a genuinely empty region or an unknown id.
+                Some(_) => Answer::NotCommitted,
             };
             reply_out[q.origin as usize]
                 .replies
@@ -452,6 +500,10 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
                 stats.not_found += 1;
                 comm.obs_count("query.not_found", 1);
             }
+            if matches!(answer, Answer::NotCommitted) {
+                stats.time_travel_miss += 1;
+                comm.obs_count("query.time_travel_miss", 1);
+            }
             let lat = done - p.at_s;
             comm.obs_observe("query.latency_s", lat);
             if lat > fleet_cfg.timeout_s {
@@ -476,6 +528,10 @@ pub fn run(comm: &mut Comm, ics: Vec<Body>, cfg: &EngineConfig) -> EngineOutput 
         stats,
         replies,
         commits,
+        history_decoded_peak: cache.peak,
+        history_generations: log.generations(),
+        store_commit_bytes: log.commit_bytes,
+        store_full_bytes: log.full_bytes,
         end_s: comm.time(),
     }
 }
@@ -497,6 +553,7 @@ pub fn replicated_states(ics: Vec<Body>, cfg: &EngineConfig) -> Vec<Vec<Body>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle;
     use hot::models::plummer;
     use msg::machine::Machine;
 

@@ -61,6 +61,11 @@ pub struct FleetConfig {
     pub knn_max: u32,
     /// Fraction (per mille) of queries that are time-travel.
     pub past_per_mille: u32,
+    /// Fraction (per mille) of *time-travel* queries that ask for a
+    /// generation the commit schedule never produced — the typed-miss
+    /// (`Answer::NotCommitted`) path. Zero (the default) draws nothing
+    /// from the stream, so existing schedules stay byte-identical.
+    pub uncommitted_per_mille: u32,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +79,7 @@ impl Default for FleetConfig {
             span: 2.0,
             knn_max: 8,
             past_per_mille: 250,
+            uncommitted_per_mille: 0,
         }
     }
 }
@@ -88,6 +94,10 @@ pub struct Arrival {
     /// issue time (the client only knows "the past", not the commit
     /// schedule).
     pub past: bool,
+    /// This time-travel query targets a generation that was never
+    /// committed; the engine must answer it with the typed
+    /// `NotCommitted` miss, never an empty partial.
+    pub uncommitted: bool,
     pub kind: QueryKind,
 }
 
@@ -100,6 +110,11 @@ pub fn schedule(cfg: &FleetConfig, rank: usize) -> Vec<Arrival> {
     for _ in 0..cfg.per_rank {
         t += (0.5 + rng.unit()) / cfg.rate_hz;
         let past = (rng.next_u64() % 1000) < cfg.past_per_mille as u64;
+        // Drawn only when the knob is armed, so default-config streams
+        // are byte-identical to what they were before the knob existed.
+        let uncommitted = past
+            && cfg.uncommitted_per_mille > 0
+            && (rng.next_u64() % 1000) < cfg.uncommitted_per_mille as u64;
         let kind = match rng.next_u64() % 3 {
             0 => {
                 // Mostly-valid ids with a 1/8 slice of misses.
@@ -144,6 +159,7 @@ pub fn schedule(cfg: &FleetConfig, rank: usize) -> Vec<Arrival> {
         out.push(Arrival {
             at_s: t,
             past,
+            uncommitted,
             kind,
         });
     }

@@ -18,6 +18,7 @@ pub mod engine;
 pub mod fleet;
 pub mod index;
 pub mod oracle;
+pub mod past;
 pub mod wire;
 
 pub use engine::{

@@ -180,6 +180,11 @@ pub enum Answer {
     Ids(Vec<u64>),
     /// kNN hits, sorted by [`hit_order`].
     Neighbors(Vec<Hit>),
+    /// Typed time-travel miss: the requested generation was never
+    /// committed. Distinguishable on the wire from a genuinely empty
+    /// region or an unknown id — a client retrying against a newer
+    /// commit schedule needs to know which one it got.
+    NotCommitted,
 }
 
 impl Answer {
@@ -189,6 +194,7 @@ impl Answer {
             Answer::Point(_) => 8 + 7 * 8,
             Answer::Ids(ids) => 8 + 8 * ids.len(),
             Answer::Neighbors(hits) => 8 + 16 * hits.len(),
+            Answer::NotCommitted => 0,
         }
     }
 }

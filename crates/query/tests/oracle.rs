@@ -155,8 +155,10 @@ fn time_travel_sees_genuinely_old_generations() {
 #[test]
 fn committed_shards_roundtrip_and_union_to_the_full_state() {
     // Satellite 2, storage half: the per-rank shard bytes the engine
-    // committed decode through `ckpt` with intact headers, and the
-    // union over ranks is bit-for-bit the replicated state at that step.
+    // committed decode through `ckpt` with intact headers, materialize
+    // through the snapshot store (generation 2 is a dirty-cell delta
+    // against generation 0), and the union over ranks is bit-for-bit
+    // the replicated state at that step.
     let ics = plummer(96, 31);
     let cfg = cfg(8);
     let states = replicated_states(ics.clone(), &cfg);
@@ -165,17 +167,23 @@ fn committed_shards_roundtrip_and_union_to_the_full_state() {
     for step in [0u64, 2] {
         let mut union: Vec<Body> = Vec::new();
         for (r, o) in outs.iter().enumerate() {
-            let bytes = &o
+            // Decode the whole commit chain so delta generations have
+            // their base: (step, store record bytes) in commit order.
+            let records: Vec<(u64, Vec<u8>)> = o
                 .commits
                 .iter()
-                .find(|(s, _)| *s == step)
-                .expect("generation committed")
-                .1;
-            let (hdr, shard): (ckpt::ShardHeader, Vec<Body>) =
-                ckpt::load_shard(bytes).expect("shard decodes");
-            assert_eq!(hdr.rank, r as u32);
-            assert_eq!(hdr.of_ranks, ranks as u32);
-            assert_eq!(hdr.step, step);
+                .map(|(s, bytes)| {
+                    let (hdr, record): (ckpt::ShardHeader, Vec<u8>) =
+                        ckpt::load_shard(bytes).expect("shard decodes");
+                    assert_eq!(hdr.rank, r as u32);
+                    assert_eq!(hdr.of_ranks, ranks as u32);
+                    assert_eq!(hdr.step, *s);
+                    (*s, record)
+                })
+                .collect();
+            let snap =
+                store::log::materialize_records(&records, step).expect("generation materializes");
+            let (shard, _aux) = snap.decode_all().expect("snapshot decodes");
             union.extend(shard);
         }
         let mut expect = states[step as usize].clone();
@@ -190,6 +198,107 @@ fn committed_shards_roundtrip_and_union_to_the_full_state() {
             }
             assert_eq!(a.mass.to_bits(), b.mass.to_bits());
         }
+    }
+}
+
+#[test]
+fn uncommitted_generations_answer_with_the_typed_miss_across_rank_counts() {
+    // Satellite: a time-travel query for a generation the commit
+    // schedule never produced must come back as `Answer::NotCommitted`
+    // — typed, counted, and distinguishable from an empty region or an
+    // unknown id — on every rank count, while the rest of the stream
+    // still matches the oracle bit for bit.
+    let ics = plummer(96, 17);
+    let mut cfg = cfg(32);
+    cfg.fleet.uncommitted_per_mille = 600;
+    let states = replicated_states(ics.clone(), &cfg);
+    for ranks in [1usize, 2, 4, 16] {
+        let outs = run_engine(ranks, &ics, &cfg);
+        let mut missed = 0u64;
+        for o in &outs {
+            let mut stat_misses = 0u64;
+            for r in &o.replies {
+                match r.at_step {
+                    // The engine targets `last_commit + 1` for
+                    // uncommitted clients; with commits every 2 steps
+                    // that is always an odd, never-committed step.
+                    Some(s) if s % cfg.checkpoint_every != 0 => {
+                        assert_eq!(
+                            r.answer,
+                            query::Answer::NotCommitted,
+                            "ranks={ranks} qid={} asked for uncommitted step {s}",
+                            r.qid
+                        );
+                        missed += 1;
+                        stat_misses += 1;
+                    }
+                    Some(s) => {
+                        assert_eq!(r.answer, oracle::answer(&states[s as usize], &r.kind));
+                    }
+                    None => {
+                        assert_eq!(r.answer, oracle::answer(&states[r.tick as usize], &r.kind));
+                    }
+                }
+            }
+            assert_eq!(
+                o.stats.time_travel_miss, stat_misses,
+                "ranks={ranks}: query.time_travel_miss must count exactly the typed misses"
+            );
+            assert_eq!(o.stats.unanswered, 0, "ranks={ranks}");
+            assert_eq!(o.stats.dup_replies, 0, "ranks={ranks}");
+        }
+        assert!(
+            missed > 0,
+            "ranks={ranks}: the uncommitted path was never exercised"
+        );
+    }
+}
+
+#[test]
+fn history_memory_stays_bounded_on_long_service_runs() {
+    // Satellite: committed history used to accumulate decoded shard
+    // bodies forever. Now the store holds full + dirty-cell delta
+    // frames and decoded generations live in a bounded LRU — a long
+    // run with a commit every tick must keep the decoded peak at the
+    // configured cache size while every time-travel answer still
+    // matches the oracle.
+    let ics = plummer(96, 29);
+    let cfg = EngineConfig {
+        dt: 0.02,
+        steps: 24,
+        checkpoint_every: 1,
+        history_cache: 2,
+        fleet: FleetConfig {
+            per_rank: 96,
+            past_per_mille: 500,
+            ..FleetConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let states = replicated_states(ics.clone(), &cfg);
+    let outs = run_engine(4, &ics, &cfg);
+    for o in &outs {
+        assert_eq!(o.history_generations, cfg.steps as usize);
+        assert!(
+            o.history_decoded_peak <= cfg.history_cache,
+            "decoded-generation peak {} exceeds the cache bound {}",
+            o.history_decoded_peak,
+            cfg.history_cache
+        );
+        assert!(
+            o.store_commit_bytes < o.store_full_bytes,
+            "incremental commits ({} bytes) must beat full snapshots ({} bytes)",
+            o.store_commit_bytes,
+            o.store_full_bytes
+        );
+        let mut past = 0u64;
+        for r in &o.replies {
+            if let Some(s) = r.at_step {
+                assert_eq!(r.answer, oracle::answer(&states[s as usize], &r.kind));
+                past += 1;
+            }
+        }
+        assert!(past > 0, "long run exercised no time-travel queries");
     }
 }
 

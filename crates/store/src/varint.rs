@@ -1,0 +1,64 @@
+//! LEB128 varints. The id column of a cell chunk stores sorted ids as
+//! first-value + strictly-positive deltas, so plain (unsigned) varints
+//! suffice; the delta RLE codec reuses them for run lengths.
+
+use crate::StoreError;
+
+/// Append `v` as a little-endian base-128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Decode one varint starting at `*pos`, advancing it past the value.
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or(StoreError::BadEncoding("varint ran off the chunk"))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b & 0x7E != 0) {
+            return Err(StoreError::BadEncoding("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for len in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_varint(&buf[..len], &mut pos).is_err());
+        }
+    }
+}

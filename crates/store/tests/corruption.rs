@@ -1,0 +1,136 @@
+//! Corruption sweep over the store's wire frames, mirroring the ckpt
+//! sweep: every single-bit flip and every truncation of a full snapshot
+//! frame or a delta frame must surface as a typed [`StoreError`] by the
+//! time the damaged bytes are decoded — never as silently different
+//! physics. Chunk CRCs are verified lazily, so the full-frame property
+//! is "open + decode-all fails", not "open fails": a flip in a cell
+//! chunk parses fine and is caught exactly when that cell is read.
+
+use hot::models::plummer;
+use hot::BBox;
+use store::{Delta, GenerationLog, Snapshot, StoreConfig, StoreError};
+
+fn sample_frames() -> (Vec<u8>, Vec<u8>) {
+    let mut bodies = plummer(64, 9);
+    let aux: Vec<f64> = (0..bodies.len()).map(|i| i as f64 * 0.5).collect();
+    let bbox = BBox::enclosing(bodies.iter().map(|b| b.pos));
+    let base = Snapshot::build(&bodies, &aux, 1, bbox, 3);
+    for b in bodies.iter_mut() {
+        b.pos[0] += 1e-6;
+        b.work += 1.0;
+    }
+    let cur = Snapshot::build(&bodies, &aux, 1, bbox, 3);
+    let delta = Delta::build(&base, &cur, 4);
+    (base.to_bytes(), delta.to_bytes())
+}
+
+/// Open a full frame and force every cell through decode, returning the
+/// first typed error anywhere in the path.
+fn open_and_decode(bytes: &[u8]) -> Result<(), StoreError> {
+    let snap = Snapshot::from_bytes(bytes)?;
+    snap.decode_all()?;
+    Ok(())
+}
+
+#[test]
+fn every_bit_flip_in_a_full_frame_is_detected() {
+    let (full, _) = sample_frames();
+    assert_eq!(open_and_decode(&full), Ok(()), "pristine frame must read");
+    for i in 0..full.len() {
+        for bit in 0..8 {
+            let mut c = full.clone();
+            c[i] ^= 1 << bit;
+            assert!(
+                open_and_decode(&c).is_err(),
+                "bit {bit} of byte {i}/{} flipped but the frame still decoded",
+                full.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_full_frame_truncation_is_detected() {
+    let (full, _) = sample_frames();
+    for len in 0..full.len() {
+        assert!(
+            open_and_decode(&full[..len]).is_err(),
+            "truncation to {len} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn every_bit_flip_in_a_delta_frame_is_detected() {
+    // Delta frames carry one whole-payload CRC: any flip anywhere rots
+    // the whole record (and via the generation log, the whole
+    // generation — the fallback path's unit of loss).
+    let (_, delta) = sample_frames();
+    assert!(Delta::from_bytes(&delta).is_ok(), "pristine delta parses");
+    for i in 0..delta.len() {
+        for bit in 0..8 {
+            let mut c = delta.clone();
+            c[i] ^= 1 << bit;
+            assert!(
+                Delta::from_bytes(&c).is_err(),
+                "bit {bit} of delta byte {i} flipped but the frame still parsed"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_delta_truncation_is_detected() {
+    let (_, delta) = sample_frames();
+    for len in 0..delta.len() {
+        assert!(
+            Delta::from_bytes(&delta[..len]).is_err(),
+            "delta truncation to {len} bytes parsed"
+        );
+    }
+}
+
+#[test]
+fn a_rotten_record_rots_the_generations_it_feeds() {
+    // A flipped byte in the middle of a chain is discovered when a
+    // generation that *depends* on that record materializes; earlier
+    // generations still decode — exactly the fallback the chaos
+    // harness leans on.
+    let mut bodies = plummer(80, 21);
+    let mut log = GenerationLog::new(StoreConfig::default(), 0);
+    for step in 0..4u64 {
+        for b in bodies.iter_mut() {
+            b.pos[1] += 1e-6;
+        }
+        log.commit(step, &bodies, &[]);
+    }
+    let records: Vec<(u64, Vec<u8>)> = log
+        .steps()
+        .map(|s| (s, log.record(s).expect("present").bytes().to_vec()))
+        .collect();
+    for (s, _) in &records {
+        assert!(store::log::materialize_records(&records, *s).is_ok());
+    }
+    let mut rotten = records.clone();
+    let mid = rotten[2].1.len() / 2;
+    rotten[2].1[mid] ^= 0x08;
+    for (s, _) in &records {
+        let got = store::log::materialize_records(&rotten, *s);
+        if *s < 2 {
+            assert!(got.is_ok(), "generation {s} does not depend on the rot");
+        } else {
+            assert!(got.is_err(), "generation {s} materialized through rot");
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let (mut full, mut delta) = sample_frames();
+    full[0] = b'X';
+    assert_eq!(Snapshot::from_bytes(&full), Err(StoreError::BadMagic));
+    delta[0] = b'X';
+    assert_eq!(Delta::from_bytes(&delta), Err(StoreError::BadMagic));
+    assert_eq!(store::record_kind(b"nonsense"), Err(StoreError::BadMagic));
+    assert_eq!(store::record_kind(b"abc"), Err(StoreError::Truncated));
+}
